@@ -1,0 +1,507 @@
+#![warn(missing_docs)]
+
+//! # sg-adaptive — spatially adaptive sparse grids
+//!
+//! The paper's compact structure targets *regular* grids: the `gp2idx`
+//! bijection requires the full simplex of subspaces. Its related work
+//! (§7) positions hash-based structures as the representation of choice
+//! when *adaptive refinement* is needed — "flexibility can be traded for
+//! efficiency". This crate is that other side of the trade-off: a
+//! hash-backed sparse grid that grows points only where the function
+//! demands them, at ~an order of magnitude more bytes per point (see the
+//! memory model in `sg-baselines`).
+//!
+//! The point set is always *downset-closed*: every 1-d hierarchical tree
+//! ancestor of a stored point is stored too. That invariant makes
+//! hierarchical surpluses well defined (`α_p = f(x_p) − u(x_p)` over the
+//! already-present ancestors, independent of any finer points) and
+//! enables the pruned dimension-recursive evaluation below.
+//!
+//! ```
+//! use sg_adaptive::AdaptiveSparseGrid;
+//!
+//! // A sharp bump: regular grids waste points far away from it.
+//! let f = |x: &[f64]| (-200.0 * ((x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2))).exp();
+//! let mut g = AdaptiveSparseGrid::new(2);
+//! g.refine_by_surplus(&f, 1e-3, 10_000, 12);
+//! let err = (g.evaluate(&[0.3, 0.7]) - 1.0).abs();
+//! assert!(err < 1e-2, "adaptive grid should resolve the bump: {err}");
+//! ```
+
+use sg_core::level::{hat, Index, Level};
+use std::collections::HashMap;
+
+/// Key: the packed `(level, index)` pair per dimension.
+type Key = Box<[u64]>;
+
+#[inline]
+fn pack(l: Level, i: Index) -> u64 {
+    ((l as u64) << 32) | i as u64
+}
+
+#[inline]
+fn unpack(k: u64) -> (Level, Index) {
+    ((k >> 32) as Level, k as u32)
+}
+
+/// The unique 1-d *tree* parent of `(l, i)` (the ancestor one level up on
+/// the path from the root): `(l−1, (i±1)/2)` with the sign making the
+/// index odd. `None` for the root `l = 0`.
+#[inline]
+pub fn tree_parent(l: Level, i: Index) -> Option<(Level, Index)> {
+    if l == 0 {
+        return None;
+    }
+    let k = if i % 4 == 1 { i.div_ceil(2) } else { (i - 1) / 2 };
+    Some((l - 1, k))
+}
+
+/// A spatially adaptive, hash-backed sparse grid with hierarchical
+/// surpluses as values.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSparseGrid {
+    dim: usize,
+    surpluses: HashMap<Key, f64>,
+}
+
+impl AdaptiveSparseGrid {
+    /// A grid containing only the root point `l = 0, i = 1` (surplus 0;
+    /// call a refinement method to populate it).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        let mut surpluses = HashMap::new();
+        let root: Key = vec![pack(0, 1); dim].into_boxed_slice();
+        surpluses.insert(root, 0.0);
+        Self { dim, surpluses }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.surpluses.len()
+    }
+
+    /// True if only the root exists and carries a zero surplus.
+    pub fn is_empty(&self) -> bool {
+        self.surpluses.len() <= 1
+    }
+
+    /// Surplus at `(l, i)`, if the point exists.
+    pub fn surplus(&self, l: &[Level], i: &[Index]) -> Option<f64> {
+        let key: Key = l.iter().zip(i).map(|(&a, &b)| pack(a, b)).collect();
+        self.surpluses.get(&key).copied()
+    }
+
+    /// True if the grid stores the point `(l, i)`.
+    pub fn contains(&self, l: &[Level], i: &[Index]) -> bool {
+        self.surplus(l, i).is_some()
+    }
+
+    /// Iterate over all points as `(levels, indices, surplus)`.
+    pub fn points(&self) -> impl Iterator<Item = (Vec<Level>, Vec<Index>, f64)> + '_ {
+        self.surpluses.iter().map(|(k, &s)| {
+            let (l, i): (Vec<Level>, Vec<Index>) = k.iter().map(|&c| unpack(c)).unzip();
+            (l, i, s)
+        })
+    }
+
+    /// Spatial coordinates of a stored point key.
+    fn coords_of(key: &[u64], out: &mut [f64]) {
+        for (t, &c) in key.iter().enumerate() {
+            let (l, i) = unpack(c);
+            out[t] = sg_core::level::coordinate(l, i);
+        }
+    }
+
+    /// Evaluate the interpolant at `x ∈ [0,1]^d` via dimension-recursive
+    /// descent, pruning subtrees whose prefix point is absent (valid
+    /// because the point set is downset-closed).
+    pub fn evaluate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "query point dimension mismatch");
+        assert!(
+            x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "query point outside the unit domain"
+        );
+        let mut key: Key = vec![pack(0, 1); self.dim].into_boxed_slice();
+        self.eval_dim(x, 0, &mut key, 1.0)
+    }
+
+    fn eval_dim(&self, x: &[f64], t: usize, key: &mut Key, prod: f64) -> f64 {
+        let mut res = 0.0;
+        let (mut lt, mut it) = (0 as Level, 1 as Index);
+        loop {
+            key[t] = pack(lt, it);
+            // Downset pruning: if the prefix point (dims > t at the root)
+            // is absent, no stored point extends this 1-d prefix.
+            if !self.surpluses.contains_key(key as &Key) {
+                break;
+            }
+            let b = hat(lt, it, x[t]);
+            if b == 0.0 {
+                break;
+            }
+            if t == self.dim - 1 {
+                res += prod * b * self.surpluses[key as &Key];
+            } else {
+                res += self.eval_dim(x, t + 1, key, prod * b);
+                // Restore trailing dimensions to the root for the prefix
+                // membership test of the next chain node.
+                for u in t + 1..self.dim {
+                    key[u] = pack(0, 1);
+                }
+                key[t] = pack(lt, it);
+            }
+            // Descend the 1-d tree towards x[t].
+            let centre = sg_core::level::coordinate(lt, it);
+            let side = if x[t] < centre {
+                sg_core::level::Side::Left
+            } else {
+                sg_core::level::Side::Right
+            };
+            let (nl, ni) = sg_core::level::hierarchical_child(lt, it, side);
+            lt = nl;
+            it = ni;
+        }
+        key[t] = pack(0, 1);
+        res
+    }
+
+    /// Insert a point (and, recursively, every missing ancestor), setting
+    /// each new surplus to `f(x_p) − u(x_p)`. Ancestors are inserted
+    /// first, so each surplus is final the moment it is written.
+    pub fn insert_with_ancestors(&mut self, l: &[Level], i: &[Index], f: &impl Fn(&[f64]) -> f64) {
+        let key: Key = l.iter().zip(i).map(|(&a, &b)| pack(a, b)).collect();
+        self.insert_key(key, f);
+    }
+
+    fn insert_key(&mut self, key: Key, f: &impl Fn(&[f64]) -> f64) {
+        if self.surpluses.contains_key(&key) {
+            return;
+        }
+        // Ensure the tree parent in every dimension first.
+        for t in 0..self.dim {
+            let (l, i) = unpack(key[t]);
+            if let Some((pl, pi)) = tree_parent(l, i) {
+                let mut parent = key.clone();
+                parent[t] = pack(pl, pi);
+                self.insert_key(parent, f);
+            }
+        }
+        let mut x = vec![0.0; self.dim];
+        Self::coords_of(&key, &mut x);
+        let surplus = f(&x) - self.evaluate(&x);
+        self.surpluses.insert(key, surplus);
+    }
+
+    /// Seed the grid with the full regular sparse grid of level sum
+    /// `≤ levels` (surpluses computed from `f`). Adaptive refinement
+    /// needs such a bootstrap: a feature invisible at the few coarse
+    /// points would otherwise never trigger refinement.
+    pub fn bootstrap(&mut self, levels: Level, f: &impl Fn(&[f64]) -> f64) {
+        let spec = sg_core::level::GridSpec::new(self.dim, levels as usize + 1);
+        let mut points: Vec<(Vec<Level>, Vec<Index>)> = Vec::new();
+        sg_core::iter::for_each_point(&spec, |_, l, i| {
+            points.push((l.to_vec(), i.to_vec()));
+        });
+        // for_each_point visits coarse groups first, so ancestors land
+        // before descendants and every surplus is final on insert.
+        for (l, i) in points {
+            self.insert_with_ancestors(&l, &i, f);
+        }
+    }
+
+    /// Surplus-driven refinement: repeatedly take the stored point with
+    /// the largest absolute surplus that still has missing children, and
+    /// add its `2·d` tree children — until every surplus is below
+    /// `threshold`, `max_points` is reached, or all candidates sit at
+    /// `max_level` in the refined dimension.
+    ///
+    /// A fresh grid is first bootstrapped with the regular sparse grid of
+    /// level sum ≤ 2 (see [`Self::bootstrap`]).
+    ///
+    /// Returns the number of refinement steps performed.
+    pub fn refine_by_surplus(
+        &mut self,
+        f: &impl Fn(&[f64]) -> f64,
+        threshold: f64,
+        max_points: usize,
+        max_level: Level,
+    ) -> usize {
+        // Initialize the root surplus if the grid is fresh, then seed.
+        let root: Key = vec![pack(0, 1); self.dim].into_boxed_slice();
+        if self.surpluses.len() == 1 && self.surpluses[&root] == 0.0 {
+            let mut x = vec![0.0; self.dim];
+            Self::coords_of(&root, &mut x);
+            let s = f(&x);
+            self.surpluses.insert(root, s);
+            self.bootstrap(max_level.min(2), f);
+        }
+
+        let mut steps = 0;
+        loop {
+            if self.surpluses.len() >= max_points {
+                break;
+            }
+            // Highest-surplus refinable point.
+            let candidate = self
+                .surpluses
+                .iter()
+                .filter(|(_, s)| s.abs() > threshold)
+                .filter(|(k, _)| self.has_missing_child(k, max_level))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                .map(|(k, _)| k.clone());
+            let Some(key) = candidate else { break };
+            for t in 0..self.dim {
+                let (l, i) = unpack(key[t]);
+                if l >= max_level {
+                    continue;
+                }
+                for side in [sg_core::level::Side::Left, sg_core::level::Side::Right] {
+                    let (cl, ci) = sg_core::level::hierarchical_child(l, i, side);
+                    let mut child = key.clone();
+                    child[t] = pack(cl, ci);
+                    self.insert_key(child, f);
+                }
+            }
+            steps += 1;
+        }
+        steps
+    }
+
+    fn has_missing_child(&self, key: &Key, max_level: Level) -> bool {
+        for t in 0..self.dim {
+            let (l, i) = unpack(key[t]);
+            if l >= max_level {
+                continue;
+            }
+            for side in [sg_core::level::Side::Left, sg_core::level::Side::Right] {
+                let (cl, ci) = sg_core::level::hierarchical_child(l, i, side);
+                let mut child = key.clone();
+                child[t] = pack(cl, ci);
+                if !self.surpluses.contains_key(&child) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Verify the downset invariant (used by tests and debug assertions):
+    /// every tree ancestor of every point is present.
+    pub fn is_downset_closed(&self) -> bool {
+        self.surpluses.keys().all(|key| {
+            (0..self.dim).all(|t| {
+                let (l, i) = unpack(key[t]);
+                match tree_parent(l, i) {
+                    None => true,
+                    Some((pl, pi)) => {
+                        let mut parent = key.clone();
+                        parent[t] = pack(pl, pi);
+                        self.surpluses.contains_key(&parent)
+                    }
+                }
+            })
+        })
+    }
+
+    /// Largest level sum of any stored point.
+    pub fn max_level_sum(&self) -> usize {
+        self.surpluses
+            .keys()
+            .map(|k| k.iter().map(|&c| unpack(c).0 as usize).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Modelled memory footprint (hash-table layout; see
+    /// `sg_baselines::memory_model` for the constants).
+    pub fn memory_bytes(&self) -> usize {
+        // Entry: chain ptr + alloc header + key fat ptr + 8·d payload +
+        // 8 value + bucket slot.
+        self.surpluses.len() * (8 + 16 + 16 + 8 * self.dim + 8 + 8)
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::evaluate::evaluate as evaluate_regular;
+    use sg_core::functions::halton_points;
+    use sg_core::grid::CompactGrid;
+    use sg_core::hierarchize::hierarchize;
+    use sg_core::level::GridSpec;
+
+    /// Brute-force interpolant: Σ surplus · Π hat — the definition the
+    /// pruned recursion must match.
+    fn brute_force(g: &AdaptiveSparseGrid, x: &[f64]) -> f64 {
+        g.points()
+            .map(|(l, i, s)| {
+                s * l
+                    .iter()
+                    .zip(&i)
+                    .zip(x)
+                    .map(|((&lt, &it), &xt)| hat(lt, it, xt))
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn tree_parent_chain() {
+        assert_eq!(tree_parent(0, 1), None);
+        assert_eq!(tree_parent(1, 1), Some((0, 1)));
+        assert_eq!(tree_parent(1, 3), Some((0, 1)));
+        assert_eq!(tree_parent(2, 1), Some((1, 1)));
+        assert_eq!(tree_parent(2, 3), Some((1, 1)));
+        assert_eq!(tree_parent(2, 5), Some((1, 3)));
+        assert_eq!(tree_parent(2, 7), Some((1, 3)));
+    }
+
+    #[test]
+    fn insertion_maintains_downset_closure() {
+        let f = |x: &[f64]| x[0] + x[1];
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.insert_with_ancestors(&[3, 2], &[5, 3], &f);
+        assert!(g.is_downset_closed());
+        // The deep point and a few ancestors exist.
+        assert!(g.contains(&[3, 2], &[5, 3]));
+        assert!(g.contains(&[2, 2], &[3, 3]));
+        assert!(g.contains(&[0, 0], &[1, 1]));
+    }
+
+    #[test]
+    fn evaluation_matches_brute_force() {
+        let f = |x: &[f64]| (3.0 * x[0]).sin() * x[1] * x[1] + x[0];
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.refine_by_surplus(&f, 1e-4, 300, 8);
+        for x in halton_points(2, 100).chunks_exact(2) {
+            let a = g.evaluate(x);
+            let b = brute_force(&g, x);
+            assert!((a - b).abs() < 1e-12, "x={x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn interpolation_exact_at_stored_points() {
+        let f = |x: &[f64]| x[0] * (1.0 - x[0]) * (0.5 + x[1]);
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.refine_by_surplus(&f, 1e-5, 200, 7);
+        for (l, i, _) in g.points().collect::<Vec<_>>() {
+            let x: Vec<f64> = l
+                .iter()
+                .zip(&i)
+                .map(|(&lt, &it)| sg_core::level::coordinate(lt, it))
+                .collect();
+            assert!((g.evaluate(&x) - f(&x)).abs() < 1e-12, "at {x:?}");
+        }
+    }
+
+    #[test]
+    fn full_refinement_recovers_the_regular_grid() {
+        // Refining everything up to level sum L−1 must reproduce the
+        // regular sparse grid and its surpluses exactly... with the tree
+        // (not chain) parent closure the point set is the classic sparse
+        // grid of tree-depth; compare interpolants instead of sets.
+        let f = |x: &[f64]| x.iter().map(|&v| 4.0 * v * (1.0 - v)).product::<f64>();
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.refine_by_surplus(&f, 0.0, 100_000, 3);
+        // All points with |l|₁ ≤ ... every point of the level-4 regular
+        // grid whose per-dim level ≤ 3 and that the refinement reached.
+        let spec = GridSpec::new(2, 4);
+        let mut reg = CompactGrid::<f64>::from_fn(spec, f);
+        hierarchize(&mut reg);
+        // The adaptive grid contains at least the regular grid's points
+        // up to the cap, with identical surpluses.
+        sg_core::iter::for_each_point(&spec, |idx, l, i| {
+            if l.iter().all(|&v| v <= 3) {
+                if let Some(s) = g.surplus(l, i) {
+                    let expect = reg.values()[idx as usize];
+                    assert!((s - expect).abs() < 1e-12, "surplus at {l:?},{i:?}");
+                }
+            }
+        });
+        // And the interpolants agree where both have full support.
+        for x in halton_points(2, 50).chunks_exact(2) {
+            let a = g.evaluate(x);
+            let b = evaluate_regular(&reg, x);
+            assert!((a - b).abs() < 0.05, "x={x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adaptivity_beats_regular_grids_on_localized_features() {
+        // A sharp off-center bump: the adaptive grid reaches a given
+        // accuracy with far fewer points than the regular grid.
+        let f = |x: &[f64]| (-300.0 * ((x[0] - 0.3).powi(2) + (x[1] - 0.71).powi(2))).exp();
+        let probes = halton_points(2, 400);
+        let err_of = |g: &AdaptiveSparseGrid| {
+            probes
+                .chunks_exact(2)
+                .map(|x| (g.evaluate(x) - f(x)).abs())
+                .fold(0.0f64, f64::max)
+        };
+
+        let mut adaptive = AdaptiveSparseGrid::new(2);
+        adaptive.refine_by_surplus(&f, 5e-3, 4000, 12);
+        let adaptive_err = err_of(&adaptive);
+
+        // Regular grid with a similar point budget.
+        let mut level = 1;
+        while GridSpec::new(2, level + 1).num_points() <= adaptive.len() as u64 {
+            level += 1;
+        }
+        let spec = GridSpec::new(2, level);
+        let mut reg = CompactGrid::<f64>::from_fn(spec, f);
+        hierarchize(&mut reg);
+        let reg_err = probes
+            .chunks_exact(2)
+            .map(|x| (evaluate_regular(&reg, x) - f(x)).abs())
+            .fold(0.0f64, f64::max);
+
+        assert!(
+            adaptive_err < reg_err,
+            "adaptive ({} pts, err {adaptive_err}) should beat regular ({} pts, err {reg_err})",
+            adaptive.len(),
+            spec.num_points()
+        );
+    }
+
+    #[test]
+    fn surpluses_are_stable_under_further_insertion() {
+        let f = |x: &[f64]| x[0] * x[0] + x[1];
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.insert_with_ancestors(&[2, 0], &[3, 1], &f);
+        let before = g.surplus(&[2, 0], &[3, 1]).unwrap();
+        g.insert_with_ancestors(&[3, 3], &[7, 5], &f);
+        let after = g.surplus(&[2, 0], &[3, 1]).unwrap();
+        assert_eq!(before, after, "finer points must not change coarser surpluses");
+    }
+
+    #[test]
+    fn refinement_respects_caps() {
+        let f = |x: &[f64]| x[0];
+        let mut g = AdaptiveSparseGrid::new(3);
+        g.refine_by_surplus(&f, 0.0, 50, 10);
+        assert!(g.len() <= 50 + 6, "max_points roughly respected: {}", g.len());
+        let mut h = AdaptiveSparseGrid::new(1);
+        h.refine_by_surplus(&f, 0.0, 10_000, 2);
+        assert!(h.max_level_sum() <= 2);
+    }
+
+    #[test]
+    fn memory_per_point_exceeds_compact() {
+        let f = |x: &[f64]| x[0] + x[1];
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.refine_by_surplus(&f, 0.0, 100, 4);
+        let per_point = g.memory_bytes() as f64 / g.len() as f64;
+        assert!(
+            per_point > 8.0 * 2.0,
+            "hash-backed storage must cost well over one value per point: {per_point}"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! `sgtool` — command-line front end for the compact sparse grid format.
+//!
+//! ```text
+//! sgtool compress --dims 4 --level 6 --function parabola --out grid.sgc
+//! sgtool info grid.sgc
+//! sgtool eval grid.sgc 0.5,0.5,0.5,0.5 0.25,0.75,0.1,0.9
+//! sgtool integrate grid.sgc
+//! sgtool slice grid.sgc --axes 0,1 --at 0.5,0.5,0.5,0.5 [--width 64]
+//! ```
+
+use sg_core::prelude::*;
+use sg_core::quadrature::integrate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "compress" => cmd_compress(rest),
+        "info" => cmd_info(rest),
+        "eval" => cmd_eval(rest),
+        "integrate" => cmd_integrate(rest),
+        "slice" => cmd_slice(rest),
+        "render" => cmd_render(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sgtool compress --dims D --level L --function NAME --out FILE
+                  (functions: parabola sine-product gaussian)
+  sgtool info FILE
+  sgtool eval FILE X1,...,XD [more points ...]
+  sgtool integrate FILE
+  sgtool slice FILE --axes A,B --at X1,...,XD [--width N]
+  sgtool render FILE --out IMG.ppm [--axes A,B] [--at X1,...,XD] [--width N]";
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|p| args.get(p + 1).cloned())
+}
+
+/// Arguments that are neither flags nor flag values (so a flag's value is
+/// never mistaken for the grid file or an evaluation point).
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        if a.starts_with("--") {
+            // Consume the flag's value, if any.
+            if iter.peek().is_some_and(|n| !n.starts_with("--")) {
+                iter.next();
+            }
+        } else {
+            out.push(a);
+        }
+    }
+    out
+}
+
+fn parse_point(s: &str, d: usize) -> Result<Vec<f64>, String> {
+    let v: Result<Vec<f64>, _> = s.split(',').map(str::parse).collect();
+    let v = v.map_err(|e| format!("bad coordinate list {s:?}: {e}"))?;
+    if v.len() != d {
+        return Err(format!("point {s:?} has {} coordinates, grid has {d}", v.len()));
+    }
+    if v.iter().any(|&c| !(0.0..=1.0).contains(&c)) {
+        return Err(format!("point {s:?} leaves the unit domain"));
+    }
+    Ok(v)
+}
+
+fn load(args: &[String]) -> Result<CompactGrid<f64>, String> {
+    let path = *positional(args)
+        .first()
+        .ok_or("missing grid file argument")?;
+    let blob = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    sg_io::decode(&blob).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let d: usize = flag(args, "--dims")
+        .ok_or("missing --dims")?
+        .parse()
+        .map_err(|e| format!("bad --dims: {e}"))?;
+    let level: usize = flag(args, "--level")
+        .ok_or("missing --level")?
+        .parse()
+        .map_err(|e| format!("bad --level: {e}"))?;
+    let fname = flag(args, "--function").unwrap_or_else(|| "parabola".into());
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let f = TestFunction::ALL
+        .iter()
+        .find(|f| f.name() == fname)
+        .ok_or_else(|| format!("unknown function {fname:?}"))?;
+
+    let spec = GridSpec::try_new(d, level).map_err(|e| e.to_string())?;
+    let mut grid = CompactGrid::from_fn_parallel(spec, |x| f.eval(x));
+    hierarchize_parallel(&mut grid);
+    let blob = sg_io::encode(&grid);
+    std::fs::write(&out, &blob).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "compressed {} ({} points, d={d}, level {level}) -> {out} ({} bytes)",
+        f.name(),
+        grid.len(),
+        blob.len()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let grid = load(args)?;
+    let spec = grid.spec();
+    println!("dimensionality : {}", spec.dim());
+    println!("level          : {}", spec.levels());
+    println!("points         : {}", grid.len());
+    println!("memory         : {} bytes", grid.memory_bytes());
+    let max = grid
+        .values()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    println!("max |surplus|  : {max:.6e}");
+    println!("integral       : {:.6e}", integrate(&grid));
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let grid = load(args)?;
+    let d = grid.spec().dim();
+    // First positional argument is the grid file; the rest are points
+    // (comma-separated coordinates; a bare number for 1-d grids).
+    let points = &positional(args)[1..];
+    if points.is_empty() {
+        return Err("no evaluation points given".into());
+    }
+    for p in points {
+        let x = parse_point(p, d)?;
+        println!("u({p}) = {:.10}", evaluate(&grid, &x));
+    }
+    Ok(())
+}
+
+fn cmd_integrate(args: &[String]) -> Result<(), String> {
+    let grid = load(args)?;
+    println!("{:.12}", integrate(&grid));
+    Ok(())
+}
+
+/// Decompress a 2-d slice through the grid: returns (values, width,
+/// height, axes, anchor, lo, hi).
+#[allow(clippy::type_complexity)]
+fn decompress_slice(
+    args: &[String],
+    aspect: f64,
+) -> Result<(Vec<f64>, usize, usize, (usize, usize), Vec<f64>, f64, f64), String> {
+    let grid = load(args)?;
+    let d = grid.spec().dim();
+    let axes = flag(args, "--axes").unwrap_or_else(|| "0,1".into());
+    let (a, b) = axes
+        .split_once(',')
+        .ok_or("--axes expects two comma-separated indices")?;
+    let (a, b): (usize, usize) = (
+        a.parse().map_err(|e| format!("bad axis: {e}"))?,
+        b.parse().map_err(|e| format!("bad axis: {e}"))?,
+    );
+    if a >= d || b >= d || a == b {
+        return Err(format!("axes {a},{b} invalid for a {d}-dimensional grid"));
+    }
+    let at = flag(args, "--at")
+        .map(|s| parse_point(&s, d))
+        .transpose()?
+        .unwrap_or_else(|| vec![0.5; d]);
+    let width: usize = flag(args, "--width")
+        .map(|s| s.parse().map_err(|e| format!("bad --width: {e}")))
+        .transpose()?
+        .unwrap_or(64);
+    if width < 2 {
+        return Err("--width must be at least 2".into());
+    }
+    let height = ((width as f64 * aspect) as usize).max(2);
+
+    let mut pixels = Vec::with_capacity(width * height * d);
+    for row in 0..height {
+        for col in 0..width {
+            let mut x = at.clone();
+            x[a] = col as f64 / (width - 1) as f64;
+            x[b] = 1.0 - row as f64 / (height - 1) as f64;
+            pixels.extend_from_slice(&x);
+        }
+    }
+    let values = evaluate_batch_parallel(&grid, &pixels, 64);
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    Ok((values, width, height, (a, b), at, lo, hi))
+}
+
+fn cmd_slice(args: &[String]) -> Result<(), String> {
+    let (values, width, height, (a, b), at, lo, hi) = decompress_slice(args, 0.5)?;
+    let range = (hi - lo).max(1e-12);
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    for row in 0..height {
+        let line: String = (0..width)
+            .map(|col| {
+                let v = (values[row * width + col] - lo) / range;
+                SHADES[((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1)]
+                    as char
+            })
+            .collect();
+        println!("{line}");
+    }
+    println!("axes x={a} y={b}, slice at {at:?}, range [{lo:.3e}, {hi:.3e}]");
+    Ok(())
+}
+
+/// Perceptually-ordered 5-stop colour ramp (dark blue → teal → green →
+/// yellow), linearly interpolated.
+fn colormap(v: f64) -> [u8; 3] {
+    const STOPS: [[f64; 3]; 5] = [
+        [68.0, 1.0, 84.0],
+        [59.0, 82.0, 139.0],
+        [33.0, 145.0, 140.0],
+        [94.0, 201.0, 98.0],
+        [253.0, 231.0, 37.0],
+    ];
+    let pos = v.clamp(0.0, 1.0) * (STOPS.len() - 1) as f64;
+    let k = (pos as usize).min(STOPS.len() - 2);
+    let w = pos - k as f64;
+    let mut rgb = [0u8; 3];
+    for c in 0..3 {
+        rgb[c] = (STOPS[k][c] + w * (STOPS[k + 1][c] - STOPS[k][c])).round() as u8;
+    }
+    rgb
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let (values, width, height, (a, b), at, lo, hi) = decompress_slice(args, 1.0)?;
+    let range = (hi - lo).max(1e-12);
+    let mut ppm = Vec::with_capacity(32 + width * height * 3);
+    ppm.extend_from_slice(format!("P6\n{width} {height}\n255\n").as_bytes());
+    for &v in &values {
+        ppm.extend_from_slice(&colormap((v - lo) / range));
+    }
+    std::fs::write(&out, &ppm).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "rendered {width}x{height} slice (axes x={a} y={b}, at {at:?}, range [{lo:.3e}, {hi:.3e}]) -> {out}"
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! # sg-apps — examples and integration tests
+//!
+//! This crate hosts the repository-level `examples/` binaries and the
+//! cross-crate `tests/` integration suite (wired in via explicit target
+//! paths in `Cargo.toml`). The library itself only re-exports the
+//! workspace crates so examples can use one import root.
+
+pub use sg_baselines as baselines;
+pub use sg_core as core;
+pub use sg_gpu as gpu;
+pub use sg_machine as machine;

@@ -1,0 +1,74 @@
+#![allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays reads clearer in numeric kernels
+#![warn(missing_docs)]
+
+//! # sg-baselines — comparator structures and classic algorithms
+//!
+//! Every comparator the PPoPP'11 paper evaluates against its compact data
+//! structure, behind one trait ([`storage::SparseGridStore`]):
+//!
+//! * [`std_map::StdMapGrid`] — ordered map keyed by the full coordinate
+//!   vector ("standard STL map");
+//! * [`enh_map::EnhancedMapGrid`] — ordered map keyed by `gp2idx`
+//!   ("enhanced STL map");
+//! * [`enh_hash::EnhancedHashGrid`] — hash table keyed by `gp2idx`
+//!   ("enhanced STL hashtable");
+//! * [`prefix_tree::PrefixTreeGrid`] — trie of per-dimension 1-d binary
+//!   trees (paper Fig. 4);
+//! * `sg_core::grid::CompactGrid` — the paper's contribution, also
+//!   implementing the trait.
+//!
+//! Plus the classic recursive hierarchization/evaluation (paper Alg. 1–2)
+//! in [`recursive`], and the closed-form memory accounting behind the
+//! Fig. 8 reproduction in [`memory_model`].
+
+pub mod enh_hash;
+pub mod enh_map;
+pub mod memory_model;
+pub mod prefix_tree;
+pub mod recursive;
+pub mod std_map;
+pub mod storage;
+
+pub use enh_hash::EnhancedHashGrid;
+pub use enh_map::EnhancedMapGrid;
+pub use prefix_tree::PrefixTreeGrid;
+pub use recursive::{evaluate_recursive, hierarchize_recursive};
+pub use std_map::StdMapGrid;
+pub use storage::SparseGridStore;
+
+/// The five storage kinds of the paper's evaluation, for harness loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// The compact `gp2idx`-indexed flat array.
+    Compact,
+    /// Prefix tree / trie.
+    PrefixTree,
+    /// Hash table keyed by `gp2idx`.
+    EnhancedHash,
+    /// Ordered map keyed by `gp2idx`.
+    EnhancedMap,
+    /// Ordered map keyed by the coordinate vector.
+    StdMap,
+}
+
+impl StoreKind {
+    /// All kinds, in the order the paper's figures list them.
+    pub const ALL: [StoreKind; 5] = [
+        StoreKind::Compact,
+        StoreKind::PrefixTree,
+        StoreKind::EnhancedHash,
+        StoreKind::EnhancedMap,
+        StoreKind::StdMap,
+    ];
+
+    /// Legend label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::Compact => "Our Data Structure",
+            StoreKind::PrefixTree => "Prefix Tree",
+            StoreKind::EnhancedHash => "Enhanced STL Hashtable",
+            StoreKind::EnhancedMap => "Enhanced STL Map",
+            StoreKind::StdMap => "Standard STL Map",
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The classic recursive sparse grid algorithms (paper Alg. 1 and Alg. 2),
+//! generic over any [`SparseGridStore`].
+//!
+//! These are the formulations the paper starts from — depth-first
+//! descents through the 1-d hierarchical trees — and the reason the
+//! original code "reflects the recursive nature of the sparse grid's
+//! structure, clearly illustrating the difficulties of porting them to
+//! GPUs" (§3). They double as the correctness reference for the iterative
+//! algorithms in `sg-core`.
+
+use crate::storage::SparseGridStore;
+use sg_core::iter::for_each_point;
+use sg_core::level::{coordinate, hat, hierarchical_child, Index, Level, Side};
+use sg_core::real::Real;
+
+/// Multi-dimensional recursive hierarchization: for every dimension `t`,
+/// run the 1-d recursion (paper Alg. 1) starting from each grid point
+/// with `l_t = 0, i_t = 1`, carrying the bounding ancestor values down
+/// the tree (0 at the zero boundary).
+pub fn hierarchize_recursive<T: Real, S: SparseGridStore<T>>(store: &mut S) {
+    let spec = *store.spec();
+    let d = spec.dim();
+    for t in 0..d {
+        // Pole roots: points at level 0 in dimension t. Collect first so
+        // the recursion below owns the store borrow.
+        let mut poles: Vec<(Vec<Level>, Vec<Index>, usize)> = Vec::new();
+        for_each_point(&spec, |_, l, i| {
+            if l[t] == 0 && i[t] == 1 {
+                let rest: usize = l.iter().map(|&v| v as usize).sum();
+                poles.push((l.to_vec(), i.to_vec(), spec.max_sum() - rest));
+            }
+        });
+        for (mut l, mut i, max_level) in poles {
+            hierarchize_1d(store, &mut l, &mut i, t, 0, max_level, T::ZERO, T::ZERO);
+        }
+    }
+}
+
+/// Paper Alg. 1: descend both children first (they read this node's
+/// pre-update value through `leftVal`/`rightVal`), then apply the stencil.
+#[allow(clippy::too_many_arguments)]
+fn hierarchize_1d<T: Real, S: SparseGridStore<T>>(
+    store: &mut S,
+    l: &mut [Level],
+    i: &mut [Index],
+    t: usize,
+    level: usize,
+    max_level: usize,
+    left_val: T,
+    right_val: T,
+) {
+    let (lt, it) = (l[t], i[t]);
+    let val = store.get(l, i);
+    if level < max_level {
+        for (side, lv, rv) in [
+            (Side::Left, left_val, val),
+            (Side::Right, val, right_val),
+        ] {
+            let (cl, ci) = hierarchical_child(lt, it, side);
+            l[t] = cl;
+            i[t] = ci;
+            hierarchize_1d(store, l, i, t, level + 1, max_level, lv, rv);
+            l[t] = lt;
+            i[t] = it;
+        }
+    }
+    store.set(l, i, val - (left_val + right_val) * T::HALF);
+}
+
+/// Multi-dimensional recursive evaluation (paper Alg. 2, extended over
+/// dimensions): per dimension, walk the 1-d tree along the path towards
+/// `x_t` — only path nodes have non-vanishing basis values — recursing
+/// into the next dimension at every path node within the level budget.
+pub fn evaluate_recursive<T: Real, S: SparseGridStore<T>>(store: &S, x: &[f64]) -> T {
+    let spec = store.spec();
+    let d = spec.dim();
+    assert_eq!(x.len(), d, "query point dimension mismatch");
+    assert!(
+        x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+        "query point outside the unit domain"
+    );
+    let mut l = vec![0 as Level; d];
+    let mut i = vec![1 as Index; d];
+    T::from_f64(evaluate_dim(store, x, 0, &mut l, &mut i, spec.max_sum()))
+}
+
+fn evaluate_dim<T: Real, S: SparseGridStore<T>>(
+    store: &S,
+    x: &[f64],
+    t: usize,
+    l: &mut [Level],
+    i: &mut [Index],
+    budget: usize,
+) -> f64 {
+    let d = x.len();
+    let mut res = 0.0f64;
+    let (mut lt, mut it) = (0 as Level, 1 as Index);
+    loop {
+        let b = hat(lt, it, x[t]);
+        if b == 0.0 {
+            // x sits on this node's support edge; every deeper node on
+            // the path has zero basis value too (Alg. 2 line 4's "too far
+            // away" pruning).
+            break;
+        }
+        l[t] = lt;
+        i[t] = it;
+        res += if t == d - 1 {
+            b * store.get(l, i).to_f64()
+        } else {
+            b * evaluate_dim(store, x, t + 1, l, i, budget - lt as usize)
+        };
+        if lt as usize >= budget {
+            break;
+        }
+        let side = if x[t] < coordinate(lt, it) {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        let (nl, ni) = hierarchical_child(lt, it, side);
+        lt = nl;
+        it = ni;
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enh_hash::EnhancedHashGrid;
+    use crate::enh_map::EnhancedMapGrid;
+    use crate::prefix_tree::PrefixTreeGrid;
+    use crate::std_map::StdMapGrid;
+    use sg_core::evaluate::evaluate as evaluate_compact;
+    use sg_core::functions::halton_points;
+    use sg_core::grid::CompactGrid;
+    use sg_core::hierarchize::hierarchize as hierarchize_compact;
+    use sg_core::level::GridSpec;
+
+    fn test_fn(x: &[f64]) -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(k, &v)| (k as f64 + 1.5) * v * (1.0 - v))
+            .sum()
+    }
+
+    /// Run recursive hierarchization on a store and compare against the
+    /// iterative compact implementation.
+    fn check_hierarchize<S: SparseGridStore<f64>>(mut store: S) {
+        let spec = *store.spec();
+        store.fill_from(test_fn);
+        hierarchize_recursive(&mut store);
+        let mut reference = CompactGrid::from_fn(spec, test_fn);
+        hierarchize_compact(&mut reference);
+        let diff = store.to_compact().max_abs_diff(&reference);
+        assert!(diff < 1e-12, "{}: max diff {diff}", store.name());
+    }
+
+    #[test]
+    fn recursive_hierarchization_matches_iterative_on_every_store() {
+        let spec = GridSpec::new(3, 4);
+        check_hierarchize(CompactGrid::<f64>::new(spec));
+        check_hierarchize(StdMapGrid::<f64>::new(spec));
+        check_hierarchize(EnhancedMapGrid::<f64>::new(spec));
+        check_hierarchize(EnhancedHashGrid::<f64>::new(spec));
+        check_hierarchize(PrefixTreeGrid::<f64>::new(spec));
+    }
+
+    #[test]
+    fn recursive_evaluation_matches_iterative() {
+        let spec = GridSpec::new(3, 4);
+        let mut grid = CompactGrid::from_fn(spec, test_fn);
+        hierarchize_compact(&mut grid);
+        for x in halton_points(3, 50).chunks_exact(3) {
+            let a = evaluate_recursive(&grid, x);
+            let b = evaluate_compact(&grid, x);
+            assert!((a - b).abs() < 1e-12, "x={x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn recursive_evaluation_on_tree_store() {
+        let spec = GridSpec::new(2, 5);
+        let mut tree = PrefixTreeGrid::<f64>::new(spec);
+        tree.fill_from(test_fn);
+        hierarchize_recursive(&mut tree);
+        let mut reference = CompactGrid::from_fn(spec, test_fn);
+        hierarchize_compact(&mut reference);
+        for x in halton_points(2, 40).chunks_exact(2) {
+            let a = evaluate_recursive(&tree, x);
+            let b = evaluate_compact(&reference, x);
+            assert!((a - b).abs() < 1e-12, "x={x:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn recursive_evaluation_handles_domain_edges() {
+        let spec = GridSpec::new(2, 3);
+        let mut grid = CompactGrid::from_fn(spec, test_fn);
+        hierarchize_compact(&mut grid);
+        for x in [[0.0, 0.0], [1.0, 1.0], [0.0, 0.7], [0.5, 1.0]] {
+            assert_eq!(
+                evaluate_recursive(&grid, &x),
+                evaluate_compact(&grid, &x),
+                "x={x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_dimensional_recursion_by_hand() {
+        // Same hand-computed case as the iterative test: f(x) = x(1−x).
+        let spec = GridSpec::new(1, 2);
+        let mut s = StdMapGrid::<f64>::new(spec);
+        s.fill_from(|x| x[0] * (1.0 - x[0]));
+        hierarchize_recursive(&mut s);
+        assert_eq!(s.get(&[0], &[1]), 0.25);
+        assert_eq!(s.get(&[1], &[1]), 0.0625);
+        assert_eq!(s.get(&[1], &[3]), 0.0625);
+    }
+}

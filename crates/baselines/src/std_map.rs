@@ -1,0 +1,119 @@
+//! "Standard STL map": an ordered map keyed by the full `(l, i)`
+//! coordinate vector.
+//!
+//! This is the paper's most wasteful comparator: every entry carries a
+//! heap-allocated key of `d` packed components plus the ordered-tree node
+//! overhead, so memory grows linearly with dimensionality on top of the
+//! per-node pointers (Table 1 row 1, Fig. 8 top curve).
+
+use crate::storage::SparseGridStore;
+use sg_core::level::{GridSpec, Index, Level};
+use sg_core::real::Real;
+use std::collections::BTreeMap;
+
+/// One packed `(level, index)` component: level in the high 32 bits.
+#[inline]
+fn pack(l: Level, i: Index) -> u64 {
+    ((l as u64) << 32) | i as u64
+}
+
+/// Ordered map keyed by the full coordinate vector.
+pub struct StdMapGrid<T> {
+    spec: GridSpec,
+    map: BTreeMap<Box<[u64]>, T>,
+}
+
+impl<T: Real> StdMapGrid<T> {
+    /// Empty store for the given shape.
+    pub fn new(spec: GridSpec) -> Self {
+        Self {
+            spec,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn key(&self, l: &[Level], i: &[Index]) -> Box<[u64]> {
+        l.iter().zip(i).map(|(&lt, &it)| pack(lt, it)).collect()
+    }
+}
+
+impl<T: Real> SparseGridStore<T> for StdMapGrid<T> {
+    fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    fn get(&self, l: &[Level], i: &[Index]) -> T {
+        self.map
+            .get(&self.key(l, i) as &[u64])
+            .copied()
+            .unwrap_or(T::ZERO)
+    }
+
+    fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        self.map.insert(self.key(l, i), v);
+    }
+
+    fn name(&self) -> &'static str {
+        "std-map"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        crate::memory_model::std_map_bytes::<T>(
+            self.spec.dim(),
+            self.map.len() as u64,
+        ) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::iter::for_each_point;
+
+    #[test]
+    fn get_set_roundtrip_and_default_zero() {
+        let spec = GridSpec::new(3, 3);
+        let mut s: StdMapGrid<f64> = StdMapGrid::new(spec);
+        assert_eq!(s.get(&[0, 0, 0], &[1, 1, 1]), 0.0);
+        s.set(&[1, 0, 1], &[3, 1, 1], -2.5);
+        assert_eq!(s.get(&[1, 0, 1], &[3, 1, 1]), -2.5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stores_every_point_distinctly() {
+        let spec = GridSpec::new(2, 4);
+        let mut s: StdMapGrid<f64> = StdMapGrid::new(spec);
+        let mut count = 0.0;
+        for_each_point(&spec, |_, l, i| {
+            s.set(l, i, count);
+            count += 1.0;
+        });
+        assert_eq!(s.len() as u64, spec.num_points());
+        let mut expect = 0.0;
+        for_each_point(&spec, |_, l, i| {
+            assert_eq!(s.get(l, i), expect);
+            expect += 1.0;
+        });
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let spec = GridSpec::new(1, 2);
+        let mut s: StdMapGrid<f32> = StdMapGrid::new(spec);
+        s.set(&[1], &[3], 1.0);
+        s.set(&[1], &[3], 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[1], &[3]), 2.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The storage abstraction every comparator implements.
+//!
+//! The paper's Table 1 compares five realizations of "value attributed to
+//! grid point `(l, i)`": three STL containers, a prefix tree, and the
+//! compact structure. [`SparseGridStore`] is that common surface; the
+//! recursive reference algorithms ([`crate::recursive`]) run against any
+//! of them unchanged.
+
+use sg_core::grid::CompactGrid;
+use sg_core::iter::for_each_point;
+use sg_core::level::{coordinate, GridSpec, Index, Level};
+use sg_core::real::Real;
+
+/// Key-value access to a sparse grid, generic over the backing data
+/// structure.
+pub trait SparseGridStore<T: Real> {
+    /// The grid shape the store was built for.
+    fn spec(&self) -> &GridSpec;
+
+    /// Value at grid point `(l, i)`; `T::ZERO` when the point has not been
+    /// written.
+    fn get(&self, l: &[Level], i: &[Index]) -> T;
+
+    /// Store a value at grid point `(l, i)`.
+    fn set(&mut self, l: &[Level], i: &[Index], v: T);
+
+    /// Short display name used by the experiment harness (mirrors the
+    /// paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Bytes consumed by the structure, computed from its actual layout.
+    fn memory_bytes(&self) -> usize;
+
+    /// Populate the full regular grid with nodal values of `f`.
+    fn fill_from(&mut self, mut f: impl FnMut(&[f64]) -> T)
+    where
+        Self: Sized,
+    {
+        let spec = *self.spec();
+        let mut coords = vec![0.0; spec.dim()];
+        for_each_point(&spec, |_, l, i| {
+            for t in 0..spec.dim() {
+                coords[t] = coordinate(l[t], i[t]);
+            }
+            self.set(l, i, f(&coords));
+        });
+    }
+
+    /// Copy all values out into a compact grid (for equivalence checks).
+    fn to_compact(&self) -> CompactGrid<T>
+    where
+        Self: Sized,
+    {
+        let spec = *self.spec();
+        let mut out = CompactGrid::new(spec);
+        let indexer = out.indexer().clone();
+        let values = out.values_mut();
+        for_each_point(&spec, |_, l, i| {
+            values[indexer.gp2idx(l, i) as usize] = self.get(l, i);
+        });
+        out
+    }
+}
+
+/// The compact structure itself viewed through the common trait, so the
+/// recursive reference algorithms and the harness can treat it uniformly.
+impl<T: Real> SparseGridStore<T> for CompactGrid<T> {
+    fn spec(&self) -> &GridSpec {
+        CompactGrid::spec(self)
+    }
+
+    fn get(&self, l: &[Level], i: &[Index]) -> T {
+        CompactGrid::get(self, l, i)
+    }
+
+    fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        CompactGrid::set(self, l, i, v);
+    }
+
+    fn name(&self) -> &'static str {
+        "compact"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CompactGrid::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_grid_through_the_trait() {
+        let spec = GridSpec::new(2, 3);
+        let mut g: CompactGrid<f64> = CompactGrid::new(spec);
+        SparseGridStore::set(&mut g, &[1, 0], &[3, 1], 7.0);
+        assert_eq!(SparseGridStore::get(&g, &[1, 0], &[3, 1]), 7.0);
+        assert_eq!(SparseGridStore::name(&g), "compact");
+    }
+
+    #[test]
+    fn fill_from_then_to_compact_is_identity() {
+        let spec = GridSpec::new(3, 3);
+        let f = |x: &[f64]| x[0] + 10.0 * x[1] + 100.0 * x[2];
+        let mut g: CompactGrid<f64> = CompactGrid::new(spec);
+        g.fill_from(f);
+        let direct = CompactGrid::from_fn(spec, f);
+        assert_eq!(g.to_compact().max_abs_diff(&direct), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Decompression benchmarks: single-point and batch evaluation, the
+//! cache-blocking ablation of paper §4.3, and parallel batch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sg_core::evaluate::{evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel};
+use sg_core::functions::halton_points;
+use sg_core::grid::CompactGrid;
+use sg_core::hierarchize::hierarchize;
+use sg_core::level::GridSpec;
+use std::hint::black_box;
+
+fn surplus_grid(d: usize, levels: usize) -> CompactGrid<f64> {
+    let mut g = CompactGrid::from_fn(GridSpec::new(d, levels), |x| {
+        x.iter().map(|&v| 4.0 * v * (1.0 - v)).product()
+    });
+    hierarchize(&mut g);
+    g
+}
+
+fn bench_single_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_single");
+    group.sample_size(30);
+    for d in [3usize, 6, 10] {
+        let g = surplus_grid(d, 6);
+        let x = vec![0.37; d];
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| evaluate(&g, black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocking_ablation(c: &mut Criterion) {
+    // Paper §4.3: blocking over evaluation points keeps each subspace
+    // cache-resident across the block.
+    let mut group = c.benchmark_group("evaluate_blocking");
+    group.sample_size(10);
+    let g = surplus_grid(5, 8);
+    let xs = halton_points(5, 2000);
+    group.throughput(Throughput::Elements(2000));
+    group.bench_function("unblocked", |b| {
+        b.iter(|| black_box(evaluate_batch(&g, &xs)))
+    });
+    for block in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("blocked", block), &block, |b, &blk| {
+            b.iter(|| black_box(evaluate_batch_blocked(&g, &xs, blk)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_parallel");
+    group.sample_size(10);
+    let g = surplus_grid(5, 7);
+    let xs = halton_points(5, 4000);
+    group.throughput(Throughput::Elements(4000));
+    group.bench_function("sequential_blocked", |b| {
+        b.iter(|| black_box(evaluate_batch_blocked(&g, &xs, 64)))
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| black_box(evaluate_batch_parallel(&g, &xs, 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_point, bench_blocking_ablation, bench_parallel);
+criterion_main!(benches);

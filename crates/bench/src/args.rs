@@ -1,0 +1,87 @@
+//! Minimal `--flag value` command-line parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments: `--key value`, `--key=value`, and
+    /// bare `--switch` (stored as `"true"`).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (for tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("ignoring positional argument: {a}");
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else if iter.peek().is_some_and(|n| !n.starts_with("--")) {
+                flags.insert(key.to_string(), iter.next().unwrap());
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+            }
+        }
+        Self { flags }
+    }
+
+    /// Integer flag with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Boolean switch (present or `--key true`).
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.get(key).map(|v| v != "false").unwrap_or(false)
+    }
+
+    /// String flag with default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::from_args(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--level", "7", "--dims=10"]);
+        assert_eq!(a.usize("level", 1), 7);
+        assert_eq!(a.usize("dims", 1), 10);
+        assert_eq!(a.usize("missing", 42), 42);
+    }
+
+    #[test]
+    fn switches() {
+        let a = parse(&["--full", "--quick", "false"]);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert!(!a.flag("absent"));
+    }
+
+    #[test]
+    fn strings() {
+        let a = parse(&["--out", "results"]);
+        assert_eq!(a.str("out", "x"), "results");
+        assert_eq!(a.str("other", "x"), "x");
+    }
+}

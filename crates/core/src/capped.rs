@@ -1,0 +1,533 @@
+//! Anisotropic (level-capped) sparse grids — a generalization of the
+//! `gp2idx` bijection.
+//!
+//! The paper's map ranks the *unconstrained* compositions of `n = |l|₁`
+//! via closed-form binomials (Eq. 4). Practical datasets are often
+//! anisotropic — e.g. a steering dataset may afford level 8 in space but
+//! only level 3 along a parameter axis. This module extends the bijection
+//! to the index set
+//!
+//! ```text
+//! { (l, i) : |l|₁ ≤ L−1  and  l_t ≤ cap_t for every dimension t }
+//! ```
+//!
+//! replacing the binomial lookups with a small dynamic-programming table
+//! of *bounded* composition counts. Everything else carries over
+//! unchanged: points are grouped by level sum, each subspace is a
+//! contiguous `2^{|l|₁}`-value block, storage is one flat array, and the
+//! group-descending hierarchization sweep remains valid (every
+//! hierarchical ancestor of a capped-grid point is itself in the capped
+//! grid, since ancestors only lower level components).
+
+use crate::iter::{decode_subspace_rank, encode_subspace_rank};
+use crate::level::{hierarchical_parent, Index, Level, Side};
+use crate::real::Real;
+
+/// Shape of an anisotropic sparse grid: per-dimension level caps plus the
+/// usual total refinement level.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CappedGridSpec {
+    caps: Vec<Level>,
+    levels: usize,
+}
+
+impl CappedGridSpec {
+    /// Grid over `caps.len()` dimensions with level sums `0..levels` and
+    /// `l_t ≤ caps[t]`.
+    pub fn new(caps: Vec<Level>, levels: usize) -> Self {
+        assert!(!caps.is_empty(), "dimension must be at least 1");
+        assert!((1..=31).contains(&levels), "refinement level must be in 1..=31");
+        Self { caps, levels }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Refinement level `L` (level sums range over `0..L`).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Per-dimension level caps.
+    pub fn caps(&self) -> &[Level] {
+        &self.caps
+    }
+
+    /// True if `(l, i)` is a point of this grid.
+    pub fn contains(&self, l: &[Level], i: &[Index]) -> bool {
+        if l.len() != self.dim() || i.len() != self.dim() {
+            return false;
+        }
+        let sum: usize = l.iter().map(|&v| v as usize).sum();
+        sum < self.levels
+            && l.iter().zip(&self.caps).all(|(&lt, &c)| lt <= c)
+            && l
+                .iter()
+                .zip(i)
+                .all(|(&lt, &it)| it % 2 == 1 && it < (1u32 << (lt as u32 + 1)))
+    }
+}
+
+/// The capped bijection: tables plus `gp2idx`/`idx2gp`.
+#[derive(Debug, Clone)]
+pub struct CappedIndexer {
+    spec: CappedGridSpec,
+    /// `prefix_count[t][m]` = number of capped compositions of `m` into
+    /// the first `t` dimensions; row `d` gives the per-group subspace
+    /// counts.
+    prefix_count: Vec<Vec<u64>>,
+    group_offsets: Vec<u64>,
+}
+
+impl CappedIndexer {
+    /// Build the DP tables for a spec; `O(d · L · max_cap)`.
+    pub fn new(spec: CappedGridSpec) -> Self {
+        let d = spec.dim();
+        let width = spec.levels(); // level sums 0..levels
+        let mut prefix_count = vec![vec![0u64; width]; d + 1];
+        prefix_count[0][0] = 1;
+        for t in 1..=d {
+            let cap = spec.caps[t - 1] as usize;
+            for m in 0..width {
+                let mut acc = 0u64;
+                for k in 0..=cap.min(m) {
+                    acc += prefix_count[t - 1][m - k];
+                }
+                prefix_count[t][m] = acc;
+            }
+        }
+        let mut group_offsets = Vec::with_capacity(width + 1);
+        let mut acc = 0u64;
+        for n in 0..width {
+            group_offsets.push(acc);
+            acc = prefix_count[d][n]
+                .checked_mul(1u64 << n)
+                .and_then(|g| acc.checked_add(g))
+                .expect("capped grid point count overflows u64");
+        }
+        group_offsets.push(acc);
+        Self {
+            spec,
+            prefix_count,
+            group_offsets,
+        }
+    }
+
+    /// The grid shape.
+    pub fn spec(&self) -> &CappedGridSpec {
+        &self.spec
+    }
+
+    /// Total number of grid points.
+    pub fn num_points(&self) -> u64 {
+        *self.group_offsets.last().unwrap()
+    }
+
+    /// Number of subspaces in level group `n`.
+    pub fn subspaces_on_level(&self, n: usize) -> u64 {
+        self.prefix_count[self.spec.dim()][n]
+    }
+
+    /// Offset of level group `n` in the linear ordering.
+    pub fn group_offset(&self, n: usize) -> u64 {
+        self.group_offsets[n]
+    }
+
+    /// Rank of subspace `l` within its group, under the same order as the
+    /// paper's enumeration (last component outermost, ascending): process
+    /// components from the last dimension inward, counting the capped
+    /// compositions skipped by smaller values of each component.
+    pub fn subspace_rank(&self, l: &[Level]) -> u64 {
+        let d = self.spec.dim();
+        let mut m: usize = l.iter().map(|&v| v as usize).sum();
+        let mut rank = 0u64;
+        for t in (1..d).rev() {
+            for k in 0..l[t] as usize {
+                // Prefix dims 0..t must absorb m − k (may be impossible).
+                if m >= k {
+                    rank += self.prefix_count[t][m - k];
+                }
+            }
+            m -= l[t] as usize;
+        }
+        rank
+    }
+
+    /// Inverse of [`Self::subspace_rank`] for group `n`.
+    pub fn subspace_unrank(&self, n: usize, mut rank: u64, l: &mut [Level]) {
+        let d = self.spec.dim();
+        let mut m = n;
+        for t in (1..d).rev() {
+            let cap = self.spec.caps[t] as usize;
+            let mut k = 0usize;
+            loop {
+                let block = if m >= k { self.prefix_count[t][m - k] } else { 0 };
+                if rank < block {
+                    break;
+                }
+                rank -= block;
+                k += 1;
+                debug_assert!(k <= cap.min(m), "rank out of range for capped group");
+            }
+            l[t] = k as Level;
+            m -= k;
+        }
+        debug_assert!(m <= self.spec.caps[0] as usize);
+        l[0] = m as Level;
+        debug_assert_eq!(rank, 0);
+    }
+
+    /// The generalized `gp2idx`.
+    pub fn gp2idx(&self, l: &[Level], i: &[Index]) -> u64 {
+        debug_assert!(self.spec.contains(l, i), "point not in capped grid");
+        let n: usize = l.iter().map(|&v| v as usize).sum();
+        let index1 = encode_subspace_rank(l, i);
+        self.group_offsets[n] + (self.subspace_rank(l) << n) + index1
+    }
+
+    /// The generalized `idx2gp`.
+    ///
+    /// # Panics
+    /// If `idx ≥ num_points()` (an out-of-range index would otherwise
+    /// spin the unranking loop).
+    pub fn idx2gp(&self, idx: u64, l: &mut [Level], i: &mut [Index]) {
+        assert!(idx < self.num_points(), "index out of range");
+        let n = match self.group_offsets.binary_search(&idx) {
+            Ok(g) if g < self.spec.levels() => g,
+            Ok(g) => g - 1,
+            Err(p) => p - 1,
+        };
+        let within = idx - self.group_offsets[n];
+        self.subspace_unrank(n, within >> n, l);
+        decode_subspace_rank(l, within & ((1u64 << n) - 1), i);
+    }
+
+    /// Visit every level vector of group `n` in rank order.
+    pub fn for_each_level(&self, n: usize, mut f: impl FnMut(&[Level])) {
+        let d = self.spec.dim();
+        let mut l = vec![0 as Level; d];
+        for rank in 0..self.subspaces_on_level(n) {
+            self.subspace_unrank(n, rank, &mut l);
+            f(&l);
+        }
+    }
+}
+
+/// A level-capped sparse grid with contiguous storage and the iterative
+/// algorithms.
+#[derive(Debug, Clone)]
+pub struct CappedGrid<T> {
+    indexer: CappedIndexer,
+    values: Vec<T>,
+}
+
+impl<T: Real> CappedGrid<T> {
+    /// Zero-initialized capped grid.
+    pub fn new(spec: CappedGridSpec) -> Self {
+        let indexer = CappedIndexer::new(spec);
+        let n = indexer.num_points() as usize;
+        Self {
+            values: vec![T::ZERO; n],
+            indexer,
+        }
+    }
+
+    /// Sample `f` at every grid point.
+    pub fn from_fn(spec: CappedGridSpec, mut f: impl FnMut(&[f64]) -> T) -> Self {
+        let mut g = Self::new(spec);
+        let d = g.indexer.spec().dim();
+        let mut l = vec![0 as Level; d];
+        let mut i = vec![0 as Index; d];
+        let mut x = vec![0.0f64; d];
+        for idx in 0..g.values.len() {
+            g.indexer.idx2gp(idx as u64, &mut l, &mut i);
+            for t in 0..d {
+                x[t] = crate::level::coordinate(l[t], i[t]);
+            }
+            g.values[idx] = f(&x);
+        }
+        g
+    }
+
+    /// The index machinery.
+    pub fn indexer(&self) -> &CappedIndexer {
+        &self.indexer
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if empty (impossible for valid specs).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Flat value array.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Value at `(l, i)`.
+    pub fn get(&self, l: &[Level], i: &[Index]) -> T {
+        self.values[self.indexer.gp2idx(l, i) as usize]
+    }
+
+    /// In-place hierarchization: the same dimension-major,
+    /// group-descending sweep as the regular grid (ancestors lie in
+    /// coarser groups and within the caps).
+    pub fn hierarchize(&mut self) {
+        let d = self.indexer.spec().dim();
+        let levels = self.indexer.spec().levels();
+        let indexer = self.indexer.clone();
+        let mut l = vec![0 as Level; d];
+        let mut i = vec![0 as Index; d];
+        for t in 0..d {
+            for n in (0..levels).rev() {
+                for rank in 0..indexer.subspaces_on_level(n) {
+                    indexer.subspace_unrank(n, rank, &mut l);
+                    if l[t] == 0 {
+                        continue;
+                    }
+                    let sub_start = indexer.group_offset(n) + (rank << n);
+                    for r in 0..(1u64 << n) {
+                        decode_subspace_rank(&l, r, &mut i);
+                        let (lt, it) = (l[t], i[t]);
+                        let mut half = T::ZERO;
+                        for side in [Side::Left, Side::Right] {
+                            if let Some((pl, pi)) = hierarchical_parent(lt, it, side) {
+                                l[t] = pl;
+                                i[t] = pi;
+                                half += self.values[indexer.gp2idx(&l, &i) as usize];
+                                l[t] = lt;
+                                i[t] = it;
+                            }
+                        }
+                        self.values[(sub_start + r) as usize] -= half * T::HALF;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate the interpolant at `x ∈ [0,1]^d` (Alg. 7 over the capped
+    /// subspace enumeration).
+    pub fn evaluate(&self, x: &[f64]) -> T {
+        let spec = self.indexer.spec();
+        let d = spec.dim();
+        assert_eq!(x.len(), d, "query point dimension mismatch");
+        assert!(
+            x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "query point outside the unit domain"
+        );
+        let mut l = vec![0 as Level; d];
+        let mut res = 0.0f64;
+        let mut offset = 0u64;
+        for n in 0..spec.levels() {
+            for rank in 0..self.indexer.subspaces_on_level(n) {
+                self.indexer.subspace_unrank(n, rank, &mut l);
+                let mut prod = 1.0f64;
+                let mut index1 = 0u64;
+                for t in 0..d {
+                    let (c, b) = crate::evaluate::cell_and_basis(l[t], x[t]);
+                    if b == 0.0 {
+                        prod = 0.0;
+                        break;
+                    }
+                    index1 = (index1 << l[t] as u32) + c;
+                    prod *= b;
+                }
+                if prod != 0.0 {
+                    res += prod * self.values[(offset + index1) as usize].to_f64();
+                }
+                offset += 1u64 << n;
+            }
+        }
+        T::from_f64(res)
+    }
+
+    /// Total bytes held.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * T::size_bytes()
+            + self
+                .indexer
+                .prefix_count
+                .iter()
+                .map(|row| row.len() * 8)
+                .sum::<usize>()
+            + self.indexer.group_offsets.len() * 8
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bijection::GridIndexer;
+    use crate::level::GridSpec;
+
+    /// Brute-force enumeration of the capped grid in (group, recursive
+    /// order) — the ground truth for the DP ranking.
+    fn brute_force_levels(spec: &CappedGridSpec, n: usize) -> Vec<Vec<Level>> {
+        fn rec(caps: &[Level], d: usize, n: usize) -> Vec<Vec<Level>> {
+            if d == 1 {
+                return if n <= caps[0] as usize {
+                    vec![vec![n as Level]]
+                } else {
+                    vec![]
+                };
+            }
+            let mut out = Vec::new();
+            for k in 0..=(caps[d - 1] as usize).min(n) {
+                for mut prefix in rec(caps, d - 1, n - k) {
+                    prefix.push(k as Level);
+                    out.push(prefix);
+                }
+            }
+            out
+        }
+        rec(spec.caps(), spec.dim(), n)
+    }
+
+    fn sample_specs() -> Vec<CappedGridSpec> {
+        vec![
+            CappedGridSpec::new(vec![2, 4, 1], 5),
+            CappedGridSpec::new(vec![0, 3], 4),
+            CappedGridSpec::new(vec![5], 4),
+            CappedGridSpec::new(vec![1, 1, 1, 1], 4),
+            CappedGridSpec::new(vec![3, 3], 6),
+        ]
+    }
+
+    #[test]
+    fn subspace_counts_match_brute_force() {
+        for spec in sample_specs() {
+            let ix = CappedIndexer::new(spec.clone());
+            for n in 0..spec.levels() {
+                assert_eq!(
+                    ix.subspaces_on_level(n) as usize,
+                    brute_force_levels(&spec, n).len(),
+                    "{spec:?} group {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_the_enumeration_order() {
+        for spec in sample_specs() {
+            let ix = CappedIndexer::new(spec.clone());
+            for n in 0..spec.levels() {
+                for (expected, l) in brute_force_levels(&spec, n).into_iter().enumerate() {
+                    assert_eq!(ix.subspace_rank(&l), expected as u64, "{spec:?} l={l:?}");
+                    let mut back = vec![0; spec.dim()];
+                    ix.subspace_unrank(n, expected as u64, &mut back);
+                    assert_eq!(back, l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gp2idx_is_a_bijection() {
+        for spec in sample_specs() {
+            let ix = CappedIndexer::new(spec.clone());
+            let n = ix.num_points();
+            let d = spec.dim();
+            let mut seen = vec![false; n as usize];
+            let (mut l, mut i) = (vec![0; d], vec![0u32; d]);
+            for idx in 0..n {
+                ix.idx2gp(idx, &mut l, &mut i);
+                assert!(spec.contains(&l, &i), "{spec:?} idx={idx}");
+                assert_eq!(ix.gp2idx(&l, &i), idx);
+                assert!(!seen[idx as usize]);
+                seen[idx as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn uncapped_matches_the_paper_bijection() {
+        // caps = L−1 in every dimension degenerates to the regular grid:
+        // same counts, same order, same indices.
+        for (d, levels) in [(2usize, 5usize), (3, 4), (4, 3)] {
+            let capped = CappedIndexer::new(CappedGridSpec::new(
+                vec![(levels - 1) as Level; d],
+                levels,
+            ));
+            let regular = GridIndexer::new(GridSpec::new(d, levels));
+            assert_eq!(capped.num_points(), regular.num_points());
+            let (mut l, mut i) = (vec![0; d], vec![0u32; d]);
+            for idx in 0..regular.num_points() {
+                regular.idx2gp(idx, &mut l, &mut i);
+                assert_eq!(capped.gp2idx(&l, &i), idx, "at regular idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_cap_pins_a_dimension_to_its_root() {
+        // cap_t = 0 means dimension t never refines: the grid is the
+        // (d−1)-dimensional grid times the root level.
+        let capped = CappedIndexer::new(CappedGridSpec::new(vec![0, 3], 4));
+        let line = GridIndexer::new(GridSpec::new(1, 4));
+        assert_eq!(capped.num_points(), line.num_points());
+    }
+
+    #[test]
+    fn hierarchize_then_evaluate_is_exact_at_grid_points() {
+        let f = |x: &[f64]| (3.0 * x[0]).sin() * x[1] * (1.0 - x[1]) + x[2];
+        let spec = CappedGridSpec::new(vec![4, 2, 1], 5);
+        let mut g = CappedGrid::<f64>::from_fn(spec, f);
+        g.hierarchize();
+        let ix = g.indexer().clone();
+        let d = 3;
+        let (mut l, mut i) = (vec![0; d], vec![0u32; d]);
+        for idx in 0..ix.num_points() {
+            ix.idx2gp(idx, &mut l, &mut i);
+            let x: Vec<f64> = l
+                .iter()
+                .zip(&i)
+                .map(|(&lt, &it)| crate::level::coordinate(lt, it))
+                .collect();
+            let got = g.evaluate(&x);
+            assert!(
+                (got - f(&x)).abs() < 1e-12,
+                "at {x:?}: {got} vs {}",
+                f(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn capped_grid_agrees_with_regular_grid_when_uncapped() {
+        use crate::evaluate::evaluate as eval_regular;
+        use crate::grid::CompactGrid;
+        use crate::hierarchize::hierarchize as hier_regular;
+        let f = |x: &[f64]| x[0] * x[1] + 0.3 * x[0];
+        let spec = GridSpec::new(2, 4);
+        let mut regular = CompactGrid::<f64>::from_fn(spec, f);
+        hier_regular(&mut regular);
+        let mut capped =
+            CappedGrid::<f64>::from_fn(CappedGridSpec::new(vec![3, 3], 4), f);
+        capped.hierarchize();
+        assert_eq!(capped.values(), regular.values());
+        for x in crate::functions::halton_points(2, 25).chunks_exact(2) {
+            assert_eq!(capped.evaluate(x), eval_regular(&regular, x));
+        }
+    }
+
+    #[test]
+    fn anisotropy_saves_points() {
+        // Cap one dimension hard: far fewer points than the isotropic
+        // grid of the same total level.
+        let iso = GridSpec::new(3, 6).num_points();
+        let aniso = CappedIndexer::new(CappedGridSpec::new(vec![5, 5, 1], 6)).num_points();
+        assert!(aniso * 3 < iso * 2, "{aniso} vs {iso}");
+        let tight = CappedIndexer::new(CappedGridSpec::new(vec![5, 5, 0], 6)).num_points();
+        assert!(tight * 2 < iso, "{tight} vs {iso}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Combinatorial building blocks for the `gp2idx` bijection.
+//!
+//! The paper's index map rests on counting *compositions*: the number of
+//! level vectors `l ∈ ℕ₀^d` with `|l|₁ = n` is the number of ways to write
+//! `n` as an ordered sum of `d` non-negative integers,
+//! `S_n^d = C(d−1+n, d−1)` (paper Eq. 2).
+//!
+//! Every hot path looks these binomials up in a small precomputed matrix —
+//! the paper's `binmat` — because recomputing them on the fly makes
+//! hierarchization roughly 4× slower (paper §5.3). [`BinomialTable`] is that
+//! matrix; the standalone [`binomial`] function is the slow reference used
+//! to build and test it.
+
+/// Exact binomial coefficient `C(n, k)` computed with the multiplicative
+/// formula.
+///
+/// Panics on internal overflow of `u64`, which cannot happen for the
+/// parameter ranges used by sparse grids of practical dimensionality
+/// (`d ≤ 30`, level ≤ 30).
+///
+/// ```
+/// use sg_core::combinatorics::binomial;
+/// assert_eq!(binomial(19, 9), 92_378);
+/// assert_eq!(binomial(5, 0), 1);
+/// assert_eq!(binomial(3, 5), 0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for j in 1..=k {
+        // Multiply first, then divide: `acc * (n-k+j)` is always divisible
+        // by `j` here because `acc` already holds `C(n-k+j-1, j-1)`.
+        acc = acc
+            .checked_mul(n - k + j)
+            .expect("binomial coefficient overflows u64")
+            / j;
+    }
+    acc
+}
+
+/// The number of subspaces on level `n` of a `d`-dimensional sparse grid:
+/// `S_n^d = C(d−1+n, d−1)` (paper Eq. 2).
+///
+/// ```
+/// use sg_core::combinatorics::subspace_count;
+/// assert_eq!(subspace_count(10, 10), 92_378); // finest level group, d=10, L=11
+/// assert_eq!(subspace_count(1, 7), 1);
+/// ```
+pub fn subspace_count(d: usize, n: usize) -> u64 {
+    binomial((d - 1 + n) as u64, (d - 1) as u64)
+}
+
+/// Total number of grid points of a regular zero-boundary sparse grid with
+/// `d` dimensions and refinement level `levels` (i.e. level groups
+/// `n = 0 .. levels−1` in the paper's zero-based convention):
+/// `N(d, L) = Σ_{n<L} S_n^d · 2^n`.
+///
+/// ```
+/// use sg_core::combinatorics::sparse_grid_points;
+/// // The paper's headline grid: d = 10, level 11 → 127,574,017 points.
+/// assert_eq!(sparse_grid_points(10, 11), 127_574_017);
+/// assert_eq!(sparse_grid_points(1, 11), 2_047);
+/// ```
+pub fn sparse_grid_points(d: usize, levels: usize) -> u64 {
+    (0..levels)
+        .map(|n| {
+            subspace_count(d, n)
+                .checked_mul(1u64 << n)
+                .expect("sparse grid point count overflows u64")
+        })
+        .try_fold(0u64, u64::checked_add)
+        .expect("sparse grid point count overflows u64")
+}
+
+/// Precomputed binomial lookup matrix — the paper's `binmat`.
+///
+/// Holds `C(t + s, t)` for `t ∈ 0..d` and `s ∈ 0..=max_sum`, which covers
+/// every lookup performed by `gp2idx` (paper Alg. 5 lines 8–10 and 13–16)
+/// and by the composition unranking used by `idx2gp`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinomialTable {
+    d: usize,
+    max_sum: usize,
+    /// Row-major: `data[t * (max_sum + 1) + s] = C(t + s, t)`.
+    data: Vec<u64>,
+}
+
+impl BinomialTable {
+    /// Build the table for dimensionality `d` and maximum level sum
+    /// `max_sum` (for a grid of refinement level `L`, `max_sum = L − 1`).
+    ///
+    /// Initialization is `O(d · max_sum)` using Pascal's rule
+    /// `C(t+s, t) = C(t+s−1, t−1) + C(t+s−1, t)`.
+    pub fn new(d: usize, max_sum: usize) -> Self {
+        assert!(d >= 1, "dimension must be at least 1");
+        let w = max_sum + 1;
+        let mut data = vec![0u64; d * w];
+        // t = 0 row: C(s, 0) = 1.
+        for s in 0..w {
+            data[s] = 1;
+        }
+        for t in 1..d {
+            data[t * w] = 1; // s = 0: C(t, t) = 1
+            for s in 1..w {
+                data[t * w + s] = data[(t - 1) * w + s] + data[t * w + s - 1];
+            }
+        }
+        Self { d, max_sum, data }
+    }
+
+    /// `C(t + s, t)`, a single array lookup.
+    #[inline(always)]
+    pub fn choose(&self, t: usize, s: usize) -> u64 {
+        debug_assert!(t < self.d && s <= self.max_sum, "binmat lookup out of range");
+        self.data[t * (self.max_sum + 1) + s]
+    }
+
+    /// Number of subspaces on level `n`: `S_n^d = C(d−1+n, d−1)`.
+    #[inline(always)]
+    pub fn subspaces_on_level(&self, n: usize) -> u64 {
+        self.choose(self.d - 1, n)
+    }
+
+    /// Dimensionality the table was built for.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Largest level sum the table covers.
+    pub fn max_sum(&self) -> usize {
+        self.max_sum
+    }
+
+    /// Size of the table in bytes (the paper stores it in GPU constant
+    /// cache or shared memory; on CPUs it trivially stays in L1).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(1, 0), 1);
+        assert_eq!(binomial(1, 1), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn binomial_out_of_range_is_zero() {
+        assert_eq!(binomial(3, 4), 0);
+        assert_eq!(binomial(0, 1), 0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_reference() {
+        let t = BinomialTable::new(7, 12);
+        for row in 0..7 {
+            for s in 0..=12 {
+                assert_eq!(
+                    t.choose(row, s),
+                    binomial((row + s) as u64, row as u64),
+                    "mismatch at t={row}, s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_one_dimensional() {
+        let t = BinomialTable::new(1, 10);
+        for s in 0..=10 {
+            assert_eq!(t.choose(0, s), 1);
+            assert_eq!(t.subspaces_on_level(s), 1);
+        }
+    }
+
+    #[test]
+    fn subspace_counts_match_paper_figure_6() {
+        // In 2d, level group n has n+1 subspaces (the diagonal of Fig. 6).
+        for n in 0..10 {
+            assert_eq!(subspace_count(2, n), (n + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn paper_headline_point_counts() {
+        // Paper §6: grids in [2047, 127574017] for level 11, d = 1..10.
+        assert_eq!(sparse_grid_points(1, 11), 2047);
+        assert_eq!(sparse_grid_points(10, 11), 127_574_017);
+        // Monotone in d.
+        for d in 1..10 {
+            assert!(sparse_grid_points(d, 11) < sparse_grid_points(d + 1, 11));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn point_count_panics_on_overflow_instead_of_wrapping() {
+        // d = 60 at level 31: C(59+30, 59)·2^30 alone exceeds u64; the
+        // old shift-based accumulation would silently wrap.
+        let _ = sparse_grid_points(60, 31);
+    }
+
+    #[test]
+    fn point_count_agrees_with_group_sums() {
+        for d in 1..=6 {
+            for levels in 1..=8 {
+                let tbl = BinomialTable::new(d, levels - 1);
+                let total: u64 = (0..levels).map(|n| tbl.subspaces_on_level(n) << n).sum();
+                assert_eq!(total, sparse_grid_points(d, levels));
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Evaluation (decompression): interpolate the sparse grid function at
+//! arbitrary points of `[0, 1]^d`.
+//!
+//! Follows paper Alg. 7: one pass over all subspaces driven by the `next`
+//! iterator. Within a subspace the hat supports are pairwise disjoint, so
+//! exactly one basis function can be non-zero at the query point; its
+//! in-subspace position `index1` and its value are computed directly from
+//! the coordinates — neither `gp2idx` nor `idx2gp` is needed.
+//!
+//! Batch evaluation is embarrassingly parallel over query points; the
+//! *blocked* variant hoists the subspace loop outside a block of points so
+//! each subspace's coefficients are reused while cache-resident
+//! (paper §4.3).
+
+use crate::grid::CompactGrid;
+use crate::iter::{first_level, next_level};
+use crate::level::Level;
+use crate::real::Real;
+use rayon::prelude::*;
+
+/// Per-dimension contribution at `x`: the in-subspace cell index and the
+/// hat value inside that cell (paper Alg. 7 lines 9–13).
+///
+/// Public because every evaluation path in the workspace — capped grids,
+/// boundary faces, the GPU kernel simulator — must share this exact
+/// convention (cell tie-break at dyadic points included) to stay
+/// numerically identical.
+#[inline(always)]
+pub fn cell_and_basis(l: Level, x: f64) -> (u64, f64) {
+    let cells = 1u64 << l as u32;
+    let pos = x * cells as f64;
+    let c = (pos as u64).min(cells - 1);
+    let frac = pos - c as f64;
+    (c, 1.0 - (2.0 * frac - 1.0).abs())
+}
+
+/// Evaluate the sparse grid function at one point `x ∈ [0,1]^d`.
+///
+/// # Panics
+/// If `x.len()` does not match the grid dimension or a coordinate is
+/// outside `[0, 1]`.
+pub fn evaluate<T: Real>(grid: &CompactGrid<T>, x: &[f64]) -> T {
+    let spec = grid.spec();
+    let d = spec.dim();
+    assert_eq!(x.len(), d, "query point dimension mismatch");
+    assert!(
+        x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+        "query point outside the unit domain"
+    );
+    let values = grid.values();
+    let mut l = vec![0 as Level; d];
+    let mut res = 0.0f64;
+    let mut index2 = 0usize; // running subspace offset (index2 + index3)
+    for n in 0..spec.levels() {
+        let sub_len = 1usize << n;
+        first_level(n, &mut l);
+        loop {
+            let mut prod = 1.0f64;
+            let mut index1 = 0u64;
+            for t in 0..d {
+                let (c, b) = cell_and_basis(l[t], x[t]);
+                if b == 0.0 {
+                    prod = 0.0;
+                    break;
+                }
+                index1 = (index1 << l[t] as u32) + c;
+                prod *= b;
+            }
+            if prod != 0.0 {
+                res += prod * values[index2 + index1 as usize].to_f64();
+            }
+            index2 += sub_len;
+            if !next_level(&mut l) {
+                break;
+            }
+        }
+    }
+    T::from_f64(res)
+}
+
+/// Evaluate at many points given as a flat row-major array
+/// (`xs.len() == k · d`). Sequential; one full subspace sweep per point.
+pub fn evaluate_batch<T: Real>(grid: &CompactGrid<T>, xs: &[f64]) -> Vec<T> {
+    let d = grid.spec().dim();
+    assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
+    xs.chunks_exact(d).map(|x| evaluate(grid, x)).collect()
+}
+
+/// Blocked batch evaluation (paper §4.3): process `block` query points per
+/// subspace sweep, so each subspace's coefficient chunk — fetched once —
+/// serves the whole block from cache.
+pub fn evaluate_batch_blocked<T: Real>(
+    grid: &CompactGrid<T>,
+    xs: &[f64],
+    block: usize,
+) -> Vec<T> {
+    let spec = grid.spec();
+    let d = spec.dim();
+    assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
+    assert!(block >= 1, "block size must be positive");
+    assert!(
+        xs.iter().all(|&v| (0.0..=1.0).contains(&v)),
+        "query point outside the unit domain"
+    );
+    let k = xs.len() / d;
+    let values = grid.values();
+    let mut out = vec![T::ZERO; k];
+    let mut l = vec![0 as Level; d];
+
+    let mut blk_start = 0usize;
+    while blk_start < k {
+        let blk = blk_start..(blk_start + block).min(k);
+        let mut acc = vec![0.0f64; blk.len()];
+        let mut index2 = 0usize;
+        for n in 0..spec.levels() {
+            let sub_len = 1usize << n;
+            first_level(n, &mut l);
+            loop {
+                for (a, x) in acc
+                    .iter_mut()
+                    .zip(xs[blk.start * d..blk.end * d].chunks_exact(d))
+                {
+                    let mut prod = 1.0f64;
+                    let mut index1 = 0u64;
+                    for t in 0..d {
+                        let (c, b) = cell_and_basis(l[t], x[t]);
+                        if b == 0.0 {
+                            prod = 0.0;
+                            break;
+                        }
+                        index1 = (index1 << l[t] as u32) + c;
+                        prod *= b;
+                    }
+                    if prod != 0.0 {
+                        *a += prod * values[index2 + index1 as usize].to_f64();
+                    }
+                }
+                index2 += sub_len;
+                if !next_level(&mut l) {
+                    break;
+                }
+            }
+        }
+        for (o, a) in out[blk.clone()].iter_mut().zip(&acc) {
+            *o = T::from_f64(*a);
+        }
+        blk_start = blk.end;
+    }
+    out
+}
+
+/// Parallel batch evaluation: static decomposition of the query points
+/// over threads (the paper's GPU scheme: one thread per interpolation
+/// point), blocked within each thread's chunk.
+pub fn evaluate_batch_parallel<T: Real>(
+    grid: &CompactGrid<T>,
+    xs: &[f64],
+    block: usize,
+) -> Vec<T> {
+    let d = grid.spec().dim();
+    assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
+    let chunk = block.max(1) * d;
+    xs.par_chunks(chunk)
+        .flat_map_iter(|sub| evaluate_batch_blocked(grid, sub, block).into_iter())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CompactGrid;
+    use crate::hierarchize::hierarchize;
+    use crate::iter::for_each_point;
+    use crate::level::{coordinate, GridSpec};
+
+    fn surplus_grid(spec: GridSpec, f: impl FnMut(&[f64]) -> f64) -> CompactGrid<f64> {
+        let mut g = CompactGrid::from_fn(spec, f);
+        hierarchize(&mut g);
+        g
+    }
+
+    #[test]
+    fn interpolates_exactly_at_grid_points() {
+        let spec = GridSpec::new(2, 4);
+        let f = |x: &[f64]| (x[0] * 7.0).sin() + x[1] * x[1];
+        let g = surplus_grid(spec, f);
+        for_each_point(&spec, |_, l, i| {
+            let x: Vec<f64> = l
+                .iter()
+                .zip(i)
+                .map(|(&lt, &it)| coordinate(lt, it))
+                .collect();
+            let v = evaluate(&g, &x);
+            assert!(
+                (v - f(&x)).abs() < 1e-12,
+                "mismatch at {x:?}: {v} vs {}",
+                f(&x)
+            );
+        });
+    }
+
+    #[test]
+    fn zero_on_the_domain_boundary() {
+        let spec = GridSpec::new(2, 3);
+        let g = surplus_grid(spec, |x| 1.0 + x[0] + x[1]);
+        assert_eq!(evaluate(&g, &[0.0, 0.5]), 0.0);
+        assert_eq!(evaluate(&g, &[1.0, 0.5]), 0.0);
+        assert_eq!(evaluate(&g, &[0.3, 0.0]), 0.0);
+        assert_eq!(evaluate(&g, &[0.3, 1.0]), 0.0);
+        assert_eq!(evaluate(&g, &[0.0, 0.0]), 0.0);
+        assert_eq!(evaluate(&g, &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_piecewise_linear_between_points() {
+        // On the finest level the interpolant is piecewise linear with
+        // breakpoints at the finest grid points; check the midpoint rule.
+        let spec = GridSpec::new(1, 3);
+        let f = |x: &[f64]| x[0] * (1.0 - x[0]);
+        let g = surplus_grid(spec, f);
+        // Finest mesh width is 2^-3; interpolant is linear on [1/8, 2/8].
+        let a = evaluate(&g, &[0.125]);
+        let b = evaluate(&g, &[0.25]);
+        let mid = evaluate(&g, &[0.1875]);
+        assert!((mid - 0.5 * (a + b)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn hierarchization_plus_evaluation_reproduces_hat_sums() {
+        // Build a grid from random surpluses, evaluate the explicit basis
+        // sum, and compare against Alg. 7.
+        use crate::level::hat;
+        let spec = GridSpec::new(2, 3);
+        let mut g: CompactGrid<f64> = CompactGrid::new(spec);
+        let mut c = 0.3f64;
+        let n = g.len();
+        for idx in 0..n {
+            c = (c * 997.0).fract();
+            g.values_mut()[idx] = c - 0.5;
+        }
+        for x in [[0.3, 0.7], [0.111, 0.999], [0.5, 0.5], [0.0, 0.4]] {
+            let mut expect = 0.0;
+            for_each_point(&spec, |idx, l, i| {
+                let phi: f64 = l
+                    .iter()
+                    .zip(i)
+                    .zip(&x)
+                    .map(|((&lt, &it), &xt)| hat(lt, it, xt))
+                    .product();
+                expect += phi * g.values()[idx as usize];
+            });
+            let got = evaluate(&g, &x);
+            assert!((got - expect).abs() < 1e-12, "x={x:?}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let spec = GridSpec::new(3, 4);
+        let g = surplus_grid(spec, |x| x.iter().product());
+        let pts: Vec<f64> = (0..60).map(|k| ((k * 37) % 101) as f64 / 101.0).collect();
+        let batch = evaluate_batch(&g, &pts);
+        for (j, x) in pts.chunks_exact(3).enumerate() {
+            assert_eq!(batch[j], evaluate(&g, x));
+        }
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_for_any_block_size() {
+        let spec = GridSpec::new(2, 5);
+        let g = surplus_grid(spec, |x| (x[0] - x[1]).cos());
+        let pts: Vec<f64> = (0..34).map(|k| ((k * 53) % 97) as f64 / 97.0).collect();
+        let reference = evaluate_batch(&g, &pts);
+        for block in [1, 2, 3, 7, 16, 17, 100] {
+            assert_eq!(evaluate_batch_blocked(&g, &pts, block), reference);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let spec = GridSpec::new(3, 4);
+        let g = surplus_grid(spec, |x| x[0] + x[1] * x[2]);
+        let pts: Vec<f64> = (0..99).map(|k| ((k * 29) % 83) as f64 / 83.0).collect();
+        assert_eq!(
+            evaluate_batch_parallel(&g, &pts, 8),
+            evaluate_batch(&g, &pts)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let g = surplus_grid(GridSpec::new(2, 2), |x| x[0]);
+        evaluate(&g, &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the unit domain")]
+    fn rejects_out_of_domain() {
+        let g = surplus_grid(GridSpec::new(2, 2), |x| x[0]);
+        evaluate(&g, &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn cell_and_basis_edges() {
+        assert_eq!(cell_and_basis(0, 0.5), (0, 1.0));
+        assert_eq!(cell_and_basis(0, 0.0).1, 0.0);
+        assert_eq!(cell_and_basis(0, 1.0).1, 0.0);
+        let (c, b) = cell_and_basis(2, 0.375); // cell 1 of 4, center
+        assert_eq!(c, 1);
+        assert_eq!(b, 1.0);
+        let (c, b) = cell_and_basis(1, 0.5); // cell boundary
+        assert!(c == 1 || c == 0);
+        assert_eq!(b, 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Full (tensor-product) grids — the uncompressed representation.
+//!
+//! The paper's compression pipeline (Fig. 1) starts from simulation output
+//! on a full grid: compression "selects only the function values at grid
+//! points also contained in a sparse grid" (§3) and then hierarchizes.
+//! A full interior grid of level `L` has `(2^L − 1)^d` points, the curse
+//! of dimensionality the sparse grid removes.
+
+use crate::grid::CompactGrid;
+use crate::iter::for_each_point;
+use crate::level::GridSpec;
+use crate::real::Real;
+
+/// Dense interior grid on `[0,1]^d` with mesh width `2^{−L}` and
+/// row-major value storage (`(2^L − 1)` points per dimension, boundary
+/// excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullGrid<T> {
+    dim: usize,
+    levels: usize,
+    per_dim: usize,
+    values: Vec<T>,
+}
+
+impl<T: Real> FullGrid<T> {
+    /// Number of interior points per dimension for level `levels`.
+    pub fn points_per_dim(levels: usize) -> usize {
+        (1usize << levels) - 1
+    }
+
+    /// Total interior points `(2^L − 1)^d`; `None` on overflow.
+    pub fn total_points(dim: usize, levels: usize) -> Option<u64> {
+        let p = Self::points_per_dim(levels) as u64;
+        let mut acc = 1u64;
+        for _ in 0..dim {
+            acc = acc.checked_mul(p)?;
+        }
+        Some(acc)
+    }
+
+    /// Zero-filled full grid.
+    ///
+    /// # Panics
+    /// If the grid would exceed 2³² points — full grids are only
+    /// materialized for small `d` (that is the paper's point).
+    pub fn new(dim: usize, levels: usize) -> Self {
+        let total = Self::total_points(dim, levels)
+            .filter(|&t| t < (1 << 32))
+            .expect("full grid too large to materialize — use a sparse grid");
+        Self {
+            dim,
+            levels,
+            per_dim: Self::points_per_dim(levels),
+            values: vec![T::ZERO; total as usize],
+        }
+    }
+
+    /// Sample `f` at every interior point.
+    pub fn from_fn(dim: usize, levels: usize, mut f: impl FnMut(&[f64]) -> T) -> Self {
+        let mut g = Self::new(dim, levels);
+        let mut idx = vec![0usize; dim];
+        let mut x = vec![0.0f64; dim];
+        let h = 1.0 / (1u64 << levels) as f64;
+        for flat in 0..g.values.len() {
+            let mut rem = flat;
+            for t in (0..dim).rev() {
+                idx[t] = rem % g.per_dim;
+                rem /= g.per_dim;
+            }
+            for t in 0..dim {
+                x[t] = (idx[t] + 1) as f64 * h;
+            }
+            g.values[flat] = f(&x);
+        }
+        g
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Level `L` (mesh width `2^{−L}`).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values, row-major with the last dimension fastest.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Value at the interior multi-index (each component in
+    /// `0 .. 2^L − 1`, coordinate `(k+1)·2^{−L}`).
+    pub fn get(&self, multi: &[usize]) -> T {
+        self.values[self.flat_index(multi)]
+    }
+
+    /// Set the value at an interior multi-index.
+    pub fn set(&mut self, multi: &[usize], v: T) {
+        let f = self.flat_index(multi);
+        self.values[f] = v;
+    }
+
+    fn flat_index(&self, multi: &[usize]) -> usize {
+        assert_eq!(multi.len(), self.dim);
+        let mut flat = 0usize;
+        for &m in multi {
+            assert!(m < self.per_dim, "multi-index out of range");
+            flat = flat * self.per_dim + m;
+        }
+        flat
+    }
+
+    /// Piecewise d-linear interpolation at `x ∈ [0,1]^d` with zero
+    /// boundary.
+    pub fn interpolate(&self, x: &[f64]) -> T {
+        assert_eq!(x.len(), self.dim, "query point dimension mismatch");
+        assert!(
+            x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "query point outside the unit domain"
+        );
+        let cells = 1u64 << self.levels;
+        // For each dim: lower node index (−1 = boundary) and weight.
+        let mut lo = vec![0isize; self.dim];
+        let mut w = vec![0.0f64; self.dim];
+        for t in 0..self.dim {
+            let pos = x[t] * cells as f64;
+            let cell = (pos as u64).min(cells - 1);
+            lo[t] = cell as isize - 1; // node k has coordinate (k+1)·h
+            w[t] = pos - cell as f64;
+        }
+        let mut acc = 0.0f64;
+        for corner in 0..(1u32 << self.dim) {
+            let mut weight = 1.0f64;
+            let mut flat = 0usize;
+            let mut inside = true;
+            for t in 0..self.dim {
+                let hi = (corner >> t) & 1 == 1;
+                let node = lo[t] + hi as isize;
+                weight *= if hi { w[t] } else { 1.0 - w[t] };
+                if node < 0 || node >= self.per_dim as isize {
+                    inside = false; // zero boundary
+                    break;
+                }
+                flat = flat * self.per_dim + node as usize;
+            }
+            if inside && weight != 0.0 {
+                acc += weight * self.values[flat].to_f64();
+            }
+        }
+        T::from_f64(acc)
+    }
+
+    /// Compress: keep only the values at points also present in the sparse
+    /// grid `spec` (paper §3), producing nodal values ready for
+    /// hierarchization. The sparse spec must not be finer than this grid.
+    pub fn restrict_to_sparse(&self, spec: GridSpec) -> CompactGrid<T> {
+        assert_eq!(spec.dim(), self.dim, "dimension mismatch");
+        assert!(
+            spec.levels() <= self.levels,
+            "sparse grid finer than the full grid"
+        );
+        let mut out = CompactGrid::new(spec);
+        let mut multi = vec![0usize; self.dim];
+        let scale = 1u64 << self.levels;
+        {
+            let values = out.values_mut();
+            for_each_point(&spec, |idx, l, i| {
+                for t in 0..l.len() {
+                    // Coordinate i·2^{−(l+1)} on the full grid's lattice.
+                    let k = (i[t] as u64) << (self.levels as u32 - l[t] as u32 - 1);
+                    debug_assert!(k >= 1 && k < scale);
+                    multi[t] = (k - 1) as usize;
+                }
+                values[idx as usize] = self.get(&multi);
+            });
+        }
+        out
+    }
+
+    /// Bytes held by the value array.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.capacity() * T::size_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use crate::hierarchize::hierarchize;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(FullGrid::<f64>::points_per_dim(3), 7);
+        assert_eq!(FullGrid::<f64>::total_points(2, 3), Some(49));
+        assert_eq!(FullGrid::<f64>::total_points(10, 11), None); // overflows
+        let g: FullGrid<f64> = FullGrid::new(2, 3);
+        assert_eq!(g.len(), 49);
+    }
+
+    #[test]
+    fn sampling_and_indexing() {
+        let g = FullGrid::from_fn(2, 2, |x| 10.0 * x[0] + x[1]);
+        // multi (0,0) → coords (0.25, 0.25)
+        assert_eq!(g.get(&[0, 0]), 2.5 + 0.25);
+        // multi (2,1) → coords (0.75, 0.5)
+        assert_eq!(g.get(&[2, 1]), 7.5 + 0.5);
+    }
+
+    #[test]
+    fn interpolation_exact_at_nodes_and_zero_at_boundary() {
+        let f = |x: &[f64]| x[0] * (1.0 - x[1]);
+        let g = FullGrid::from_fn(2, 3, f);
+        let h = 1.0 / 8.0;
+        for a in 1..8 {
+            for b in 1..8 {
+                let x = [a as f64 * h, b as f64 * h];
+                assert!((g.interpolate(&x).to_f64() - f(&x)).abs() < 1e-14);
+            }
+        }
+        assert_eq!(g.interpolate(&[0.0, 0.5]), 0.0);
+        assert_eq!(g.interpolate(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_multilinear_between_nodes() {
+        let g = FullGrid::from_fn(1, 2, |x| x[0] * x[0]);
+        // Between nodes 0.25 and 0.5, linear interpolation.
+        let a = g.interpolate(&[0.25]);
+        let b = g.interpolate(&[0.5]);
+        assert!((g.interpolate(&[0.375]) - 0.5 * (a + b)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn restriction_picks_sparse_grid_values() {
+        let f = |x: &[f64]| (x[0] + 0.5 * x[1]).powi(2);
+        let full = FullGrid::from_fn(2, 4, f);
+        let spec = GridSpec::new(2, 4);
+        let sparse = full.restrict_to_sparse(spec);
+        let direct = CompactGrid::from_fn(spec, f);
+        assert_eq!(sparse.max_abs_diff(&direct), 0.0);
+    }
+
+    #[test]
+    fn restriction_to_coarser_sparse_grid() {
+        let f = |x: &[f64]| x[0] * x[1];
+        let full = FullGrid::from_fn(2, 5, f);
+        let spec = GridSpec::new(2, 3);
+        let sparse = full.restrict_to_sparse(spec);
+        let direct = CompactGrid::from_fn(spec, f);
+        assert_eq!(sparse.max_abs_diff(&direct), 0.0);
+    }
+
+    #[test]
+    fn full_pipeline_compress_then_evaluate() {
+        // Full grid → restrict → hierarchize → evaluate at a grid point
+        // must return the original sample (compression is lossless at
+        // sparse grid points).
+        let f = |x: &[f64]| (3.0 * x[0]).sin() * x[1];
+        let full = FullGrid::from_fn(2, 4, f);
+        let mut sparse = full.restrict_to_sparse(GridSpec::new(2, 4));
+        hierarchize(&mut sparse);
+        let x = [0.375, 0.75];
+        assert!((evaluate(&sparse, &x) - f(&x)).abs() < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "finer than the full grid")]
+    fn restriction_rejects_finer_sparse() {
+        let full: FullGrid<f64> = FullGrid::new(2, 3);
+        full.restrict_to_sparse(GridSpec::new(2, 4));
+    }
+}

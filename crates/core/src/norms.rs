@@ -1,0 +1,168 @@
+//! Error norms and surplus-based error indicators.
+//!
+//! For deciding how far to refine (or how much of a level-of-detail
+//! prefix to ship, see [`crate::grid::CompactGrid::truncated`]) one needs
+//! cheap error estimates. Two kinds are provided:
+//!
+//! * **sampled norms** against a reference function over a probe set
+//!   (max and root-mean-square error), and
+//! * **surplus indicators**: `Σ |α_{l,i}| · ‖φ_{l,i}‖` over a level
+//!   group bounds that group's contribution to the interpolant, so group
+//!   tail sums estimate the truncation error without any reference
+//!   function (`‖φ‖_∞ = 1`, `‖φ‖₁ = 2^{−(|l|₁+d)}`).
+
+use crate::grid::CompactGrid;
+use crate::real::Real;
+
+/// Sampled error of `grid`'s interpolant against `f` over probe points
+/// (flat row-major): `(max |u−f|, rms |u−f|)`.
+pub fn sampled_error<T: Real>(
+    grid: &CompactGrid<T>,
+    f: impl Fn(&[f64]) -> f64,
+    probes: &[f64],
+) -> (f64, f64) {
+    let d = grid.spec().dim();
+    assert_eq!(probes.len() % d, 0, "flat probe array length must be k·d");
+    assert!(!probes.is_empty(), "no probe points given");
+    let mut max = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut count = 0usize;
+    for x in probes.chunks_exact(d) {
+        let e = (crate::evaluate::evaluate(grid, x).to_f64() - f(x)).abs();
+        max = max.max(e);
+        sq += e * e;
+        count += 1;
+    }
+    (max, (sq / count as f64).sqrt())
+}
+
+/// Per-level-group surplus indicators `Σ_{|l|₁=n} Σ_i |α_{l,i}|`, the
+/// max-norm bound on each group's contribution (since `‖φ‖_∞ = 1` and at
+/// most one basis function per subspace is non-zero at any point, the
+/// group's contribution at any `x` is bounded by the largest per-subspace
+/// sum; the full sum is a conservative bound).
+pub fn group_surplus_l1<T: Real>(grid: &CompactGrid<T>) -> Vec<f64> {
+    let spec = grid.spec();
+    let d = spec.dim();
+    let values = grid.values();
+    let mut out = Vec::with_capacity(spec.levels());
+    let mut offset = 0usize;
+    for n in 0..spec.levels() {
+        let group_points =
+            (crate::combinatorics::subspace_count(d, n) as usize) << n;
+        let sum: f64 = values[offset..offset + group_points]
+            .iter()
+            .map(|v| v.to_f64().abs())
+            .sum();
+        out.push(sum);
+        offset += group_points;
+    }
+    out
+}
+
+/// Surplus-based estimate of the error committed by truncating the grid
+/// to refinement level `levels`: the summed `L¹` mass of the dropped
+/// groups, `Σ_{n ≥ levels} Σ_{|l|₁=n} |α| · 2^{−(n+d)}` — an upper bound
+/// on the `L¹`-norm of the dropped part of the interpolant.
+pub fn truncation_error_l1<T: Real>(grid: &CompactGrid<T>, levels: usize) -> f64 {
+    let spec = grid.spec();
+    let d = spec.dim();
+    assert!(levels >= 1 && levels <= spec.levels());
+    let e: f64 = group_surplus_l1(grid)
+        .iter()
+        .enumerate()
+        .skip(levels)
+        .map(|(n, sum)| sum * 0.5f64.powi((n + d) as i32))
+        .sum();
+    // An empty tail sums to -0.0; normalize the sign.
+    e.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{halton_points, TestFunction};
+    use crate::hierarchize::hierarchize;
+    use crate::level::GridSpec;
+
+    fn surplus_grid(d: usize, levels: usize) -> CompactGrid<f64> {
+        let mut g = CompactGrid::from_fn(GridSpec::new(d, levels), |x| {
+            TestFunction::Parabola.eval(x)
+        });
+        hierarchize(&mut g);
+        g
+    }
+
+    #[test]
+    fn sampled_error_decreases_with_level() {
+        let f = |x: &[f64]| TestFunction::Parabola.eval(x);
+        let probes = halton_points(2, 500);
+        let (coarse, _) = sampled_error(&surplus_grid(2, 3), f, &probes);
+        let (fine, fine_rms) = sampled_error(&surplus_grid(2, 7), f, &probes);
+        assert!(fine < coarse);
+        assert!(fine_rms <= fine, "rms cannot exceed the max");
+    }
+
+    #[test]
+    fn group_surpluses_decay_for_smooth_functions() {
+        // For the smooth parabola the per-group L¹ mass (weighted by the
+        // basis L¹ norm) decays with the level: the classic 4^{−n}
+        // surplus decay beats the 2^n group growth.
+        let g = surplus_grid(2, 7);
+        let groups = group_surplus_l1(&g);
+        assert_eq!(groups.len(), 7);
+        let weighted: Vec<f64> = groups
+            .iter()
+            .enumerate()
+            .map(|(n, s)| s * 0.5f64.powi((n + 2) as i32))
+            .collect();
+        assert!(
+            weighted.windows(2).all(|w| w[1] < w[0]),
+            "weighted group mass must decay: {weighted:?}"
+        );
+    }
+
+    #[test]
+    fn truncation_error_estimate_is_monotone_and_vanishes_at_full_level() {
+        let g = surplus_grid(3, 6);
+        let mut prev = f64::INFINITY;
+        for levels in 1..=6 {
+            let e = truncation_error_l1(&g, levels);
+            assert!(e <= prev, "estimate must shrink with more levels kept");
+            prev = e;
+        }
+        assert_eq!(truncation_error_l1(&g, 6), 0.0);
+    }
+
+    #[test]
+    fn truncation_estimate_bounds_the_actual_l1_ish_error() {
+        // Compare the estimate against the sampled mean absolute
+        // difference between the full grid and its truncation.
+        let g = surplus_grid(2, 7);
+        let count = 2000;
+        let probes = halton_points(2, count);
+        for levels in 2..7 {
+            let coarse = g.truncated(levels);
+            let mean_diff: f64 = probes
+                .chunks_exact(2)
+                .map(|x| {
+                    (crate::evaluate::evaluate(&g, x) - crate::evaluate::evaluate(&coarse, x))
+                        .abs()
+                })
+                .sum::<f64>()
+                / count as f64;
+            let estimate = truncation_error_l1(&g, levels);
+            assert!(
+                estimate >= mean_diff * 0.5,
+                "level {levels}: estimate {estimate} should not be far below sampled {mean_diff}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no probe points")]
+    fn sampled_error_rejects_empty_probes() {
+        let g = surplus_grid(2, 2);
+        sampled_error(&g, |_| 0.0, &[]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Quadrature and gradients on the compact representation.
+//!
+//! Both operations fall out of the hierarchical basis for free:
+//!
+//! * the integral of the d-dimensional hat `φ_{l,i}` over `[0,1]^d` is
+//!   `∏_t 2^{−(l_t+1)}` = `2^{−(|l|₁+d)}` — constant per subspace, so
+//!   integration is one weighted pass over the coefficient array;
+//! * the gradient of the interpolant is piecewise constant per basis
+//!   factor: `φ'_{l,i}(x) = ±2^{l_t+1}` inside the support.
+
+use crate::grid::CompactGrid;
+use crate::iter::{first_level, next_level};
+use crate::level::Level;
+use crate::real::Real;
+
+/// Integral of the sparse grid interpolant over the whole domain
+/// `[0,1]^d`: `Σ_{l,i} α_{l,i} · 2^{−(|l|₁+d)}`.
+///
+/// ```
+/// use sg_core::prelude::*;
+/// use sg_core::quadrature::integrate;
+/// // f(x) = 4x(1−x) integrates to 2/3 per dimension.
+/// let mut g = CompactGrid::from_fn(GridSpec::new(2, 9), |x| {
+///     x.iter().map(|&v| 4.0 * v * (1.0 - v)).product::<f64>()
+/// });
+/// hierarchize(&mut g);
+/// let exact = (2.0f64 / 3.0).powi(2);
+/// assert!((integrate(&g) - exact).abs() < 1e-4);
+/// ```
+pub fn integrate<T: Real>(grid: &CompactGrid<T>) -> f64 {
+    let spec = grid.spec();
+    let d = spec.dim();
+    let values = grid.values();
+    let mut acc = 0.0f64;
+    let mut offset = 0usize;
+    for n in 0..spec.levels() {
+        let sub_len = 1usize << n;
+        let weight = 0.5f64.powi((n + d) as i32);
+        let group_points = sub_len * crate::combinatorics::subspace_count(d, n) as usize;
+        let group_sum: f64 = values[offset..offset + group_points]
+            .iter()
+            .map(|v| v.to_f64())
+            .sum();
+        acc += weight * group_sum;
+        offset += group_points;
+    }
+    acc
+}
+
+/// Evaluate the interpolant and its gradient at `x ∈ [0,1]^d`.
+///
+/// The gradient of a piecewise-linear interpolant is undefined exactly on
+/// cell boundaries; there the left/right choice made by the cell-index
+/// arithmetic applies (same convention as [`crate::evaluate::evaluate`]).
+pub fn evaluate_with_gradient<T: Real>(grid: &CompactGrid<T>, x: &[f64]) -> (f64, Vec<f64>) {
+    let spec = grid.spec();
+    let d = spec.dim();
+    assert_eq!(x.len(), d, "query point dimension mismatch");
+    assert!(
+        x.iter().all(|&v| (0.0..=1.0).contains(&v)),
+        "query point outside the unit domain"
+    );
+    let values = grid.values();
+    let mut l = vec![0 as Level; d];
+    let mut basis = vec![0.0f64; d];
+    let mut slope = vec![0.0f64; d];
+    let mut value = 0.0f64;
+    let mut grad = vec![0.0f64; d];
+    let mut index2 = 0usize;
+    for n in 0..spec.levels() {
+        let sub_len = 1usize << n;
+        first_level(n, &mut l);
+        loop {
+            let mut prod = 1.0f64;
+            let mut index1 = 0u64;
+            for t in 0..d {
+                let cells = 1u64 << l[t] as u32;
+                let pos = x[t] * cells as f64;
+                let c = (pos as u64).min(cells - 1);
+                let frac = pos - c as f64;
+                let signed = 2.0 * frac - 1.0;
+                basis[t] = 1.0 - signed.abs();
+                // dφ/dx = ∓ 2^{l+1}, negative right of the node centre.
+                slope[t] = -signed.signum() * 2.0 * cells as f64;
+                index1 = (index1 << l[t] as u32) + c;
+                prod *= basis[t];
+            }
+            let coeff = values[index2 + index1 as usize].to_f64();
+            if coeff != 0.0 {
+                value += prod * coeff;
+                // ∂/∂x_t of the product is slope_t × Π_{u≠t} basis_u,
+                // computed with prefix/suffix products so the one-sided
+                // derivative survives basis_t = 0 (x on a cell boundary).
+                let mut prefix = 1.0f64;
+                for t in 0..d {
+                    let mut others = prefix;
+                    for u in t + 1..d {
+                        others *= basis[u];
+                    }
+                    grad[t] += coeff * slope[t] * others;
+                    prefix *= basis[t];
+                }
+            }
+            index2 += sub_len;
+            if !next_level(&mut l) {
+                break;
+            }
+        }
+    }
+    (value, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use crate::functions::TestFunction;
+    use crate::hierarchize::hierarchize;
+    use crate::level::GridSpec;
+
+    fn surplus_grid(d: usize, levels: usize, f: impl FnMut(&[f64]) -> f64) -> CompactGrid<f64> {
+        let mut g = CompactGrid::from_fn(GridSpec::new(d, levels), f);
+        hierarchize(&mut g);
+        g
+    }
+
+    #[test]
+    fn integral_of_single_hat() {
+        // A grid with exactly one unit surplus at the root integrates to
+        // 2^{−d} (each 1-d hat has area 1/2).
+        for d in 1..=4 {
+            let mut g: CompactGrid<f64> = CompactGrid::new(GridSpec::new(d, 3));
+            g.set(&vec![0; d], &vec![1; d], 1.0);
+            assert!((integrate(&g) - 0.5f64.powi(d as i32)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn integral_converges_to_exact_value() {
+        // ∫ ∏ 4x(1−x) = (2/3)^d.
+        for d in 1..=3 {
+            let exact = (2.0f64 / 3.0).powi(d as i32);
+            let coarse = integrate(&surplus_grid(d, 3, |x| TestFunction::Parabola.eval(x)));
+            let fine = integrate(&surplus_grid(d, 8, |x| TestFunction::Parabola.eval(x)));
+            assert!(
+                (fine - exact).abs() < (coarse - exact).abs(),
+                "d={d}: refinement must reduce quadrature error"
+            );
+            assert!((fine - exact).abs() < 1e-3, "d={d}: {fine} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn integral_is_linear() {
+        let g = surplus_grid(2, 5, |x| TestFunction::SineProduct.eval(x));
+        let doubled = CompactGrid::from_parts(
+            *g.spec(),
+            g.values().iter().map(|&v| 2.0 * v).collect(),
+        );
+        assert!((integrate(&doubled) - 2.0 * integrate(&g)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gradient_value_matches_plain_evaluation() {
+        let g = surplus_grid(3, 5, |x| TestFunction::Gaussian.eval(x));
+        for x in crate::functions::halton_points(3, 40).chunks_exact(3) {
+            let (v, _) = evaluate_with_gradient(&g, x);
+            assert!((v - evaluate(&g, x)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_inside_cells() {
+        let g = surplus_grid(2, 5, |x| TestFunction::Gaussian.eval(x));
+        let h = 1e-7;
+        // Probe points chosen off the dyadic lattice so no kink is near.
+        for x in [[0.3011, 0.5503], [0.1207, 0.8801], [0.6602, 0.3304]] {
+            let (_, grad) = evaluate_with_gradient(&g, &x);
+            for t in 0..2 {
+                let mut lo = x;
+                let mut hi = x;
+                lo[t] -= h;
+                hi[t] += h;
+                let fd = (evaluate(&g, &hi) - evaluate(&g, &lo)) / (2.0 * h);
+                assert!(
+                    (grad[t] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                    "x={x:?} t={t}: analytic {} vs fd {fd}",
+                    grad[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_of_single_root_hat() {
+        // u(x) = φ_{0,1}(x): slope ±2 on either side of 0.5.
+        let mut g: CompactGrid<f64> = CompactGrid::new(GridSpec::new(1, 2));
+        g.set(&[0], &[1], 1.0);
+        let (v, grad) = evaluate_with_gradient(&g, &[0.25]);
+        assert_eq!(v, 0.5);
+        assert_eq!(grad[0], 2.0);
+        let (_, grad) = evaluate_with_gradient(&g, &[0.75]);
+        assert_eq!(grad[0], -2.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Global-memory coalescing analysis (compute capability 1.2/1.3 rules).
+//!
+//! The memory controller serves one half-warp (16 threads) at a time:
+//! the addresses touched by the active lanes are covered by aligned
+//! memory segments, one transaction per segment. Perfectly coalesced
+//! accesses (16 consecutive words) need a single transaction; scattered
+//! accesses need up to 16 — the paper's "main source of uncoalesced
+//! accesses" when hierarchization reads hierarchical parents (§5.3).
+
+/// Result of coalescing one warp's access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceResult {
+    /// Memory transactions issued.
+    pub transactions: u64,
+    /// Bytes actually transferred (transactions × segment size).
+    pub bytes: u64,
+}
+
+/// Analyze one warp access where every lane is active: `addrs[k]` is the
+/// byte address of lane `k`, `access_bytes` the per-lane access width,
+/// `segment_bytes` the device's transaction granularity.
+pub fn coalesce(addrs: &[u64], access_bytes: u64, segment_bytes: u64) -> CoalesceResult {
+    debug_assert!(addrs.len() <= 32);
+    if addrs.is_empty() {
+        return CoalesceResult { transactions: 0, bytes: 0 };
+    }
+    let mut lanes = [None; 32];
+    for (k, &a) in addrs.iter().enumerate() {
+        lanes[k] = Some(a);
+    }
+    coalesce_lanes(&lanes[..addrs.len()], access_bytes, segment_bytes)
+}
+
+/// Analyze one warp access with possibly-inactive lanes: `lanes[k]` is
+/// lane `k`'s byte address or `None` when the lane is predicated off.
+/// Chunking follows the *physical* half-warp boundaries (lanes 0–15 and
+/// 16–31), as CC 1.x hardware does, so divergence never shifts addresses
+/// into the wrong transaction group.
+pub fn coalesce_lanes(
+    lanes: &[Option<u64>],
+    access_bytes: u64,
+    segment_bytes: u64,
+) -> CoalesceResult {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let mut segments = Vec::with_capacity(32);
+    let mut transactions = 0u64;
+    for half in lanes.chunks(16) {
+        segments.clear();
+        for &a in half.iter().flatten() {
+            let first = a / segment_bytes;
+            let last = (a + access_bytes - 1) / segment_bytes;
+            for s in first..=last {
+                if !segments.contains(&s) {
+                    segments.push(s);
+                }
+            }
+        }
+        transactions += segments.len() as u64;
+    }
+    CoalesceResult {
+        transactions,
+        bytes: transactions * segment_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_coalesced_half_warps() {
+        // 32 consecutive 4-byte words starting at an aligned address:
+        // each half-warp covers exactly one 64-byte segment.
+        let addrs: Vec<u64> = (0..32).map(|k| 0x1000 + 4 * k).collect();
+        let r = coalesce(&addrs, 4, 64);
+        assert_eq!(r.transactions, 2);
+        assert_eq!(r.bytes, 128);
+    }
+
+    #[test]
+    fn misaligned_access_needs_one_extra_segment() {
+        let addrs: Vec<u64> = (0..16).map(|k| 0x1020 + 4 * k).collect();
+        let r = coalesce(&addrs, 4, 64);
+        assert_eq!(r.transactions, 2, "straddles two 64-byte segments");
+    }
+
+    #[test]
+    fn fully_scattered_is_one_transaction_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|k| k * 4096).collect();
+        let r = coalesce(&addrs, 4, 64);
+        assert_eq!(r.transactions, 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_share_a_transaction() {
+        let addrs = vec![0x40; 16];
+        let r = coalesce(&addrs, 4, 64);
+        assert_eq!(r.transactions, 1);
+    }
+
+    #[test]
+    fn empty_and_partial_warps() {
+        assert_eq!(coalesce(&[], 4, 64).transactions, 0);
+        let r = coalesce(&[0, 4, 8], 4, 64);
+        assert_eq!(r.transactions, 1);
+    }
+
+    #[test]
+    fn inactive_lanes_keep_physical_half_warp_boundaries() {
+        // 32 lanes reading consecutive words from a 64B-aligned base with
+        // lane 0 inactive: the physical half-warps still cover exactly
+        // segments 0 and 1 — compacting the list would smear the chunk
+        // boundary and count 3.
+        let mut lanes = [None; 32];
+        for k in 1..32u64 {
+            lanes[k as usize] = Some(k * 4);
+        }
+        let r = coalesce_lanes(&lanes, 4, 64);
+        assert_eq!(r.transactions, 2);
+        // All lanes off: nothing issued.
+        assert_eq!(coalesce_lanes(&[None; 32], 4, 64).transactions, 0);
+    }
+
+    #[test]
+    fn wide_access_spanning_segments() {
+        // One lane reading 8 bytes across a segment boundary.
+        let r = coalesce(&[60], 8, 64);
+        assert_eq!(r.transactions, 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! GPU device descriptions.
+//!
+//! The paper's target is the Nvidia Tesla C1060 (GT200, compute
+//! capability 1.3): 30 streaming multiprocessors of 8 scalar processors,
+//! up to 1024 resident threads per SM, 16 KB of shared memory per SM, and
+//! 4 GB of device memory (paper §5.1). Its conclusion names the Fermi
+//! architecture as future work; we include a C2050-class description so
+//! that experiment can be run too.
+
+/// Static description of a CUDA-class device for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Scalar processors (lanes) per SM.
+    pub sps_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_per_sm: usize,
+    /// Register file per SM, 32-bit registers.
+    pub registers_per_sm: usize,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Global memory latency, cycles.
+    pub mem_latency_cycles: f64,
+    /// Memory transaction segment size for 32-bit accesses, bytes
+    /// (CC 1.2+ coalescing granularity).
+    pub segment_bytes: u64,
+    /// Host-side cost of one kernel launch, seconds (the per-level-group
+    /// barrier of hierarchization is realized as kernel relaunches).
+    pub kernel_launch_overhead: f64,
+    /// Device memory capacity, bytes.
+    pub global_mem_bytes: u64,
+    /// Resident warps per SM needed to keep the arithmetic pipeline full;
+    /// below this, back-to-back dependent instructions stall the issue
+    /// stage (≈24-cycle ALU latency / 4-cycle issue on GT200).
+    pub issue_coverage_warps: f64,
+    /// Effective host↔device transfer bandwidth over PCI Express,
+    /// bytes/s (paper §5.2: the CPU part transfers data "to and from the
+    /// GPU over PCI Express").
+    pub pcie_bandwidth: f64,
+}
+
+impl GpuDevice {
+    /// Nvidia Tesla C1060 (the paper's device).
+    pub fn tesla_c1060() -> Self {
+        Self {
+            name: "Tesla C1060",
+            sms: 30,
+            sps_per_sm: 8,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 16 << 10,
+            registers_per_sm: 16384,
+            clock_hz: 1.296e9,
+            mem_bandwidth: 102.0e9,
+            mem_latency_cycles: 500.0,
+            segment_bytes: 64,
+            kernel_launch_overhead: 7.0e-6,
+            global_mem_bytes: 4 << 30,
+            issue_coverage_warps: 6.0,
+            pcie_bandwidth: 5.5e9, // PCIe 2.0 x16, effective
+        }
+    }
+
+    /// Fermi-class Tesla C2050 (the paper's stated next step: two cache
+    /// levels, more shared memory, faster atomics).
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050 (Fermi)",
+            sms: 14,
+            sps_per_sm: 32,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 48 << 10,
+            registers_per_sm: 32768,
+            clock_hz: 1.15e9,
+            mem_bandwidth: 144.0e9,
+            mem_latency_cycles: 400.0,
+            segment_bytes: 128,
+            kernel_launch_overhead: 5.0e-6,
+            global_mem_bytes: 3 << 30,
+            issue_coverage_warps: 4.0,
+            pcie_bandwidth: 5.8e9,
+        }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Cycles for one warp instruction issued over the SM's lanes.
+    pub fn cycles_per_warp_instruction(&self) -> f64 {
+        self.warp_size as f64 / self.sps_per_sm as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1060_matches_paper_section_5_1() {
+        let d = GpuDevice::tesla_c1060();
+        assert_eq!(d.sms, 30);
+        assert_eq!(d.sps_per_sm, 8);
+        assert_eq!(d.max_threads_per_sm, 1024);
+        // "up to 30720 threads" (paper §5.1).
+        assert_eq!(d.sms * d.max_threads_per_sm, 30720);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.shared_mem_per_sm, 16384);
+        assert_eq!(d.global_mem_bytes, 4 << 30);
+        assert_eq!(d.max_warps_per_sm(), 32);
+        // A warp instruction over 8 lanes takes 4 cycles.
+        assert_eq!(d.cycles_per_warp_instruction(), 4.0);
+    }
+
+    #[test]
+    fn fermi_is_bigger_where_it_matters() {
+        let a = GpuDevice::tesla_c1060();
+        let b = GpuDevice::tesla_c2050();
+        assert!(b.shared_mem_per_sm > a.shared_mem_per_sm);
+        assert!(b.mem_bandwidth > a.mem_bandwidth);
+    }
+}

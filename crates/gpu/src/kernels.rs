@@ -1,0 +1,457 @@
+//! The two sparse grid kernels, executed by the simulator.
+//!
+//! Both kernels compute the *real* numerics — results are bit-identical
+//! to the CPU implementations in `sg-core` (verified by tests) — while
+//! every warp's behaviour is recorded: actual parent/coefficient
+//! addresses go through the coalescing analysis, inactive lanes produce
+//! divergence events, `binmat` lookups hit the modelled constant cache or
+//! shared memory, and the per-level-group barrier of hierarchization
+//! appears as kernel relaunches (paper §5.3).
+//!
+//! Instruction-count constants are per-lane estimates for straight-line
+//! scalar code; they are documented here and only affect the timing
+//! model, never the numerics.
+
+use crate::coalesce::{coalesce, coalesce_lanes};
+use crate::device::GpuDevice;
+use crate::occupancy::{occupancy, KernelResources, Occupancy};
+use crate::timing::{estimate_time, GpuCounters, GpuRunReport};
+use sg_core::grid::CompactGrid;
+use sg_core::iter::{decode_subspace_rank, first_level, next_level};
+use sg_core::level::{hierarchical_parent, Index, Level, Side};
+use sg_core::real::Real;
+
+/// Where the kernel reads its binomial coefficients from (paper §5.3
+/// compares all three; constant cache wins, on-the-fly is ≈4× slower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinmatLocation {
+    /// Read-only constant cache (the paper's fastest variant).
+    ConstantCache,
+    /// Per-SM shared memory (slightly slower in the paper).
+    SharedMemory,
+    /// Recompute binomials in an `O(n)` loop per lookup.
+    OnTheFly,
+}
+
+/// Launch configuration of the simulated kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Keep the level vector `l` once per block in shared memory instead
+    /// of once per thread (paper §5.3: 1.62×/1.59× faster).
+    pub block_shared_l: bool,
+    /// Binomial table placement.
+    pub binmat: BinmatLocation,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            threads_per_block: 128,
+            block_shared_l: true,
+            binmat: BinmatLocation::ConstantCache,
+        }
+    }
+}
+
+// Per-lane instruction estimates (scalar instructions per operation).
+const INSTR_DECODE_PER_DIM: u64 = 3; // unpack one index component
+const INSTR_PARENT_1D: u64 = 6; // neighbour, trailing zeros, shift
+const INSTR_GP2IDX_PER_DIM: u64 = 7; // Alg. 5 loop body with lookups
+const INSTR_STENCIL: u64 = 4; // v − (a+b)/2
+const INSTR_EVAL_PER_DIM: u64 = 8; // Alg. 7 lines 9–13
+const INSTR_NEXT_LEVEL: u64 = 12; // iterator increment (master thread)
+const INSTR_BINOMIAL_ON_THE_FLY_PER_DIM: u64 = 36; // O(n) multiplicative loop
+
+impl KernelConfig {
+    fn gp2idx_cost(&self, d: usize, counters: &mut GpuCounters) -> u64 {
+        match self.binmat {
+            BinmatLocation::ConstantCache => {
+                counters.const_accesses += d as u64;
+                INSTR_GP2IDX_PER_DIM * d as u64
+            }
+            BinmatLocation::SharedMemory => {
+                counters.shared_accesses += d as u64;
+                // Shared memory lookups may bank-conflict across lanes:
+                // slightly higher issue cost than the broadcasting
+                // constant cache (matches the paper's ranking).
+                INSTR_GP2IDX_PER_DIM * d as u64 + d as u64
+            }
+            BinmatLocation::OnTheFly => {
+                (INSTR_GP2IDX_PER_DIM + INSTR_BINOMIAL_ON_THE_FLY_PER_DIM) * d as u64
+            }
+        }
+    }
+
+    fn hierarchization_resources(&self, d: usize) -> KernelResources {
+        let per_thread_l = if self.block_shared_l { 0 } else { 4 * d };
+        KernelResources {
+            threads_per_block: self.threads_per_block,
+            shared_bytes_per_block: if self.block_shared_l { 4 * d } else { 0 },
+            // The per-thread index vector i lives in shared memory
+            // (paper §5.3: "l and i are placed in shared memory").
+            shared_bytes_per_thread: 4 * d + per_thread_l,
+            registers_per_thread: 24,
+        }
+    }
+
+    fn evaluation_resources(&self, d: usize) -> KernelResources {
+        let per_thread_l = if self.block_shared_l { 0 } else { 4 * d };
+        KernelResources {
+            threads_per_block: self.threads_per_block,
+            shared_bytes_per_block: if self.block_shared_l { 4 * d } else { 0 },
+            // coords copied from global to shared per thread (paper §5.3).
+            shared_bytes_per_thread: 4 * d + per_thread_l,
+            registers_per_thread: 28,
+        }
+    }
+}
+
+/// Simulated GPU hierarchization (compression): numerically identical to
+/// `sg_core::hierarchize::hierarchize`, with one kernel launch per
+/// (dimension, level group) — the paper's global barrier (§5.3).
+pub fn hierarchize_gpu<T: Real>(
+    grid: &mut CompactGrid<T>,
+    dev: &GpuDevice,
+    cfg: &KernelConfig,
+) -> GpuRunReport {
+    let spec = *grid.spec();
+    let d = spec.dim();
+    let indexer = grid.indexer().clone();
+    let values = grid.values_mut();
+    let value_bytes = T::size_bytes() as u64;
+    let mut counters = GpuCounters::default();
+    let occ = occupancy(dev, &cfg.hierarchization_resources(d));
+    // Upload the nodal values, download the surpluses (§5.2).
+    counters.host_bytes += 2 * values.len() as u64 * value_bytes;
+
+    let mut l = vec![0 as Level; d];
+    let mut i = vec![0 as Index; d];
+    // Lane-positional parent addresses (None = boundary lane, predicated
+    // off) so coalescing respects the physical half-warp boundaries.
+    let mut parent_addrs: [Option<u64>; 32] = [None; 32];
+    // Summed in T precision, exactly like the CPU stencil, so results are
+    // bit-identical even for f32 grids.
+    let mut lane_halves: Vec<T> = vec![T::ZERO; 32];
+
+    for t in 0..d {
+        for n in (0..spec.levels()).rev() {
+            counters.kernel_launches += 1;
+            let mut sub_start = indexer.group_offset(n);
+            first_level(n, &mut l);
+            loop {
+                // One thread block per subspace (paper §5.3); warps cover
+                // the 2^n coefficients in rank order. Unlike the CPU
+                // sweep, subspaces with l[t] = 0 are NOT skipped: the
+                // static GPU decomposition launches every block and lets
+                // the boundary lanes read nothing — the cost the
+                // divergence counters capture.
+                let sub_len = 1u64 << n;
+                let mut warp_start = 0u64;
+                while warp_start < sub_len {
+                    let lanes = (sub_len - warp_start).min(32) as usize;
+                    // Uniform per-lane work: decode + stencil arithmetic.
+                    counters.issue(
+                        INSTR_DECODE_PER_DIM * d as u64 + 2 * INSTR_PARENT_1D + INSTR_STENCIL,
+                    );
+                    lane_halves[..lanes].fill(T::ZERO);
+                    for side in [Side::Left, Side::Right] {
+                        parent_addrs.fill(None);
+                        let gp2idx_instr = cfg.gp2idx_cost(d, &mut counters);
+                        counters.issue(gp2idx_instr);
+                        let mut active = 0usize;
+                        for lane in 0..lanes {
+                            let rank = warp_start + lane as u64;
+                            decode_subspace_rank(&l, rank, &mut i);
+                            let (lt, it) = (l[t], i[t]);
+                            if let Some((pl, pi)) = hierarchical_parent(lt, it, side) {
+                                l[t] = pl;
+                                i[t] = pi;
+                                let pidx = indexer.gp2idx(&l, &i);
+                                l[t] = lt;
+                                i[t] = it;
+                                parent_addrs[lane] = Some(pidx * value_bytes);
+                                lane_halves[lane] += values[pidx as usize];
+                                active += 1;
+                            }
+                        }
+                        if active > 0 && active < lanes {
+                            // Boundary lanes skip the load: divergent.
+                            counters.diverge(2, INSTR_PARENT_1D);
+                        }
+                        if active > 0 {
+                            counters.global(coalesce_lanes(
+                                &parent_addrs[..lanes],
+                                value_bytes,
+                                dev.segment_bytes,
+                            ));
+                        }
+                    }
+                    // Coefficient read-modify-write: contiguous, coalesced.
+                    let own: Vec<u64> = (0..lanes as u64)
+                        .map(|k| (sub_start + warp_start + k) * value_bytes)
+                        .collect();
+                    counters.global(coalesce(&own, value_bytes, dev.segment_bytes));
+                    counters.global(coalesce(&own, value_bytes, dev.segment_bytes));
+                    for lane in 0..lanes {
+                        let idx = (sub_start + warp_start + lane as u64) as usize;
+                        values[idx] -= lane_halves[lane] * T::HALF;
+                    }
+                    warp_start += 32;
+                }
+                if cfg.block_shared_l {
+                    // Every warp of the block issues the barrier guarding
+                    // the shared l.
+                    let warps_in_block =
+                        sub_len.min(cfg.threads_per_block as u64).div_ceil(32);
+                    counters.barriers += warps_in_block;
+                    counters.shared_accesses += d as u64;
+                }
+                sub_start += sub_len;
+                if !next_level(&mut l) {
+                    break;
+                }
+            }
+        }
+    }
+
+    let time = estimate_time(dev, &counters, &occ);
+    GpuRunReport {
+        counters,
+        occupancy: occ,
+        time,
+    }
+}
+
+/// Simulated GPU evaluation (decompression): one thread per query point
+/// (paper §5.3), numerically identical to
+/// `sg_core::evaluate::evaluate_batch` on the same inputs.
+pub fn evaluate_gpu<T: Real>(
+    grid: &CompactGrid<T>,
+    xs: &[f64],
+    dev: &GpuDevice,
+    cfg: &KernelConfig,
+) -> (Vec<T>, GpuRunReport) {
+    let spec = *grid.spec();
+    let d = spec.dim();
+    assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
+    let k = xs.len() / d;
+    let values = grid.values();
+    let value_bytes = T::size_bytes() as u64;
+    let mut counters = GpuCounters::default();
+    let occ = occupancy(dev, &cfg.evaluation_resources(d));
+    counters.kernel_launches = 1;
+    // Host → device transfer of coords over PCI Express (§5.2). The
+    // paper's kernels move f32 coordinates (4 bytes each); the simulator
+    // computes with f64 copies purely to mirror the CPU reference
+    // bit-for-bit — the timing model charges the device's data width.
+    counters.host_bytes += (xs.len() * 4) as u64;
+
+    let mut acc = vec![0.0f64; k];
+    let mut l = vec![0 as Level; d];
+    let mut addrs: Vec<u64> = Vec::with_capacity(32);
+
+    let blocks = k.div_ceil(cfg.threads_per_block) as u64;
+    let mut subspace_count = 0u64;
+
+    let mut index2 = 0u64;
+    for n in 0..spec.levels() {
+        let sub_len = 1u64 << n;
+        first_level(n, &mut l);
+        loop {
+            subspace_count += 1;
+            // All warps sweep this subspace in lockstep.
+            let mut warp_start = 0usize;
+            while warp_start < k {
+                let lanes = (k - warp_start).min(32);
+                counters.issue(INSTR_EVAL_PER_DIM * d as u64 + 2);
+                addrs.clear();
+                for lane in 0..lanes {
+                    let x = &xs[(warp_start + lane) * d..(warp_start + lane + 1) * d];
+                    let mut prod = 1.0f64;
+                    let mut index1 = 0u64;
+                    for t in 0..d {
+                        // Shared with the CPU path so the convention (cell
+                        // tie-break included) can never diverge.
+                        let (c, b) = sg_core::evaluate::cell_and_basis(l[t], x[t]);
+                        index1 = (index1 << l[t] as u32) + c;
+                        prod *= b;
+                    }
+                    // GPU code avoids the divergent early exit: every lane
+                    // loads its coefficient unconditionally.
+                    addrs.push((index2 + index1) * value_bytes);
+                    acc[warp_start + lane] += prod * values[(index2 + index1) as usize].to_f64();
+                }
+                counters.shared_accesses += d as u64; // warp-wide coords reads
+                counters.global(coalesce(&addrs, value_bytes, dev.segment_bytes));
+                warp_start += 32;
+            }
+            index2 += sub_len;
+            if !next_level(&mut l) {
+                break;
+            }
+        }
+    }
+
+    let warps_per_block = (cfg.threads_per_block as u64).div_ceil(32);
+    if cfg.block_shared_l {
+        // The master warp advances l once per block; every warp in the
+        // block issues the two surrounding __syncthreads.
+        counters.barriers += 2 * blocks * warps_per_block * subspace_count;
+        counters.issue(INSTR_NEXT_LEVEL * subspace_count * blocks);
+    } else {
+        // Every warp advances its private copy.
+        counters.issue(INSTR_NEXT_LEVEL * subspace_count * blocks * warps_per_block);
+    }
+    // Device → host transfer of results.
+    counters.host_bytes += (k * T::size_bytes()) as u64;
+
+    let out: Vec<T> = acc.into_iter().map(T::from_f64).collect();
+    let time = estimate_time(dev, &counters, &occ);
+    (
+        out,
+        GpuRunReport {
+            counters,
+            occupancy: occ,
+            time,
+        },
+    )
+}
+
+/// Occupancy of the evaluation kernel for a given dimensionality — used
+/// by the Fig. 10 harness to show the paper's predicted high-`d` cliff.
+pub fn evaluation_occupancy(dev: &GpuDevice, cfg: &KernelConfig, d: usize) -> Occupancy {
+    occupancy(dev, &cfg.evaluation_resources(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::evaluate::evaluate_batch;
+    use sg_core::functions::{halton_points, TestFunction};
+    use sg_core::hierarchize::hierarchize;
+    use sg_core::level::GridSpec;
+
+    fn grid(d: usize, levels: usize) -> CompactGrid<f64> {
+        CompactGrid::from_fn(GridSpec::new(d, levels), |x| TestFunction::Parabola.eval(x))
+    }
+
+    #[test]
+    fn gpu_hierarchization_is_bit_identical_to_cpu() {
+        for (d, levels) in [(1, 6), (2, 5), (3, 4), (5, 3)] {
+            let dev = GpuDevice::tesla_c1060();
+            let mut gpu = grid(d, levels);
+            let mut cpu = gpu.clone();
+            hierarchize_gpu(&mut gpu, &dev, &KernelConfig::default());
+            hierarchize(&mut cpu);
+            assert_eq!(gpu.values(), cpu.values(), "d={d} levels={levels}");
+        }
+    }
+
+    #[test]
+    fn gpu_evaluation_is_bit_identical_to_cpu() {
+        let dev = GpuDevice::tesla_c1060();
+        for (d, levels) in [(2, 5), (3, 4), (4, 3)] {
+            let mut g = grid(d, levels);
+            hierarchize(&mut g);
+            let xs = halton_points(d, 100);
+            let (gpu, _) = evaluate_gpu(&g, &xs, &dev, &KernelConfig::default());
+            let cpu = evaluate_batch(&g, &xs);
+            assert_eq!(gpu, cpu, "d={d} levels={levels}");
+        }
+    }
+
+    /// Kernel time net of the fixed launch overhead (which the paper's
+    /// per-kernel comparisons do not include).
+    fn kernel_time(t: crate::timing::TimeBreakdown) -> f64 {
+        t.total - t.launch
+    }
+
+    #[test]
+    fn binmat_on_the_fly_is_much_slower() {
+        // Paper §5.3: computing binomials on the fly makes hierarchization
+        // ≈4× slower than the lookup variants.
+        let dev = GpuDevice::tesla_c1060();
+        let mk = |binmat| {
+            let mut g = grid(5, 8);
+            let cfg = KernelConfig { binmat, ..Default::default() };
+            kernel_time(hierarchize_gpu(&mut g, &dev, &cfg).time)
+        };
+        let constant = mk(BinmatLocation::ConstantCache);
+        let shared = mk(BinmatLocation::SharedMemory);
+        let fly = mk(BinmatLocation::OnTheFly);
+        assert!(constant <= shared, "constant cache must win (paper §5.3)");
+        let ratio = fly / constant;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "on-the-fly / constant ratio {ratio} outside the paper's ≈4× ballpark"
+        );
+    }
+
+    #[test]
+    fn block_shared_l_improves_evaluation_time() {
+        // Paper §5.3: block-shared l gives 1.59× on evaluation. The gain
+        // comes through occupancy (and the issue stalls that low occupancy
+        // causes); it shows once shared memory is the occupancy limiter,
+        // i.e. at higher dimensionality.
+        let dev = GpuDevice::tesla_c1060();
+        let d = 12;
+        let mut g = grid(d, 3);
+        hierarchize(&mut g);
+        let xs = halton_points(d, 2048);
+        let t = |block_shared_l| {
+            let cfg = KernelConfig { block_shared_l, ..Default::default() };
+            kernel_time(evaluate_gpu(&g, &xs, &dev, &cfg).1.time)
+        };
+        let shared = t(true);
+        let private = t(false);
+        let gain = private / shared;
+        assert!(
+            gain > 1.2,
+            "block-shared l should give a clear speedup (paper: 1.59×), got {gain}"
+        );
+        assert!(gain < 3.0, "gain {gain} implausibly large");
+    }
+
+    #[test]
+    fn occupancy_drops_at_high_dimensionality() {
+        let dev = GpuDevice::tesla_c1060();
+        let cfg = KernelConfig::default();
+        let o5 = evaluation_occupancy(&dev, &cfg, 5).fraction;
+        let o16 = evaluation_occupancy(&dev, &cfg, 16).fraction;
+        assert!(o16 < o5, "occupancy must fall with d: {o5} → {o16}");
+    }
+
+    #[test]
+    fn hierarchization_launches_once_per_dim_and_group() {
+        let dev = GpuDevice::tesla_c1060();
+        let mut g = grid(3, 4);
+        let r = hierarchize_gpu(&mut g, &dev, &KernelConfig::default());
+        assert_eq!(r.counters.kernel_launches, 12);
+    }
+
+    #[test]
+    fn evaluation_counts_transactions_and_bytes() {
+        let dev = GpuDevice::tesla_c1060();
+        let mut g = grid(2, 4);
+        hierarchize(&mut g);
+        let xs = halton_points(2, 64);
+        let (_, r) = evaluate_gpu(&g, &xs, &dev, &KernelConfig::default());
+        assert!(r.counters.transactions > 0);
+        assert!(r.counters.bytes >= r.counters.transactions * 4);
+        assert!(r.time.total > 0.0);
+    }
+
+    #[test]
+    fn f32_grids_work_too() {
+        let dev = GpuDevice::tesla_c1060();
+        let spec = GridSpec::new(3, 4);
+        let mut gpu: CompactGrid<f32> =
+            CompactGrid::from_fn(spec, |x| TestFunction::SineProduct.eval(x) as f32);
+        let mut cpu = gpu.clone();
+        hierarchize_gpu(&mut gpu, &dev, &KernelConfig::default());
+        hierarchize(&mut cpu);
+        assert_eq!(gpu.values(), cpu.values());
+    }
+}

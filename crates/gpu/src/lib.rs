@@ -1,0 +1,45 @@
+#![allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays reads clearer in numeric kernels
+#![warn(missing_docs)]
+
+//! # sg-gpu — SIMT GPU simulator substrate
+//!
+//! The paper evaluates its compact sparse grid data structure on an
+//! Nvidia Tesla C1060; this crate substitutes that hardware with a
+//! transparent simulator (see DESIGN.md):
+//!
+//! * [`device`] — device descriptions (Tesla C1060, and the Fermi-class
+//!   C2050 the paper names as future work);
+//! * [`coalesce`] — half-warp global-memory coalescing analysis
+//!   (CC 1.2/1.3 rules);
+//! * [`occupancy`] — shared-memory/register occupancy, the mechanism
+//!   behind the paper's predicted speedup cliff beyond 10 dimensions;
+//! * [`timing`] — event counters and the roofline timing model;
+//! * [`kernels`] — the compression and decompression kernels, executed
+//!   with real numerics (bit-identical to the CPU implementations) and
+//!   warp-level instrumentation.
+//!
+//! ```
+//! use sg_core::prelude::*;
+//! use sg_gpu::{GpuDevice, KernelConfig, hierarchize_gpu};
+//!
+//! let mut grid = CompactGrid::from_fn(GridSpec::new(3, 4), |x| {
+//!     x.iter().product::<f64>()
+//! });
+//! let report = hierarchize_gpu(&mut grid, &GpuDevice::tesla_c1060(),
+//!                              &KernelConfig::default());
+//! assert!(report.time.total > 0.0);
+//! assert_eq!(report.counters.kernel_launches, 12); // 3 dims × 4 groups
+//! ```
+
+pub mod coalesce;
+pub mod device;
+pub mod kernels;
+pub mod occupancy;
+pub mod timing;
+
+pub use device::GpuDevice;
+pub use kernels::{
+    evaluate_gpu, evaluation_occupancy, hierarchize_gpu, BinmatLocation, KernelConfig,
+};
+pub use occupancy::{KernelResources, Occupancy};
+pub use timing::{GpuCounters, GpuRunReport, TimeBreakdown};

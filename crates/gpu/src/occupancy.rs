@@ -1,0 +1,174 @@
+//! Occupancy: how many warps stay resident per SM.
+//!
+//! Resident blocks per SM are limited by threads, blocks, shared memory,
+//! and registers; resident warps determine how much memory latency the
+//! scheduler can hide. This is the mechanism behind the paper's
+//! prediction that "the speedup on the GPU is expected to decrease when
+//! the number of dimensions is greater than 10", because per-thread
+//! shared memory grows linearly with `d` (§6.2), and behind the measured
+//! 1.6× gain of sharing the level vector `l` per block instead of per
+//! thread (§5.3).
+
+use crate::device::GpuDevice;
+
+/// Resource usage of one kernel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelResources {
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared memory per block that does not scale with threads
+    /// (e.g. the block-shared level vector `l`), bytes.
+    pub shared_bytes_per_block: usize,
+    /// Shared memory per thread (e.g. private `i`/`coords` arrays), bytes.
+    pub shared_bytes_per_thread: usize,
+    /// Registers per thread.
+    pub registers_per_thread: usize,
+}
+
+/// Occupancy outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: usize,
+    /// Warps resident per SM.
+    pub warps_per_sm: usize,
+    /// Fraction of the device's maximum resident warps.
+    pub fraction: f64,
+}
+
+/// Compute occupancy of `res` on `dev`.
+pub fn occupancy(dev: &GpuDevice, res: &KernelResources) -> Occupancy {
+    assert!(res.threads_per_block >= 1);
+    let warps_per_block = res.threads_per_block.div_ceil(dev.warp_size);
+    let shared_per_block =
+        res.shared_bytes_per_block + res.threads_per_block * res.shared_bytes_per_thread;
+    let by_threads = dev.max_threads_per_sm / res.threads_per_block;
+    let by_blocks = dev.max_blocks_per_sm;
+    let by_shared = dev
+        .shared_mem_per_sm
+        .checked_div(shared_per_block)
+        .unwrap_or(usize::MAX);
+    let by_regs = if res.registers_per_thread == 0 {
+        usize::MAX
+    } else {
+        dev.registers_per_sm / (res.registers_per_thread * res.threads_per_block)
+    };
+    let blocks = by_threads.min(by_blocks).min(by_shared).min(by_regs);
+    assert!(
+        blocks >= 1,
+        "kernel cannot launch: one block of {} threads exceeds the SM's resources \
+         (shared {} B/block, {} regs/thread) — reduce threads_per_block",
+        res.threads_per_block,
+        shared_per_block,
+        res.registers_per_thread
+    );
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: warps as f64 / dev.max_warps_per_sm() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> GpuDevice {
+        GpuDevice::tesla_c1060()
+    }
+
+    #[test]
+    fn unconstrained_kernel_reaches_full_occupancy() {
+        let o = occupancy(
+            &dev(),
+            &KernelResources {
+                threads_per_block: 256,
+                shared_bytes_per_block: 0,
+                shared_bytes_per_thread: 0,
+                registers_per_thread: 16,
+            },
+        );
+        assert_eq!(o.blocks_per_sm, 4);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.fraction, 1.0);
+    }
+
+    #[test]
+    fn shared_memory_per_thread_limits_occupancy() {
+        // 64 B of shared memory per thread: 16 KB SM / (256·64) = 1 block.
+        let o = occupancy(
+            &dev(),
+            &KernelResources {
+                threads_per_block: 256,
+                shared_bytes_per_block: 0,
+                shared_bytes_per_thread: 64,
+                registers_per_thread: 16,
+            },
+        );
+        assert_eq!(o.blocks_per_sm, 1);
+        assert!(o.fraction < 0.3);
+    }
+
+    #[test]
+    fn occupancy_falls_with_dimensionality() {
+        // The evaluation kernel keeps per-thread coords (4·d bytes) in
+        // shared memory: occupancy must be non-increasing in d — the
+        // paper's >10-dimension cliff.
+        let mut prev = f64::INFINITY;
+        for d in 1..=20 {
+            let o = occupancy(
+                &dev(),
+                &KernelResources {
+                    threads_per_block: 128,
+                    shared_bytes_per_block: d,
+                    shared_bytes_per_thread: 4 * d,
+                    registers_per_thread: 20,
+                },
+            );
+            assert!(o.fraction <= prev);
+            prev = o.fraction;
+        }
+        assert!(prev < 0.8, "high-d occupancy should be clearly reduced");
+    }
+
+    #[test]
+    fn block_shared_l_beats_per_thread_l() {
+        // The paper's §5.3 optimization: moving the d-byte level vector
+        // from per-thread to per-block shared memory raises occupancy.
+        let d = 10;
+        let per_thread = occupancy(
+            &dev(),
+            &KernelResources {
+                threads_per_block: 128,
+                shared_bytes_per_block: 0,
+                shared_bytes_per_thread: 4 * d + 4 * d, // i plus private l
+                registers_per_thread: 20,
+            },
+        );
+        let block_shared = occupancy(
+            &dev(),
+            &KernelResources {
+                threads_per_block: 128,
+                shared_bytes_per_block: 4 * d,
+                shared_bytes_per_thread: 4 * d,
+                registers_per_thread: 20,
+            },
+        );
+        assert!(block_shared.warps_per_sm > per_thread.warps_per_sm);
+    }
+
+    #[test]
+    fn register_pressure_limits_blocks() {
+        let o = occupancy(
+            &dev(),
+            &KernelResources {
+                threads_per_block: 256,
+                shared_bytes_per_block: 0,
+                shared_bytes_per_thread: 0,
+                registers_per_thread: 64,
+            },
+        );
+        assert_eq!(o.blocks_per_sm, 1); // 16384 / (64·256) = 1
+    }
+}

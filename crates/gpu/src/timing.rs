@@ -1,0 +1,212 @@
+//! Event counters and the timing model.
+//!
+//! The simulator executes the real kernels per warp and records: warp
+//! instructions issued (including divergence serialization), global
+//! memory transactions from the coalescing analysis, constant-cache and
+//! shared-memory traffic, barriers, and kernel launches. Time is then
+//!
+//! ```text
+//! T = max(T_issue, T_bandwidth, T_latency) + launches · t_launch
+//! T_issue     = warp_instr · cycles_per_warp_instr / (SMs · clock)
+//! T_bandwidth = bytes / mem_bandwidth
+//! T_latency   = transactions · latency / (SMs · resident_warps · clock)
+//! ```
+//!
+//! — a throughput/latency roofline: with enough resident warps the
+//! latency term vanishes (multithreading hides it, paper §5.1); with few
+//! (high `d` → shared-memory pressure → low occupancy) it dominates.
+
+use crate::device::GpuDevice;
+use crate::occupancy::Occupancy;
+
+/// Aggregated execution events of one simulated GPU run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuCounters {
+    /// Warp-level instructions issued (divergence already serialized in).
+    pub warp_instructions: u64,
+    /// Global memory transactions (after coalescing).
+    pub transactions: u64,
+    /// Bytes moved to/from device memory.
+    pub bytes: u64,
+    /// Warp branches whose lanes took different paths.
+    pub divergent_branches: u64,
+    /// Constant-cache accesses (`binmat` lookups).
+    pub const_accesses: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Warp-level `__syncthreads()` slots: each warp in a block issues
+    /// the barrier instruction, so record barriers × warps-per-block.
+    pub barriers: u64,
+    /// Kernel launches (hierarchization relaunches per level group).
+    pub kernel_launches: u64,
+    /// Host↔device bytes moved over PCI Express.
+    pub host_bytes: u64,
+}
+
+impl GpuCounters {
+    /// Issue `n` uniform warp instructions.
+    #[inline(always)]
+    pub fn issue(&mut self, n: u64) {
+        self.warp_instructions += n;
+    }
+
+    /// Record a divergent branch serialized over `paths` paths of
+    /// `instr_per_path` instructions each: the warp pays for every path.
+    #[inline(always)]
+    pub fn diverge(&mut self, paths: u64, instr_per_path: u64) {
+        self.divergent_branches += 1;
+        self.warp_instructions += paths.saturating_sub(1) * instr_per_path;
+    }
+
+    /// Record a coalesced global access.
+    #[inline(always)]
+    pub fn global(&mut self, r: crate::coalesce::CoalesceResult) {
+        self.transactions += r.transactions;
+        self.bytes += r.bytes;
+        self.warp_instructions += 1;
+    }
+
+    /// Merge another counter set in.
+    pub fn merge(&mut self, other: &GpuCounters) {
+        self.warp_instructions += other.warp_instructions;
+        self.transactions += other.transactions;
+        self.bytes += other.bytes;
+        self.divergent_branches += other.divergent_branches;
+        self.const_accesses += other.const_accesses;
+        self.shared_accesses += other.shared_accesses;
+        self.barriers += other.barriers;
+        self.kernel_launches += other.kernel_launches;
+        self.host_bytes += other.host_bytes;
+    }
+}
+
+/// Timing decomposition of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBreakdown {
+    /// Instruction-issue time, seconds.
+    pub issue: f64,
+    /// Bandwidth-bound memory time, seconds.
+    pub bandwidth: f64,
+    /// Latency-bound memory time, seconds (after latency hiding).
+    pub latency: f64,
+    /// Kernel launch overhead, seconds.
+    pub launch: f64,
+    /// Host↔device PCI Express transfer time, seconds (not overlapped
+    /// with kernels — compute capability 1.3 without streams).
+    pub transfer: f64,
+    /// Modelled wall time, seconds.
+    pub total: f64,
+}
+
+/// Full report of one simulated GPU run.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuRunReport {
+    /// Event counters.
+    pub counters: GpuCounters,
+    /// Occupancy of the (dominant) kernel configuration.
+    pub occupancy: Occupancy,
+    /// Timing decomposition.
+    pub time: TimeBreakdown,
+}
+
+/// Apply the timing model.
+pub fn estimate_time(dev: &GpuDevice, c: &GpuCounters, occ: &Occupancy) -> TimeBreakdown {
+    // Constant-cache hits and shared accesses issue like ordinary
+    // instructions (low latency); they are already part of issue cost.
+    let instr = c.warp_instructions + c.const_accesses + c.shared_accesses + c.barriers;
+    // Below `issue_coverage_warps` resident warps, dependent-instruction
+    // latency stalls the issue stage proportionally.
+    let stall = (dev.issue_coverage_warps / occ.warps_per_sm.max(1) as f64).max(1.0);
+    let issue = instr as f64 * dev.cycles_per_warp_instruction() * stall
+        / (dev.sms as f64 * dev.clock_hz);
+    let bandwidth = c.bytes as f64 / dev.mem_bandwidth;
+    let resident = occ.warps_per_sm.max(1) as f64;
+    let latency = c.transactions as f64 * dev.mem_latency_cycles
+        / (dev.sms as f64 * resident * dev.clock_hz);
+    let launch = c.kernel_launches as f64 * dev.kernel_launch_overhead;
+    let transfer = c.host_bytes as f64 / dev.pcie_bandwidth;
+    TimeBreakdown {
+        issue,
+        bandwidth,
+        latency,
+        launch,
+        transfer,
+        total: issue.max(bandwidth).max(latency) + launch + transfer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::Occupancy;
+
+    fn occ(warps: usize) -> Occupancy {
+        Occupancy {
+            blocks_per_sm: 1,
+            warps_per_sm: warps,
+            fraction: warps as f64 / 32.0,
+        }
+    }
+
+    #[test]
+    fn latency_hiding_with_more_warps() {
+        let dev = GpuDevice::tesla_c1060();
+        let c = GpuCounters {
+            transactions: 1_000_000,
+            bytes: 64_000_000,
+            ..Default::default()
+        };
+        let t_low = estimate_time(&dev, &c, &occ(2));
+        let t_high = estimate_time(&dev, &c, &occ(32));
+        assert!(t_low.latency > t_high.latency);
+        assert!(t_low.total >= t_high.total);
+    }
+
+    #[test]
+    fn bandwidth_floor() {
+        let dev = GpuDevice::tesla_c1060();
+        let c = GpuCounters {
+            bytes: 102.0e9 as u64, // one second of traffic
+            ..Default::default()
+        };
+        let t = estimate_time(&dev, &c, &occ(32));
+        assert!((t.bandwidth - 1.0).abs() < 1e-9);
+        assert!(t.total >= 1.0);
+    }
+
+    #[test]
+    fn divergence_pays_for_both_paths() {
+        let mut c = GpuCounters::default();
+        c.issue(10);
+        c.diverge(2, 7);
+        assert_eq!(c.warp_instructions, 17);
+        assert_eq!(c.divergent_branches, 1);
+    }
+
+    #[test]
+    fn launch_overhead_accumulates() {
+        let dev = GpuDevice::tesla_c1060();
+        let c = GpuCounters {
+            kernel_launches: 100,
+            ..Default::default()
+        };
+        let t = estimate_time(&dev, &c, &occ(32));
+        assert!((t.launch - 100.0 * dev.kernel_launch_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = GpuCounters::default();
+        a.issue(5);
+        a.barriers = 2;
+        let mut b = GpuCounters::default();
+        b.issue(7);
+        b.kernel_launches = 1;
+        b.const_accesses = 3;
+        a.merge(&b);
+        assert_eq!(a.warp_instructions, 12);
+        assert_eq!(a.barriers, 2);
+        assert_eq!(a.kernel_launches, 1);
+        assert_eq!(a.const_accesses, 3);
+    }
+}

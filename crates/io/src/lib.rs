@@ -1,0 +1,287 @@
+#![warn(missing_docs)]
+
+//! # sg-io — compact binary grid format
+//!
+//! The storage hop of the paper's Fig. 1 pipeline. Because the compact
+//! data structure carries *no* keys or pointers, its serialized form is
+//! simply a small header plus the raw coefficient array:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "SGC1"
+//! 4       1     value type: 0 = f32, 1 = f64
+//! 5       3     reserved (zero)
+//! 8       4     dimensionality d          (LE u32)
+//! 12      4     refinement level L        (LE u32)
+//! 16      8     coefficient count N       (LE u64)
+//! 24      8·/4· raw little-endian coefficients
+//! end−8   8     FNV-1a 64 checksum of everything before it (LE u64)
+//! ```
+//!
+//! Overhead: 32 bytes total, independent of `N` and `d` — compare the
+//! per-point keys a map-based representation would have to persist.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sg_core::grid::CompactGrid;
+use sg_core::level::GridSpec;
+use sg_core::real::Real;
+
+/// Format magic.
+pub const MAGIC: [u8; 4] = *b"SGC1";
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Trailing checksum length in bytes.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer shorter than header + checksum.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unknown value-type tag.
+    BadValueType(u8),
+    /// The value-type tag does not match the requested `T`.
+    ValueTypeMismatch {
+        /// Tag found in the header.
+        found: u8,
+        /// Tag implied by the requested scalar type.
+        expected: u8,
+    },
+    /// Header count does not match `GridSpec::num_points`.
+    CountMismatch {
+        /// Count from the header.
+        header: u64,
+        /// Count implied by (d, L).
+        expected: u64,
+    },
+    /// Payload length does not match the header count.
+    LengthMismatch,
+    /// Checksum failed — the blob is corrupt.
+    ChecksumMismatch,
+    /// Invalid grid shape (d = 0 or L = 0 or too large).
+    BadShape,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic (not an SGC1 blob)"),
+            DecodeError::BadValueType(t) => write!(f, "unknown value type tag {t}"),
+            DecodeError::ValueTypeMismatch { found, expected } => {
+                write!(f, "value type tag {found}, expected {expected}")
+            }
+            DecodeError::CountMismatch { header, expected } => {
+                write!(f, "header count {header} but grid shape implies {expected}")
+            }
+            DecodeError::LengthMismatch => write!(f, "payload length mismatch"),
+            DecodeError::ChecksumMismatch => write!(f, "checksum mismatch (corrupt blob)"),
+            DecodeError::BadShape => write!(f, "invalid grid shape"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64-bit over a byte slice.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Value-type tag for a scalar type.
+fn type_tag<T: Real>() -> u8 {
+    match T::size_bytes() {
+        4 => 0,
+        8 => 1,
+        _ => unreachable!("Real is only implemented for f32/f64"),
+    }
+}
+
+/// Encode a grid into the compact binary format.
+pub fn encode<T: Real>(grid: &CompactGrid<T>) -> Bytes {
+    let n = grid.len();
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + n * T::size_bytes() + CHECKSUM_LEN);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(type_tag::<T>());
+    buf.put_slice(&[0u8; 3]);
+    buf.put_u32_le(grid.spec().dim() as u32);
+    buf.put_u32_le(grid.spec().levels() as u32);
+    buf.put_u64_le(n as u64);
+    for &v in grid.values() {
+        match T::size_bytes() {
+            4 => buf.put_f32_le(v.to_f64() as f32),
+            _ => buf.put_f64_le(v.to_f64()),
+        }
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Decode a grid from the compact binary format.
+pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
+    if blob.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let (body, tail) = blob.split_at(blob.len() - CHECKSUM_LEN);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+
+    let mut cur = body;
+    let mut magic = [0u8; 4];
+    cur.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let tag = cur.get_u8();
+    if tag > 1 {
+        return Err(DecodeError::BadValueType(tag));
+    }
+    if tag != type_tag::<T>() {
+        return Err(DecodeError::ValueTypeMismatch {
+            found: tag,
+            expected: type_tag::<T>(),
+        });
+    }
+    cur.advance(3);
+    let d = cur.get_u32_le() as usize;
+    let levels = cur.get_u32_le() as usize;
+    let n = cur.get_u64_le();
+    if d == 0 || levels == 0 || levels > 31 || d > 64 {
+        return Err(DecodeError::BadShape);
+    }
+    let spec = GridSpec::new(d, levels);
+    if spec.num_points() != n {
+        return Err(DecodeError::CountMismatch {
+            header: n,
+            expected: spec.num_points(),
+        });
+    }
+    if cur.remaining() != n as usize * T::size_bytes() {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let mut values = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let v = match T::size_bytes() {
+            4 => T::from_f64(cur.get_f32_le() as f64),
+            _ => T::from_f64(cur.get_f64_le()),
+        };
+        values.push(v);
+    }
+    Ok(CompactGrid::from_parts(spec, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::functions::TestFunction;
+
+    fn sample_grid() -> CompactGrid<f64> {
+        CompactGrid::from_fn(GridSpec::new(3, 4), |x| TestFunction::Gaussian.eval(x))
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let g = sample_grid();
+        let blob = encode(&g);
+        let back: CompactGrid<f64> = decode(&blob).unwrap();
+        assert_eq!(back.spec(), g.spec());
+        assert_eq!(back.values(), g.values());
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let g: CompactGrid<f32> =
+            CompactGrid::from_fn(GridSpec::new(2, 5), |x| (x[0] - x[1]) as f32);
+        let blob = encode(&g);
+        let back: CompactGrid<f32> = decode(&blob).unwrap();
+        assert_eq!(back.values(), g.values());
+    }
+
+    #[test]
+    fn overhead_is_exactly_32_bytes() {
+        let g = sample_grid();
+        let blob = encode(&g);
+        assert_eq!(blob.len(), HEADER_LEN + g.len() * 8 + CHECKSUM_LEN);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let blob = encode(&sample_grid());
+        for cut in [0usize, 10, HEADER_LEN, blob.len() - 1] {
+            let r: Result<CompactGrid<f64>, _> = decode(&blob[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_corruption_anywhere() {
+        let blob = encode(&sample_grid()).to_vec();
+        // Flip one bit in a spread of positions across header, payload
+        // and checksum.
+        for pos in (0..blob.len()).step_by(blob.len() / 23 + 1) {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x40;
+            let r: Result<CompactGrid<f64>, _> = decode(&bad);
+            assert!(r.is_err(), "corruption at byte {pos} must be detected");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_value_type() {
+        let g = sample_grid();
+        let blob = encode(&g);
+        let r: Result<CompactGrid<f32>, _> = decode(&blob);
+        assert_eq!(
+            r.unwrap_err(),
+            DecodeError::ValueTypeMismatch { found: 1, expected: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut blob = encode(&sample_grid()).to_vec();
+        blob[0] = b'X';
+        // Re-stamp the checksum so only the magic is wrong.
+        let len = blob.len();
+        let c = fnv1a(&blob[..len - 8]);
+        blob[len - 8..].copy_from_slice(&c.to_le_bytes());
+        let r: Result<CompactGrid<f64>, _> = decode(&blob);
+        assert_eq!(r.unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_inconsistent_count() {
+        let mut blob = encode(&sample_grid()).to_vec();
+        // Overwrite the count field (offset 16) with a wrong value.
+        blob[16..24].copy_from_slice(&999u64.to_le_bytes());
+        let len = blob.len();
+        let c = fnv1a(&blob[..len - 8]);
+        blob[len - 8..].copy_from_slice(&c.to_le_bytes());
+        let r: Result<CompactGrid<f64>, _> = decode(&blob);
+        assert!(matches!(r.unwrap_err(), DecodeError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DecodeError::CountMismatch { header: 1, expected: 2 };
+        assert!(e.to_string().contains("header count 1"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // Known FNV-1a 64 test vector.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

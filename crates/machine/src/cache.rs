@@ -1,0 +1,357 @@
+//! Set-associative, LRU, multi-level cache simulator.
+//!
+//! Fed with the address streams of the real sparse grid algorithms
+//! (see [`crate::trace`]), it measures the cache behaviour the paper
+//! argues about qualitatively: the compact structure triggers "at most
+//! one miss per coefficient access … even … for random access" (§4.3),
+//! while tree- and map-based structures take `O(log N)` or `O(d)`
+//! non-sequential references per access (Table 1).
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Display name ("L1", "L2", …).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// One cache level with LRU replacement and hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    cfg: CacheConfig,
+    /// Per set: resident line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two());
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access one line (by line-granular address). Returns `true` on hit.
+    fn access_line(&mut self, line: u64) -> bool {
+        let set = (line as usize) & (self.cfg.sets() - 1);
+        let tag = line >> self.cfg.sets().trailing_zeros();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            ways.remove(pos);
+            ways.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.cfg.ways {
+                ways.remove(0); // evict LRU
+            }
+            ways.push(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Level geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// A cache hierarchy; a miss at level `k` proceeds to level `k+1`, a miss
+/// at the last level counts as DRAM traffic.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    levels: Vec<CacheLevel>,
+    accesses: u64,
+    dram_lines: u64,
+    /// DRAM fetches that did not continue a sequential stream (line ≠
+    /// previous line + 1) — these pay full latency instead of streaming
+    /// bandwidth and saturate the memory system much earlier.
+    dram_lines_random: u64,
+    last_dram_line: Option<u64>,
+}
+
+impl CacheSim {
+    /// Build from innermost to outermost level configs.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        assert!(!configs.is_empty());
+        let line = configs[0].line_bytes;
+        assert!(
+            configs.iter().all(|c| c.line_bytes == line),
+            "all levels must share a line size"
+        );
+        Self {
+            levels: configs.iter().map(|&c| CacheLevel::new(c)).collect(),
+            accesses: 0,
+            dram_lines: 0,
+            dram_lines_random: 0,
+            last_dram_line: None,
+        }
+    }
+
+    /// Intel Nehalem-class hierarchy (i7-920 / E5540; the paper's
+    /// sequential-baseline and 4/8-core machines).
+    pub fn nehalem() -> Self {
+        Self::new(&[
+            CacheConfig { name: "L1", size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
+            CacheConfig { name: "L2", size_bytes: 256 << 10, line_bytes: 64, ways: 8 },
+            CacheConfig { name: "L3", size_bytes: 8 << 20, line_bytes: 64, ways: 16 },
+        ])
+    }
+
+    /// AMD Barcelona-class hierarchy (Opteron 8356, the paper's 32-core
+    /// scalability machine; per-core L1/L2, 2 MB shared L3 per socket).
+    pub fn opteron_barcelona() -> Self {
+        Self::new(&[
+            CacheConfig { name: "L1", size_bytes: 64 << 10, line_bytes: 64, ways: 2 },
+            CacheConfig { name: "L2", size_bytes: 512 << 10, line_bytes: 64, ways: 16 },
+            CacheConfig { name: "L3", size_bytes: 2 << 20, line_bytes: 64, ways: 32 },
+        ])
+    }
+
+    /// The Opteron machine's *aggregate* last-level capacity (8 sockets ×
+    /// 2 MB L3): the right hierarchy for profiling a data-parallel run in
+    /// which every socket independently caches the shared read-only
+    /// structure (e.g. batch evaluation with partitioned query points).
+    pub fn opteron_barcelona_aggregate() -> Self {
+        Self::new(&[
+            CacheConfig { name: "L1", size_bytes: 64 << 10, line_bytes: 64, ways: 2 },
+            CacheConfig { name: "L2", size_bytes: 512 << 10, line_bytes: 64, ways: 16 },
+            CacheConfig { name: "L3x8", size_bytes: 16 << 20, line_bytes: 64, ways: 32 },
+        ])
+    }
+
+    /// A tiny hierarchy for unit tests.
+    pub fn tiny() -> Self {
+        Self::new(&[CacheConfig { name: "L1", size_bytes: 1024, line_bytes: 64, ways: 2 }])
+    }
+
+    /// Line size shared by all levels.
+    pub fn line_bytes(&self) -> usize {
+        self.levels[0].cfg.line_bytes
+    }
+
+    /// Simulate one access of `size` bytes at `addr` (may span lines).
+    pub fn access(&mut self, addr: u64, size: usize) {
+        self.accesses += 1;
+        let line_sz = self.line_bytes() as u64;
+        let first = addr / line_sz;
+        let last = (addr + size.max(1) as u64 - 1) / line_sz;
+        for line in first..=last {
+            let mut level = 0;
+            loop {
+                if self.levels[level].access_line(line) {
+                    break;
+                }
+                level += 1;
+                if level == self.levels.len() {
+                    self.dram_lines += 1;
+                    if self.last_dram_line != Some(line.wrapping_sub(1)) {
+                        self.dram_lines_random += 1;
+                    }
+                    self.last_dram_line = Some(line);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Total logical accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Lines fetched from DRAM (misses of the outermost level).
+    pub fn dram_lines(&self) -> u64 {
+        self.dram_lines
+    }
+
+    /// DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_lines * self.line_bytes() as u64
+    }
+
+    /// Non-sequential DRAM fetches (see [`Self::dram_lines`]).
+    pub fn dram_lines_random(&self) -> u64 {
+        self.dram_lines_random
+    }
+
+    /// Non-sequential DRAM traffic in bytes.
+    pub fn dram_bytes_random(&self) -> u64 {
+        self.dram_lines_random * self.line_bytes() as u64
+    }
+
+    /// Per-level counters `(name, hits, misses)`.
+    pub fn level_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        self.levels
+            .iter()
+            .map(|l| (l.cfg.name, l.hits, l.misses))
+            .collect()
+    }
+
+    /// Misses of the innermost level per logical access.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.levels[0].misses() as f64 / self.accesses as f64
+    }
+
+    /// Reset all counters and contents.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.hits = 0;
+            l.misses = 0;
+            for s in &mut l.sets {
+                s.clear();
+            }
+        }
+        self.accesses = 0;
+        self.dram_lines = 0;
+        self.dram_lines_random = 0;
+        self.last_dram_line = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig { name: "L1", size_bytes: 32 << 10, line_bytes: 64, ways: 8 };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut sim = CacheSim::tiny();
+        sim.access(0x1000, 8);
+        sim.access(0x1000, 8);
+        sim.access(0x1008, 8); // same line
+        let (_, hits, misses) = sim.level_stats()[0];
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+        assert_eq!(sim.dram_lines(), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut sim = CacheSim::tiny();
+        sim.access(60, 8); // bytes 60..68 span lines 0 and 1
+        let (_, _, misses) = sim.level_stats()[0];
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // tiny: 1024 B, 64 B lines, 2 ways → 8 sets. Lines mapping to the
+        // same set: line numbers ≡ set (mod 8).
+        let mut sim = CacheSim::tiny();
+        let line = |k: u64| k * 8 * 64; // all map to set 0
+        sim.access(line(0), 1);
+        sim.access(line(1), 1);
+        sim.access(line(0), 1); // hit, refreshes LRU
+        sim.access(line(2), 1); // evicts line(1)
+        sim.access(line(1), 1); // miss again
+        let (_, hits, misses) = sim.level_stats()[0];
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn sequential_streaming_misses_once_per_line() {
+        let mut sim = CacheSim::nehalem();
+        for k in 0..1024u64 {
+            sim.access(k * 8, 8); // 8-byte stride
+        }
+        // 1024 accesses × 8 B = 8 KiB = 128 lines.
+        assert_eq!(sim.dram_lines(), 128);
+        assert!(sim.l1_miss_rate() < 0.2);
+        // All fetches except the first continue the stream.
+        assert_eq!(sim.dram_lines_random(), 1);
+    }
+
+    #[test]
+    fn random_fetches_are_classified() {
+        let mut sim = CacheSim::tiny();
+        // Scattered lines: every DRAM fetch is non-sequential.
+        for k in 0..64u64 {
+            sim.access(k * 4096, 1);
+        }
+        assert_eq!(sim.dram_lines(), 64);
+        assert_eq!(sim.dram_lines_random(), 64);
+    }
+
+    #[test]
+    fn capacity_miss_on_large_working_set() {
+        let mut sim = CacheSim::tiny(); // 1 KiB
+        // Stream 64 KiB twice: second pass misses everything again.
+        for _ in 0..2 {
+            for k in 0..1024u64 {
+                sim.access(k * 64, 1);
+            }
+        }
+        let (_, hits, misses) = sim.level_stats()[0];
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2048);
+    }
+
+    #[test]
+    fn second_level_absorbs_l1_misses() {
+        let mut sim = CacheSim::new(&[
+            CacheConfig { name: "L1", size_bytes: 1024, line_bytes: 64, ways: 2 },
+            CacheConfig { name: "L2", size_bytes: 64 << 10, line_bytes: 64, ways: 8 },
+        ]);
+        // Working set of 16 KiB: too big for L1, fits L2.
+        for _ in 0..3 {
+            for k in 0..256u64 {
+                sim.access(k * 64, 1);
+            }
+        }
+        let l2 = sim.level_stats()[1];
+        assert_eq!(l2.2, 256, "L2 misses only on first pass");
+        assert_eq!(l2.1, 512, "L2 hits on subsequent passes");
+        assert_eq!(sim.dram_lines(), 256);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut sim = CacheSim::tiny();
+        sim.access(0, 64);
+        sim.reset();
+        assert_eq!(sim.accesses(), 0);
+        assert_eq!(sim.dram_lines(), 0);
+        sim.access(0, 1);
+        let (_, _, misses) = sim.level_stats()[0];
+        assert_eq!(misses, 1, "contents were flushed");
+    }
+}

@@ -1,0 +1,26 @@
+#![allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays reads clearer in numeric kernels
+#![warn(missing_docs)]
+
+//! # sg-machine — CPU performance substrate
+//!
+//! The paper evaluates its data structure on hardware we substitute with
+//! simulation (see DESIGN.md):
+//!
+//! * [`cache`] — a set-associative LRU multi-level cache simulator fed by
+//!   the algorithms' real access streams;
+//! * [`trace`] — per-data-structure address-stream generators (flat
+//!   array, search trees, hash table, trie);
+//! * [`profile`] — traced hierarchization/evaluation runs producing DRAM
+//!   traffic and barrier counts;
+//! * [`multicore`] — the bandwidth-saturation scaling model that
+//!   reproduces the shape of the paper's Fig. 11 on its 32-core Opteron.
+
+pub mod cache;
+pub mod multicore;
+pub mod profile;
+pub mod trace;
+
+pub use cache::{CacheConfig, CacheSim};
+pub use multicore::{MachineModel, SeqCpuModel, WorkloadProfile};
+pub use profile::{trace_evaluation, trace_hierarchization, AlgoProfile};
+pub use trace::AccessTracer;

@@ -1,0 +1,210 @@
+//! Workload profiling: run the real algorithms' access streams through
+//! the cache simulator to obtain the DRAM traffic that drives the
+//! multicore scaling model.
+
+use crate::cache::CacheSim;
+use crate::multicore::WorkloadProfile;
+use crate::trace::AccessTracer;
+use sg_baselines::StoreKind;
+use sg_core::iter::{decode_subspace_rank, first_level, next_level};
+use sg_core::level::{hierarchical_parent, GridSpec, Index, Level, Side};
+
+/// Traffic summary of one traced algorithm run.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoProfile {
+    /// DRAM lines fetched × line size.
+    pub dram_bytes: u64,
+    /// The non-sequential part of `dram_bytes`.
+    pub random_bytes: u64,
+    /// Logical value accesses issued.
+    pub accesses: u64,
+    /// Global barriers a parallel execution needs.
+    pub barriers: u64,
+}
+
+impl AlgoProfile {
+    /// Combine with a measured sequential wall time into a scaling-model
+    /// input (statically decomposed execution).
+    pub fn workload(&self, seq_time: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            seq_time,
+            dram_bytes: self.dram_bytes as f64,
+            random_bytes: self.random_bytes as f64,
+            barriers: self.barriers,
+            serial_fraction: 0.003,
+        }
+    }
+
+    /// Like [`Self::workload`], but for executions parallelized with
+    /// dynamically scheduled tasks over a recursive traversal — the
+    /// paper's parallelization of the conventional structures, whose
+    /// "use of tasks necessary for the dynamic decomposition of the
+    /// workload" it names as a scalability limiter (§6.2). Task spawn/
+    /// steal contention is modelled as a larger serial fraction, and the
+    /// recursion has no level-group barriers.
+    pub fn workload_tasked(&self, seq_time: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            seq_time,
+            dram_bytes: self.dram_bytes as f64,
+            random_bytes: self.random_bytes as f64,
+            barriers: 0,
+            serial_fraction: 0.04,
+        }
+    }
+}
+
+/// Trace the hierarchization access stream (paper Alg. 6) for storage
+/// `kind` on a cold `sim`.
+///
+/// The stream is the iterative traversal's: per dimension, level groups
+/// descending, and per point two ancestor reads plus a read-modify-write
+/// of the point itself.
+pub fn trace_hierarchization(kind: StoreKind, spec: GridSpec, sim: &mut CacheSim) -> AlgoProfile {
+    let tracer = AccessTracer::new(kind, spec, 4);
+    let d = spec.dim();
+    let ix = tracer.indexer().clone();
+    let mut l = vec![0 as Level; d];
+    let mut i = vec![0 as Index; d];
+    let mut accesses = 0u64;
+    let mut barriers = 0u64;
+    for t in 0..d {
+        for n in (0..spec.levels()).rev() {
+            barriers += 1;
+            let mut sub_start = ix.group_offset(n);
+            first_level(n, &mut l);
+            loop {
+                if l[t] != 0 {
+                    for rank in 0..(1u64 << n) {
+                        decode_subspace_rank(&l, rank, &mut i);
+                        let (lt, it) = (l[t], i[t]);
+                        for side in [Side::Left, Side::Right] {
+                            if let Some((pl, pi)) = hierarchical_parent(lt, it, side) {
+                                l[t] = pl;
+                                i[t] = pi;
+                                tracer.record(&l, &i, sim);
+                                l[t] = lt;
+                                i[t] = it;
+                                accesses += 1;
+                            }
+                        }
+                        // Read-modify-write of the point itself.
+                        tracer.record_idx(sub_start + rank, &l, sim);
+                        accesses += 1;
+                    }
+                }
+                sub_start += 1u64 << n;
+                if !next_level(&mut l) {
+                    break;
+                }
+            }
+        }
+    }
+    AlgoProfile {
+        dram_bytes: sim.dram_bytes(),
+        random_bytes: sim.dram_bytes_random(),
+        accesses,
+        barriers,
+    }
+}
+
+/// Trace the batch-evaluation access stream (paper Alg. 7) for `count`
+/// quasi-random query points.
+pub fn trace_evaluation(
+    kind: StoreKind,
+    spec: GridSpec,
+    count: usize,
+    sim: &mut CacheSim,
+) -> AlgoProfile {
+    let tracer = AccessTracer::new(kind, spec, 4);
+    let d = spec.dim();
+    let points = sg_core::functions::halton_points(d.min(32), count);
+    let mut l = vec![0 as Level; d];
+    let mut i = vec![0 as Index; d];
+    let mut accesses = 0u64;
+    for x in points.chunks_exact(d.min(32)) {
+        for n in 0..spec.levels() {
+            first_level(n, &mut l);
+            loop {
+                // The one in-support basis function of this subspace.
+                for t in 0..d {
+                    let cells = 1u64 << l[t] as u32;
+                    let xt = x[t % x.len()];
+                    let c = ((xt * cells as f64) as u64).min(cells - 1);
+                    i[t] = 2 * c as Index + 1;
+                }
+                tracer.record(&l, &i, sim);
+                accesses += 1;
+                if !next_level(&mut l) {
+                    break;
+                }
+            }
+        }
+    }
+    AlgoProfile {
+        dram_bytes: sim.dram_bytes(),
+        random_bytes: sim.dram_bytes_random(),
+        accesses,
+        barriers: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSim;
+
+    #[test]
+    fn hierarchization_traffic_ordering_matches_table1() {
+        let spec = GridSpec::new(4, 8);
+        let traffic = |kind| {
+            let mut sim = CacheSim::opteron_barcelona();
+            trace_hierarchization(kind, spec, &mut sim).dram_bytes
+        };
+        let compact = traffic(StoreKind::Compact);
+        let trie = traffic(StoreKind::PrefixTree);
+        let emap = traffic(StoreKind::EnhancedMap);
+        assert!(compact < trie, "compact {compact} vs trie {trie}");
+        assert!(trie < emap, "trie {trie} vs map {emap}");
+    }
+
+    #[test]
+    fn barrier_count_is_dims_times_levels() {
+        let spec = GridSpec::new(3, 5);
+        let mut sim = CacheSim::tiny();
+        let p = trace_hierarchization(StoreKind::Compact, spec, &mut sim);
+        assert_eq!(p.barriers, 15);
+    }
+
+    #[test]
+    fn evaluation_touches_one_value_per_subspace_per_point() {
+        let spec = GridSpec::new(2, 4);
+        let mut sim = CacheSim::tiny();
+        let p = trace_evaluation(StoreKind::Compact, spec, 10, &mut sim);
+        // Subspace count for levels 0..3 in 2d: 1+2+3+4 = 10.
+        assert_eq!(p.accesses, 10 * 10);
+        assert_eq!(p.barriers, 0);
+    }
+
+    #[test]
+    fn hierarchization_access_count_matches_stencil() {
+        // Every point with l_t ≠ 0 issues ≤ 3 accesses (2 parents + self)
+        // per dimension pass.
+        let spec = GridSpec::new(2, 3);
+        let mut sim = CacheSim::tiny();
+        let p = trace_hierarchization(StoreKind::Compact, spec, &mut sim);
+        let n = spec.num_points();
+        assert!(p.accesses <= 3 * 2 * n);
+        assert!(p.accesses > n);
+    }
+
+    #[test]
+    fn profiles_convert_to_workloads() {
+        let spec = GridSpec::new(3, 4);
+        let mut sim = CacheSim::nehalem();
+        let p = trace_hierarchization(StoreKind::EnhancedHash, spec, &mut sim);
+        let w = p.workload(2.0);
+        assert_eq!(w.seq_time, 2.0);
+        assert_eq!(w.dram_bytes, p.dram_bytes as f64);
+        assert_eq!(w.barriers, p.barriers);
+    }
+}

@@ -1,0 +1,248 @@
+//! Structure-specific address streams for the cache simulator.
+//!
+//! The simulated heap layout of each comparator follows its real
+//! implementation: the compact structure is one flat array indexed by
+//! `gp2idx`; ordered maps are balanced search trees whose lookup path
+//! touches `O(log N)` scattered nodes; the hash table touches one bucket
+//! slot and one entry; the prefix tree touches one node array per
+//! dimension. Node placements are deterministic pseudo-random (hashed
+//! node identity), modelling an aged allocator heap.
+
+use crate::cache::CacheSim;
+use sg_baselines::StoreKind;
+use sg_core::bijection::GridIndexer;
+use sg_core::level::{GridSpec, Index, Level};
+
+/// Disjoint simulated address regions.
+const VALUES_BASE: u64 = 1 << 40;
+const NODE_BASE: u64 = 1 << 41;
+const BUCKET_BASE: u64 = 1 << 42;
+const ENTRY_BASE: u64 = 1 << 43;
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) for node placement.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Generates the address stream of one `(l, i)` value access for a given
+/// storage structure.
+#[derive(Debug, Clone)]
+pub struct AccessTracer {
+    kind: StoreKind,
+    indexer: GridIndexer,
+    value_bytes: usize,
+    /// Simulated heap footprint for scattered-node placement: nodes are
+    /// placed pseudo-randomly within `heap_span` bytes.
+    heap_span: u64,
+}
+
+impl AccessTracer {
+    /// Tracer for `kind` over the given grid shape with `value_bytes`-wide
+    /// coefficients.
+    pub fn new(kind: StoreKind, spec: GridSpec, value_bytes: usize) -> Self {
+        let indexer = GridIndexer::new(spec);
+        let n = indexer.num_points();
+        // Scattered structures occupy roughly their modelled footprint.
+        let heap_span = (n.max(1)) * 128;
+        Self {
+            kind,
+            indexer,
+            value_bytes,
+            heap_span,
+        }
+    }
+
+    /// The structure being modelled.
+    pub fn kind(&self) -> StoreKind {
+        self.kind
+    }
+
+    /// Grid shape.
+    pub fn spec(&self) -> &GridSpec {
+        self.indexer.spec()
+    }
+
+    /// The shared index machinery (for callers that already know the
+    /// linear index).
+    pub fn indexer(&self) -> &GridIndexer {
+        &self.indexer
+    }
+
+    fn scatter(&self, id: u64, bytes: u64) -> u64 {
+        NODE_BASE + mix(id) % self.heap_span.max(bytes) / 64 * 64
+    }
+
+    /// Record the accesses of one value read/write at `(l, i)`.
+    pub fn record(&self, l: &[Level], i: &[Index], sim: &mut CacheSim) {
+        let idx = self.indexer.gp2idx(l, i);
+        self.record_idx(idx, l, sim);
+    }
+
+    /// Record the accesses of one value read/write at linear index `idx`
+    /// (with the level vector still needed by the prefix-tree walk).
+    pub fn record_idx(&self, idx: u64, l: &[Level], sim: &mut CacheSim) {
+        match self.kind {
+            StoreKind::Compact => {
+                sim.access(VALUES_BASE + idx * self.value_bytes as u64, self.value_bytes);
+            }
+            StoreKind::EnhancedHash => {
+                // One bucket-array slot, then the entry itself.
+                let n = self.indexer.num_points();
+                sim.access(BUCKET_BASE + (mix(idx) % n.max(1)) * 8, 8);
+                sim.access(ENTRY_BASE + mix(idx ^ 0xDEAD) % self.heap_span / 64 * 64, 32);
+            }
+            StoreKind::EnhancedMap | StoreKind::StdMap => {
+                // Balanced search tree over the key space 0..N: the lookup
+                // walks ⌈log₂ N⌉ scattered nodes. The coordinate-keyed map
+                // additionally drags the key payload (8·d bytes) through
+                // the cache at every visited node.
+                let node_bytes = match self.kind {
+                    StoreKind::StdMap => 64 + 8 * self.spec().dim(),
+                    _ => 64,
+                };
+                let n = self.indexer.num_points();
+                let (mut lo, mut hi) = (0u64, n);
+                let mut path_id = 1u64;
+                loop {
+                    let midpoint = lo + (hi - lo) / 2;
+                    sim.access(self.scatter(path_id, node_bytes as u64), node_bytes);
+                    if midpoint == idx || hi - lo <= 1 {
+                        break;
+                    }
+                    if idx < midpoint {
+                        hi = midpoint;
+                        path_id *= 2;
+                    } else {
+                        lo = midpoint + 1;
+                        path_id = 2 * path_id + 1;
+                    }
+                }
+            }
+            StoreKind::PrefixTree => {
+                // One node array per dimension; the slot within the array
+                // is the heap position of (l_t, i_t). Node identity is the
+                // coordinate prefix.
+                let mut prefix = 0xABCDu64;
+                let mut idx_rest = idx;
+                let d = self.spec().dim();
+                for t in 0..d {
+                    let pos = heap_pos_from(l, idx_rest, t, d);
+                    let slot_bytes = if t == d - 1 { self.value_bytes } else { 8 };
+                    sim.access(
+                        self.scatter(prefix, 4096) + pos * slot_bytes as u64,
+                        slot_bytes,
+                    );
+                    prefix = mix(prefix ^ (t as u64) << 32 ^ pos);
+                    idx_rest = idx_rest.wrapping_mul(31).wrapping_add(pos);
+                }
+            }
+        }
+    }
+}
+
+/// Heap position of dimension `t`'s 1-d coordinate. Levels come from the
+/// caller's level vector; the within-level offset is derived
+/// deterministically from the linear index (the exact offset does not
+/// change line-granular behaviour, only the level — i.e. array depth —
+/// does).
+fn heap_pos_from(l: &[Level], idx_salt: u64, t: usize, _d: usize) -> u64 {
+    let lt = l[t] as u64;
+    let level_start = (1u64 << lt) - 1;
+    level_start + mix(idx_salt ^ (t as u64)) % (1u64 << lt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::iter::for_each_point;
+
+    fn misses_per_access(kind: StoreKind, spec: GridSpec) -> f64 {
+        let tracer = AccessTracer::new(kind, spec, 8);
+        let mut sim = CacheSim::nehalem();
+        // Random-ish access pattern: permuted traversal.
+        let n = spec.num_points();
+        let mut order: Vec<u64> = (0..n).collect();
+        // Deterministic shuffle.
+        for k in 0..n as usize {
+            let j = (mix(k as u64) % n) as usize;
+            order.swap(k, j);
+        }
+        let ix = GridIndexer::new(spec);
+        let d = spec.dim();
+        let (mut l, mut i) = (vec![0 as Level; d], vec![0 as Index; d]);
+        let mut accesses = 0u64;
+        for &idx in &order {
+            ix.idx2gp(idx, &mut l, &mut i);
+            tracer.record_idx(idx, &l, &mut sim);
+            accesses += 1;
+        }
+        sim.dram_lines() as f64 / accesses as f64
+    }
+
+    #[test]
+    fn table1_ordering_of_memory_traffic() {
+        // Table 1: non-sequential references per access — compact O(1),
+        // hash O(1), prefix tree O(d), maps O(log N). With a working set
+        // larger than L3 the DRAM lines per access must order accordingly.
+        let spec = GridSpec::new(4, 12); // ~114k points → > 8 MB scattered
+        let compact = misses_per_access(StoreKind::Compact, spec);
+        let hash = misses_per_access(StoreKind::EnhancedHash, spec);
+        let trie = misses_per_access(StoreKind::PrefixTree, spec);
+        let emap = misses_per_access(StoreKind::EnhancedMap, spec);
+        let smap = misses_per_access(StoreKind::StdMap, spec);
+        assert!(compact <= 1.05, "compact {compact} must be ≤ ~1 miss/access");
+        assert!(hash >= compact, "hash {hash} vs compact {compact}");
+        // The trie's upper-level node arrays stay cache-resident, so its
+        // *measured* misses sit between compact and the maps even though
+        // its worst case is O(d) — exactly the "good cache locality"
+        // the paper observes for the prefix tree in Fig. 9.
+        assert!(trie >= compact, "trie {trie} vs compact {compact}");
+        assert!(emap > trie, "ordered map {emap} vs trie {trie}");
+        assert!(emap > hash, "ordered map {emap} vs hash {hash}");
+        assert!(smap >= emap, "std map {smap} vs enhanced map {emap}");
+    }
+
+    #[test]
+    fn compact_sequential_traversal_is_streaming() {
+        let spec = GridSpec::new(3, 6);
+        let tracer = AccessTracer::new(StoreKind::Compact, spec, 8);
+        let mut sim = CacheSim::nehalem();
+        for_each_point(&spec, |idx, l, _| {
+            tracer.record_idx(idx, l, &mut sim);
+        });
+        // 8 bytes per access, 64-byte lines → 1/8 miss rate.
+        let rate = sim.dram_lines() as f64 / sim.accesses() as f64;
+        assert!(rate < 0.15, "sequential traversal must stream: {rate}");
+    }
+
+    #[test]
+    fn map_path_length_grows_with_n() {
+        let small = GridSpec::new(2, 4);
+        let large = GridSpec::new(2, 10);
+        let count_nodes = |spec: GridSpec| {
+            let tracer = AccessTracer::new(StoreKind::EnhancedMap, spec, 8);
+            let mut sim = CacheSim::tiny();
+            let l = vec![0 as Level; 2];
+            tracer.record_idx(0, &l, &mut sim);
+            sim.accesses()
+        };
+        // record_idx counts 1 logical access... the tree walk issues one
+        // sim.access per node; `accesses()` counts them individually.
+        assert!(count_nodes(large) > count_nodes(small));
+    }
+
+    #[test]
+    fn tracer_is_deterministic() {
+        let spec = GridSpec::new(3, 5);
+        let run = || {
+            let tracer = AccessTracer::new(StoreKind::PrefixTree, spec, 4);
+            let mut sim = CacheSim::nehalem();
+            for_each_point(&spec, |idx, l, _| tracer.record_idx(idx, l, &mut sim));
+            (sim.dram_lines(), sim.accesses())
+        };
+        assert_eq!(run(), run());
+    }
+}

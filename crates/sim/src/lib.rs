@@ -1,0 +1,378 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // lockstep indexing over parallel arrays reads clearer in numeric kernels
+
+//! # sg-sim — the simulation substrate of the Fig. 1 pipeline
+//!
+//! The paper's application is "the visual and interactive exploration of
+//! multi-dimensional data" produced by "the multi-dimensional and
+//! multi-physics simulation under investigation" (§1). This crate is that
+//! first box of Fig. 1: a d-dimensional diffusion (heat-equation) solver,
+//! swept over physical parameters, whose output forms the
+//! higher-dimensional dataset (space × time × parameter) that the sparse
+//! grid pipeline compresses.
+//!
+//! The solver is a standard explicit FTCS scheme on the same uniform
+//! interior lattice as [`sg_core::full_grid::FullGrid`] with homogeneous
+//! Dirichlet boundaries, CFL-guarded, and validated against the analytic
+//! decay of Fourier modes.
+
+use rayon::prelude::*;
+use sg_core::full_grid::FullGrid;
+
+/// Explicit finite-difference solver for `∂u/∂t = ν Δu` on `[0,1]^d`
+/// with zero Dirichlet boundary values.
+#[derive(Debug, Clone)]
+pub struct HeatSolver {
+    space_dims: usize,
+    level: usize,
+    nu: f64,
+    dt: f64,
+    time: f64,
+    per_dim: usize,
+    strides: Vec<usize>,
+    field: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl HeatSolver {
+    /// New solver on the interior lattice of refinement level `level`
+    /// (`2^level − 1` points per dimension) with diffusivity `nu`,
+    /// initialized by sampling `ic`.
+    ///
+    /// The time step is fixed at 90% of the FTCS stability limit
+    /// `h²/(2·d·ν)`.
+    pub fn new(space_dims: usize, level: usize, nu: f64, ic: impl FnMut(&[f64]) -> f64) -> Self {
+        assert!((1..=3).contains(&space_dims), "1 to 3 spatial dimensions");
+        assert!(nu > 0.0, "diffusivity must be positive");
+        let initial = FullGrid::<f64>::from_fn(space_dims, level, ic);
+        let per_dim = FullGrid::<f64>::points_per_dim(level);
+        let mut strides = vec![0usize; space_dims];
+        let mut s = 1usize;
+        for t in (0..space_dims).rev() {
+            strides[t] = s;
+            s *= per_dim;
+        }
+        let h = 1.0 / (1u64 << level) as f64;
+        let dt = 0.9 * h * h / (2.0 * space_dims as f64 * nu);
+        let field = initial.values().to_vec();
+        Self {
+            space_dims,
+            level,
+            nu,
+            dt,
+            time: 0.0,
+            per_dim,
+            strides,
+            scratch: vec![0.0; field.len()],
+            field,
+        }
+    }
+
+    /// Spatial dimensionality.
+    pub fn space_dims(&self) -> usize {
+        self.space_dims
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The (stability-limited) time step.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advance one FTCS step.
+    pub fn step(&mut self) {
+        let h = 1.0 / (1u64 << self.level) as f64;
+        let r = self.nu * self.dt / (h * h);
+        let per_dim = self.per_dim;
+        let strides = &self.strides;
+        let d = self.space_dims;
+        let field = &self.field;
+        self.scratch
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(flat, out)| {
+                let u = field[flat];
+                let mut lap = 0.0;
+                for t in 0..d {
+                    let k = flat / strides[t] % per_dim;
+                    let left = if k > 0 { field[flat - strides[t]] } else { 0.0 };
+                    let right = if k + 1 < per_dim {
+                        field[flat + strides[t]]
+                    } else {
+                        0.0
+                    };
+                    lap += left - 2.0 * u + right;
+                }
+                *out = u + r * lap;
+            });
+        std::mem::swap(&mut self.field, &mut self.scratch);
+        self.time += self.dt;
+    }
+
+    /// Advance until `time ≥ t`.
+    pub fn advance_to(&mut self, t: f64) {
+        while self.time < t {
+            self.step();
+        }
+    }
+
+    /// Snapshot the current field as a [`FullGrid`] (zero-boundary
+    /// interior lattice, directly consumable by the compression
+    /// pipeline's `restrict_to_sparse`).
+    pub fn snapshot(&self) -> FullGrid<f64> {
+        let mut g = FullGrid::<f64>::new(self.space_dims, self.level);
+        let mut multi = vec![0usize; self.space_dims];
+        for flat in 0..self.field.len() {
+            let mut rem = flat;
+            for t in (0..self.space_dims).rev() {
+                multi[t] = rem % self.per_dim;
+                rem /= self.per_dim;
+            }
+            g.set(&multi, self.field[flat]);
+        }
+        g
+    }
+
+    /// Maximum absolute field value (for max-principle checks).
+    pub fn max_abs(&self) -> f64 {
+        self.field.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+/// A parameter sweep of heat simulations: snapshots over a lattice of
+/// save times × diffusivities, exposed as one `(space + 2)`-dimensional
+/// function on the unit cube — the dataset the steering application
+/// compresses (space…, normalized time, normalized diffusivity).
+#[derive(Debug, Clone)]
+pub struct SweepDataset {
+    space_dims: usize,
+    times: Vec<f64>,
+    nus: Vec<f64>,
+    /// `snapshots[nu_index][time_index]`.
+    snapshots: Vec<Vec<FullGrid<f64>>>,
+}
+
+impl SweepDataset {
+    /// Run one simulation per diffusivity in `nus` (in parallel), saving
+    /// a snapshot at every time in `times` (ascending, starting at 0.0).
+    pub fn generate(
+        space_dims: usize,
+        level: usize,
+        ic: impl Fn(&[f64]) -> f64 + Sync,
+        times: &[f64],
+        nus: &[f64],
+    ) -> Self {
+        assert!(times.len() >= 2 && nus.len() >= 2, "need a 2+ point lattice");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]) && times[0] == 0.0,
+            "times must be ascending from 0"
+        );
+        assert!(nus.windows(2).all(|w| w[1] > w[0]), "nus must be ascending");
+        let snapshots: Vec<Vec<FullGrid<f64>>> = nus
+            .par_iter()
+            .map(|&nu| {
+                let mut solver = HeatSolver::new(space_dims, level, nu, &ic);
+                times
+                    .iter()
+                    .map(|&t| {
+                        solver.advance_to(t);
+                        solver.snapshot()
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            space_dims,
+            times: times.to_vec(),
+            nus: nus.to_vec(),
+            snapshots,
+        }
+    }
+
+    /// Dimensionality of the dataset: space + time + diffusivity.
+    pub fn dim(&self) -> usize {
+        self.space_dims + 2
+    }
+
+    /// Total stored samples across the sweep.
+    pub fn total_samples(&self) -> usize {
+        self.snapshots
+            .iter()
+            .flat_map(|row| row.iter().map(|g| g.len()))
+            .sum()
+    }
+
+    /// Map a normalized axis coordinate in `[0,1]` onto a lattice
+    /// `(lower index, weight)` pair.
+    fn locate(axis: &[f64], u: f64) -> (usize, f64) {
+        // The lattice is uniform in its *index*, not in value: normalized
+        // coordinates address the run lattice directly.
+        let pos = u.clamp(0.0, 1.0) * (axis.len() - 1) as f64;
+        let k = (pos as usize).min(axis.len() - 2);
+        (k, pos - k as f64)
+    }
+
+    /// Evaluate the dataset at `x = (space…, t01, nu01)` with all
+    /// components in `[0,1]`: multilinear across the (time, diffusivity)
+    /// run lattice, piecewise multilinear in space within each snapshot.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dataset dimension mismatch");
+        let space = &x[..self.space_dims];
+        let (kt, wt) = Self::locate(&self.times, x[self.space_dims]);
+        let (kn, wn) = Self::locate(&self.nus, x[self.space_dims + 1]);
+        let mut acc = 0.0;
+        for (dt, wt) in [(0usize, 1.0 - wt), (1, wt)] {
+            for (dn, wn) in [(0usize, 1.0 - wn), (1, wn)] {
+                let w = wt * wn;
+                if w != 0.0 {
+                    acc += w * self.snapshots[kn + dn][kt + dt].interpolate(space);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Closure form for `CompactGrid::from_fn`.
+    pub fn as_fn(&self) -> impl Fn(&[f64]) -> f64 + Sync + '_ {
+        move |x| self.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn single_mode_decays_at_the_analytic_rate_1d() {
+        // u(x,0) = sin(πx) ⇒ u(x,t) = e^{−νπ²t} sin(πx).
+        let nu = 0.5;
+        let mut s = HeatSolver::new(1, 7, nu, |x| (PI * x[0]).sin());
+        let t_end = 0.05;
+        s.advance_to(t_end);
+        let decay = (-nu * PI * PI * s.time()).exp();
+        let g = s.snapshot();
+        for k in [10usize, 40, 63, 100] {
+            let x = (k + 1) as f64 / 128.0;
+            let expect = decay * (PI * x).sin();
+            let got = g.get(&[k]);
+            assert!(
+                (got - expect).abs() < 2e-3,
+                "x={x}: {got} vs analytic {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_mode_decays_at_double_rate_2d() {
+        let nu = 0.25;
+        let mut s = HeatSolver::new(2, 6, nu, |x| (PI * x[0]).sin() * (PI * x[1]).sin());
+        s.advance_to(0.04);
+        let decay = (-2.0 * nu * PI * PI * s.time()).exp();
+        let g = s.snapshot();
+        let got = g.interpolate(&[0.5, 0.5]);
+        assert!(
+            (got - decay).abs() < 5e-3,
+            "centre {got} vs analytic {decay}"
+        );
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        let mut s = HeatSolver::new(2, 5, 1.0, |x| {
+            (16.0 * x[0] * (1.0 - x[0]) * x[1] * (1.0 - x[1])).powi(2)
+        });
+        let initial_max = s.max_abs();
+        for _ in 0..200 {
+            s.step();
+            assert!(s.max_abs() <= initial_max + 1e-12, "max principle violated");
+        }
+        // And diffusion actually decays the peak.
+        assert!(s.max_abs() < initial_max * 0.9);
+    }
+
+    #[test]
+    fn zero_field_stays_zero() {
+        let mut s = HeatSolver::new(1, 5, 1.0, |_| 0.0);
+        for _ in 0..50 {
+            s.step();
+        }
+        assert_eq!(s.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn dt_respects_the_cfl_limit() {
+        for d in 1..=3 {
+            let s = HeatSolver::new(d, 6, 2.0, |_| 0.0);
+            let h = 1.0 / 64.0;
+            assert!(s.dt() <= h * h / (2.0 * d as f64 * 2.0));
+        }
+    }
+
+    #[test]
+    fn sweep_lattice_is_interpolated_exactly_at_nodes() {
+        let ds = SweepDataset::generate(
+            1,
+            5,
+            |x| (PI * x[0]).sin(),
+            &[0.0, 0.01, 0.02],
+            &[0.2, 0.6],
+        );
+        assert_eq!(ds.dim(), 3);
+        // At (t01, nu01) lattice corners, eval must reproduce the
+        // snapshot interpolants.
+        for (kt, t01) in [(0usize, 0.0f64), (1, 0.5), (2, 1.0)] {
+            for (kn, nu01) in [(0usize, 0.0f64), (1, 1.0)] {
+                let x = [0.375, t01, nu01];
+                let direct = ds.snapshots[kn][kt].interpolate(&[0.375]);
+                assert!((ds.eval(&x) - direct).abs() < 1e-14, "kt={kt} kn={kn}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_decays_in_time_and_faster_for_higher_nu() {
+        let ds = SweepDataset::generate(
+            1,
+            6,
+            |x| (PI * x[0]).sin(),
+            &[0.0, 0.02, 0.04],
+            &[0.1, 1.0],
+        );
+        let centre_at = |t01: f64, nu01: f64| ds.eval(&[0.5, t01, nu01]);
+        assert!(centre_at(1.0, 0.0) < centre_at(0.0, 0.0));
+        assert!(centre_at(1.0, 1.0) < centre_at(1.0, 0.0));
+    }
+
+    #[test]
+    fn sweep_feeds_the_compression_pipeline() {
+        // The dataset vanishes on the *spatial* boundary but not on the
+        // time/diffusivity axis boundaries — exactly the situation the
+        // paper's §4.4 boundary extension exists for.
+        use sg_core::boundary::BoundaryGrid;
+        use sg_core::functions::halton_points;
+        let ds = SweepDataset::generate(
+            1,
+            6,
+            |x| (PI * x[0]).sin(),
+            &[0.0, 0.01, 0.02, 0.03],
+            &[0.2, 0.5, 1.0],
+        );
+        let mut grid: BoundaryGrid<f64> = BoundaryGrid::from_fn(3, 6, |x| ds.eval(x));
+        grid.hierarchize();
+        // The compressed representation reproduces the dataset closely.
+        let mut worst = 0.0f64;
+        for x in halton_points(3, 200).chunks_exact(3) {
+            worst = worst.max((grid.evaluate(x) - ds.eval(x)).abs());
+        }
+        assert!(worst < 0.05, "compression error {worst}");
+        // With far fewer coefficients than the full level-6 lattice over
+        // all three axes that the sparse grid stands in for.
+        let full = FullGrid::<f64>::total_points(3, 6).unwrap();
+        assert!((grid.len() as u64) * 10 < full, "{} vs {full}", grid.len());
+    }
+}

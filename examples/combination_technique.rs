@@ -1,0 +1,84 @@
+//! The combination technique vs the direct compact method — the paper's
+//! related-work comparison (§7) made runnable.
+//!
+//! The combination technique approximates the sparse grid interpolant by
+//! an inclusion–exclusion sum of anisotropic full-grid interpolants. For
+//! interpolation the identity is exact — verified below — but "grid
+//! points and corresponding function values have to be replicated across
+//! multiple full grids. Thus, higher memory requirements have to be met."
+//!
+//! Run with: `cargo run --release -p sg-apps --example combination_technique`
+
+use sg_combination::CombinationGrid;
+use sg_core::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let f = TestFunction::Gaussian;
+    println!(
+        "{:>3} {:>12} {:>12} {:>7} {:>12} {:>12} {:>12}",
+        "d", "direct pts", "comb pts", "repl.", "direct B", "comb B", "max |Δ|"
+    );
+
+    for d in 2..=6 {
+        let spec = GridSpec::new(d, 6);
+
+        // Direct method: compact storage + hierarchization.
+        let mut direct = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+        hierarchize(&mut direct);
+
+        // Combination technique: independent anisotropic full grids
+        // (each trivially parallel — its selling point).
+        let comb = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
+
+        // The interpolants coincide (exact identity for interpolation).
+        let probes = halton_points(d, 300);
+        let max_delta = probes
+            .chunks_exact(d)
+            .map(|x| (comb.evaluate(x) - evaluate(&direct, x)).abs())
+            .fold(0.0f64, f64::max);
+
+        println!(
+            "{d:>3} {:>12} {:>12} {:>6.2}x {:>12} {:>12} {:>12.2e}",
+            spec.num_points(),
+            comb.total_points(),
+            comb.replication_factor(),
+            direct.memory_bytes(),
+            comb.memory_bytes(),
+            max_delta
+        );
+        assert!(max_delta < 1e-10, "combination identity violated");
+    }
+
+    // Throughput comparison at d = 5.
+    let d = 5;
+    let spec = GridSpec::new(d, 6);
+    let mut direct = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    hierarchize(&mut direct);
+    let comb = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    let xs = halton_points(d, 20_000);
+
+    let t0 = Instant::now();
+    let a = evaluate_batch_parallel(&direct, &xs, 64);
+    let t_direct = t0.elapsed();
+    let t0 = Instant::now();
+    let b = comb.evaluate_batch_parallel(&xs);
+    let t_comb = t0.elapsed();
+    let worst = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+
+    println!(
+        "\nbatch evaluation of 20k points at d={d}: direct {:?}, combination {:?} ({} grids), agree to {worst:.1e}",
+        t_direct,
+        t_comb,
+        comb.components().len()
+    );
+    println!(
+        "The combination technique buys trivial parallelism with {:.1}x memory replication —\n\
+         the direct compact method gets the same interpolant from a single contiguous array.",
+        comb.replication_factor()
+    );
+}

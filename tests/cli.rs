@@ -1,0 +1,180 @@
+//! End-to-end tests of the `sgtool` command-line front end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn sgtool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sgtool"))
+        .args(args)
+        .output()
+        .expect("failed to run sgtool")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sgtool-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn compress_info_eval_roundtrip() {
+    let file = temp_path("roundtrip.sgc");
+    let f = file.to_str().unwrap();
+
+    let o = sgtool(&[
+        "compress", "--dims", "3", "--level", "5", "--function", "parabola", "--out", f,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("351 points"), "{}", stdout(&o));
+
+    let o = sgtool(&["info", f]);
+    assert!(o.status.success());
+    let s = stdout(&o);
+    assert!(s.contains("dimensionality : 3"));
+    assert!(s.contains("points         : 351"));
+    assert!(s.contains("integral"));
+
+    // The parabola peaks at 1 in the centre, exactly interpolated.
+    let o = sgtool(&["eval", f, "0.5,0.5,0.5"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("= 1.0000000000"), "{}", stdout(&o));
+
+    let o = sgtool(&["integrate", f]);
+    assert!(o.status.success());
+    let integral: f64 = stdout(&o).trim().parse().unwrap();
+    // ∫ (4x(1−x))³ ≈ (2/3)³ at this resolution.
+    assert!((integral - (2.0f64 / 3.0).powi(3)).abs() < 0.01, "{integral}");
+
+    let o = sgtool(&["slice", f, "--axes", "0,1", "--at", "0.5,0.5,0.5", "--width", "20"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("axes x=0 y=1"));
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn rejects_bad_inputs() {
+    let o = sgtool(&["eval", "/nonexistent/grid.sgc", "0.5"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("cannot read"));
+
+    let o = sgtool(&["compress", "--dims", "2", "--level", "4", "--function", "nope", "--out", "/tmp/x.sgc"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown function"));
+
+    // Invalid grid shapes exit cleanly rather than panicking.
+    let o = sgtool(&["compress", "--dims", "0", "--level", "3", "--function", "parabola", "--out", "/tmp/x.sgc"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("dimension must be at least 1"));
+    let o = sgtool(&["compress", "--dims", "2", "--level", "40", "--function", "parabola", "--out", "/tmp/x.sgc"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("level above 31"));
+
+    let o = sgtool(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+
+    let o = sgtool(&[]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn eval_validates_points() {
+    let file = temp_path("validate.sgc");
+    let f = file.to_str().unwrap();
+    let o = sgtool(&["compress", "--dims", "2", "--level", "3", "--function", "parabola", "--out", f]);
+    assert!(o.status.success());
+
+    // Wrong arity.
+    let o = sgtool(&["eval", f, "0.5,0.5,0.5"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("coordinates"));
+
+    // Out of domain.
+    let o = sgtool(&["eval", f, "0.5,1.5"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unit domain"));
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn detects_corrupt_files() {
+    let file = temp_path("corrupt.sgc");
+    let f = file.to_str().unwrap();
+    let o = sgtool(&["compress", "--dims", "2", "--level", "3", "--function", "gaussian", "--out", f]);
+    assert!(o.status.success());
+
+    let mut blob = std::fs::read(&file).unwrap();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0xFF;
+    std::fs::write(&file, &blob).unwrap();
+
+    let o = sgtool(&["info", f]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("checksum"), "{}", stderr(&o));
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn flags_before_the_file_and_one_dimensional_eval() {
+    let file = temp_path("flags.sgc");
+    let f = file.to_str().unwrap();
+    let o = sgtool(&["compress", "--dims", "1", "--level", "4", "--function", "parabola", "--out", f]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Flag value before the positional file must not be mistaken for it.
+    let o = sgtool(&["eval", "--unused-flag", "value", f, "0.5"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("= 1.0000000000"), "{}", stdout(&o));
+
+    // 1-d grids take bare-number points (no comma).
+    let o = sgtool(&["eval", f, "0.25"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("u(0.25)"));
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn render_writes_a_valid_ppm() {
+    let file = temp_path("render.sgc");
+    let img = temp_path("render.ppm");
+    let f = file.to_str().unwrap();
+    let o = sgtool(&["compress", "--dims", "3", "--level", "4", "--function", "gaussian", "--out", f]);
+    assert!(o.status.success());
+
+    let o = sgtool(&[
+        "render", f, "--out", img.to_str().unwrap(), "--axes", "0,2", "--width", "32",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let bytes = std::fs::read(&img).unwrap();
+    assert!(bytes.starts_with(b"P6\n32 32\n255\n"));
+    assert_eq!(bytes.len(), b"P6\n32 32\n255\n".len() + 32 * 32 * 3);
+    // The Gaussian peaks in the centre: the centre pixel must be brighter
+    // (more yellow/red channel) than the corner.
+    let pix = |row: usize, col: usize| {
+        let off = b"P6\n32 32\n255\n".len() + (row * 32 + col) * 3;
+        bytes[off] as u32 + bytes[off + 1] as u32 + bytes[off + 2] as u32
+    };
+    assert!(pix(16, 16) > pix(0, 0), "centre must out-shine the corner");
+
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_file(&img).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let o = sgtool(&["--help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("usage:"));
+}

@@ -1,0 +1,140 @@
+//! GPU-simulator conformance: the simulated kernels must compute exactly
+//! the CPU results on every configuration, and the instrumented counters
+//! must satisfy basic accounting identities.
+
+use sg_core::evaluate::evaluate_batch;
+use sg_core::functions::{halton_points, TestFunction};
+use sg_core::grid::CompactGrid;
+use sg_core::hierarchize::{dehierarchize, hierarchize};
+use sg_core::level::GridSpec;
+use sg_gpu::{evaluate_gpu, hierarchize_gpu, BinmatLocation, GpuDevice, KernelConfig};
+
+fn configs() -> Vec<KernelConfig> {
+    let mut out = Vec::new();
+    for threads_per_block in [32, 128, 256] {
+        for block_shared_l in [true, false] {
+            for binmat in [
+                BinmatLocation::ConstantCache,
+                BinmatLocation::SharedMemory,
+                BinmatLocation::OnTheFly,
+            ] {
+                out.push(KernelConfig {
+                    threads_per_block,
+                    block_shared_l,
+                    binmat,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn hierarchization_numerics_are_config_invariant() {
+    let f = TestFunction::Gaussian;
+    let spec = GridSpec::new(3, 4);
+    let base = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    let mut cpu = base.clone();
+    hierarchize(&mut cpu);
+    for dev in [GpuDevice::tesla_c1060(), GpuDevice::tesla_c2050()] {
+        for cfg in configs() {
+            let mut gpu = base.clone();
+            hierarchize_gpu(&mut gpu, &dev, &cfg);
+            assert_eq!(gpu.values(), cpu.values(), "{} {cfg:?}", dev.name);
+        }
+    }
+}
+
+#[test]
+fn evaluation_numerics_are_config_invariant() {
+    let f = TestFunction::SineProduct;
+    let spec = GridSpec::new(4, 4);
+    let mut g = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    hierarchize(&mut g);
+    let xs = halton_points(4, 77);
+    let cpu = evaluate_batch(&g, &xs);
+    let dev = GpuDevice::tesla_c1060();
+    for cfg in configs() {
+        let (gpu, _) = evaluate_gpu(&g, &xs, &dev, &cfg);
+        assert_eq!(gpu, cpu, "{cfg:?}");
+    }
+}
+
+#[test]
+fn gpu_hierarchization_roundtrips_through_cpu_dehierarchization() {
+    let f = TestFunction::Parabola;
+    let spec = GridSpec::new(3, 5);
+    let original = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    let mut g = original.clone();
+    hierarchize_gpu(&mut g, &GpuDevice::tesla_c1060(), &KernelConfig::default());
+    dehierarchize(&mut g);
+    assert!(g.max_abs_diff(&original) < 1e-12);
+}
+
+#[test]
+fn counters_satisfy_accounting_identities() {
+    let spec = GridSpec::new(3, 4);
+    let mut g = CompactGrid::<f32>::from_fn(spec, |x| TestFunction::Parabola.eval(x) as f32);
+    let dev = GpuDevice::tesla_c1060();
+    let r = hierarchize_gpu(&mut g, &dev, &KernelConfig::default());
+    let c = &r.counters;
+    // Bytes are transactions × segment size.
+    assert_eq!(c.bytes, c.transactions * dev.segment_bytes);
+    // One launch per (dim × level group).
+    assert_eq!(c.kernel_launches as usize, 3 * 4);
+    // Timing components are consistent.
+    assert!(r.time.total >= r.time.launch);
+    assert!(r.time.total - r.time.launch >= r.time.issue.max(r.time.bandwidth) - 1e-15);
+    // Occupancy is within device limits.
+    assert!(r.occupancy.warps_per_sm <= dev.max_warps_per_sm());
+}
+
+#[test]
+fn pcie_transfers_are_accounted() {
+    let dev = GpuDevice::tesla_c1060();
+    let spec = GridSpec::new(3, 5);
+    let mut g = CompactGrid::<f32>::from_fn(spec, |x| x[0] as f32);
+    let r = hierarchize_gpu(&mut g, &dev, &KernelConfig::default());
+    // Upload + download of the coefficient array.
+    assert_eq!(r.counters.host_bytes, 2 * g.len() as u64 * 4);
+    assert!((r.time.transfer - r.counters.host_bytes as f64 / dev.pcie_bandwidth).abs() < 1e-12);
+    assert!(r.time.total >= r.time.transfer);
+
+    let xs = halton_points(3, 500);
+    let (_, e) = evaluate_gpu(&g, &xs, &dev, &KernelConfig::default());
+    // Coords up (f32) + results down.
+    assert_eq!(e.counters.host_bytes, (xs.len() * 4 + 500 * 4) as u64);
+}
+
+#[test]
+fn bigger_grids_cost_more_modelled_time() {
+    let dev = GpuDevice::tesla_c1060();
+    let time = |levels: usize| {
+        let mut g =
+            CompactGrid::<f32>::from_fn(GridSpec::new(3, levels), |x| x.iter().sum::<f64>() as f32);
+        hierarchize_gpu(&mut g, &dev, &KernelConfig::default()).time.total
+    };
+    assert!(time(6) > time(4));
+}
+
+#[test]
+fn fermi_runs_the_future_work_experiment() {
+    // Paper conclusion: "we plan to tune our application for Nvidia GPUs
+    // based on the Fermi architecture". The Fermi model must run the same
+    // kernels with identical numerics and typically less time.
+    let spec = GridSpec::new(5, 5);
+    let f = TestFunction::Parabola;
+    let base = CompactGrid::<f32>::from_fn(spec, |x| f.eval(x) as f32);
+    let cfg = KernelConfig::default();
+    let mut a = base.clone();
+    let ra = hierarchize_gpu(&mut a, &GpuDevice::tesla_c1060(), &cfg);
+    let mut b = base.clone();
+    let rb = hierarchize_gpu(&mut b, &GpuDevice::tesla_c2050(), &cfg);
+    assert_eq!(a.values(), b.values());
+    assert!(
+        rb.time.total < ra.time.total * 1.5,
+        "Fermi should not be drastically slower: {} vs {}",
+        rb.time.total,
+        ra.time.total
+    );
+}

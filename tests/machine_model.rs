@@ -1,0 +1,154 @@
+//! Integration tests for the performance substrates: the cache simulator,
+//! the multicore scaling model, and the GPU simulator must jointly
+//! reproduce the qualitative claims of the paper's evaluation.
+
+use sg_baselines::StoreKind;
+use sg_core::level::GridSpec;
+use sg_gpu::{evaluate_gpu, hierarchize_gpu, GpuDevice, KernelConfig};
+use sg_machine::{trace_evaluation, trace_hierarchization, CacheSim, MachineModel, SeqCpuModel};
+
+#[test]
+fn compact_hierarchization_traffic_is_near_minimal() {
+    // Paper §4.3: "we therefore expect to have at most one miss per
+    // coefficient access" — over the whole sweep the compact structure's
+    // traffic must stay within a small factor of the grid size.
+    let spec = GridSpec::new(5, 8);
+    let mut sim = CacheSim::nehalem();
+    let p = trace_hierarchization(StoreKind::Compact, spec, &mut sim);
+    let lines = p.dram_bytes / 64;
+    assert!(
+        lines < p.accesses,
+        "compact hierarchization: {lines} lines for {} accesses",
+        p.accesses
+    );
+}
+
+#[test]
+fn map_structures_move_an_order_of_magnitude_more_data() {
+    let spec = GridSpec::new(5, 8);
+    let traffic = |kind| {
+        let mut sim = CacheSim::opteron_barcelona();
+        trace_hierarchization(kind, spec, &mut sim).dram_bytes
+    };
+    let compact = traffic(StoreKind::Compact);
+    let map = traffic(StoreKind::EnhancedMap);
+    assert!(
+        map > 10 * compact,
+        "map traffic {map} vs compact {compact}"
+    );
+}
+
+#[test]
+fn fig11_shape_compact_scales_baselines_saturate() {
+    // The Fig. 11a mechanism end to end, with modelled sequential times
+    // so the test is machine-independent.
+    let spec = GridSpec::new(8, 7);
+    let machine = MachineModel::opteron_8356_32core();
+    let cpu = SeqCpuModel::nehalem_core();
+
+    let profile = |kind| {
+        let mut sim = CacheSim::opteron_barcelona();
+        trace_hierarchization(kind, spec, &mut sim)
+    };
+    let compact = profile(StoreKind::Compact);
+    let map = profile(StoreKind::EnhancedMap);
+
+    // Sequential model times: instructions ∝ accesses (≈ 3d + stencil per
+    // access for the compact sweep, tree descent for the map), stalls
+    // from traffic.
+    let t_compact = cpu.time(compact.accesses * 60, compact.dram_bytes / 64);
+    let t_map = cpu.time(map.accesses * 150, map.dram_bytes / 64);
+
+    let s_compact = compact.workload(t_compact).speedup(&machine, 32);
+    let s_map = map.workload_tasked(t_map).speedup(&machine, 32);
+    assert!(
+        s_compact > 12.0,
+        "compact should keep scaling: {s_compact}"
+    );
+    assert!(s_map < s_compact, "map {s_map} must scale worse than compact {s_compact}");
+
+    // Saturation: the map gains little beyond 16 cores.
+    let w = map.workload_tasked(t_map);
+    let s16 = w.speedup(&machine, 16);
+    let s32 = w.speedup(&machine, 32);
+    assert!(s32 < s16 * 1.5, "map curve must flatten: {s16} → {s32}");
+}
+
+#[test]
+fn fig10_shape_gpu_beats_multicore() {
+    // Model-vs-model comparison at a mid-size grid: the simulated C1060
+    // must beat every modelled multicore machine on evaluation, by
+    // roughly the paper's factor 3 over the best of them.
+    let d = 6;
+    let spec = GridSpec::new(d, 6);
+    let n_points = 5000usize;
+    let cpu = SeqCpuModel::nehalem_core();
+
+    let subspaces: u64 = (0..6).map(|g| sg_core::combinatorics::subspace_count(d, g)).sum();
+    let mut sim = CacheSim::nehalem();
+    let traffic = trace_evaluation(StoreKind::Compact, spec, n_points, &mut sim);
+    let t_seq = cpu.time(n_points as u64 * subspaces * (8 * d as u64 + 4), traffic.dram_bytes / 64);
+
+    // GPU side.
+    let mut grid = sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| {
+        x.iter().product::<f64>() as f32
+    });
+    sg_core::hierarchize::hierarchize(&mut grid);
+    let xs = sg_core::functions::halton_points(d, n_points);
+    let (_, report) = evaluate_gpu(&grid, &xs, &GpuDevice::tesla_c1060(), &KernelConfig::default());
+    let gpu_speedup = t_seq / report.time.total;
+
+    let best_multicore = [
+        MachineModel::opteron_8356_32core(),
+        MachineModel::nehalem_ep_8core(),
+        MachineModel::nehalem_920_4core(),
+    ]
+    .iter()
+    .map(|m| traffic.workload(t_seq).speedup(m, m.cores))
+    .fold(0.0f64, f64::max);
+
+    assert!(
+        gpu_speedup > 1.5 * best_multicore,
+        "GPU {gpu_speedup} vs best multicore {best_multicore}"
+    );
+    assert!(
+        gpu_speedup > 30.0 && gpu_speedup < 200.0,
+        "GPU evaluation speedup {gpu_speedup} outside the plausible band around the paper's 70x"
+    );
+}
+
+#[test]
+fn gpu_hierarchization_speedup_band() {
+    // Paper: compression up to 17× over one Nehalem core. Check the model
+    // lands in a sane band at a mid-size grid.
+    let d = 8;
+    let spec = GridSpec::new(d, 6);
+    let cpu = SeqCpuModel::nehalem_core();
+    let mut sim = CacheSim::nehalem();
+    let traffic = trace_hierarchization(StoreKind::Compact, spec, &mut sim);
+    let n = spec.num_points();
+    let instr = n * d as u64 * (3 * d as u64 + 24);
+    let t_seq = cpu.time(instr, traffic.dram_bytes / 64);
+
+    let mut grid = sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| {
+        x.iter().sum::<f64>() as f32
+    });
+    let report = hierarchize_gpu(&mut grid, &GpuDevice::tesla_c1060(), &KernelConfig::default());
+    let speedup = t_seq / report.time.total;
+    assert!(
+        speedup > 3.0 && speedup < 60.0,
+        "GPU hierarchization speedup {speedup} outside the plausible band around the paper's 17x"
+    );
+}
+
+#[test]
+fn evaluation_is_not_memory_bound_for_the_compact_structure() {
+    // Fig. 11b: compact evaluation traffic is tiny, so the model scales
+    // it almost linearly to 32 cores.
+    let spec = GridSpec::new(6, 7);
+    let machine = MachineModel::opteron_8356_32core();
+    let mut sim = CacheSim::opteron_barcelona_aggregate();
+    let p = trace_evaluation(StoreKind::Compact, spec, 500, &mut sim);
+    let s = p.workload(1.0).speedup(&machine, 32);
+    assert!(s > 25.0, "compact evaluation should scale: {s}");
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipeline tests following the paper's Fig. 1: simulation →
+//! compression → storage → decompression → visualization, including the
+//! full-grid entry point and the boundary extension.
+
+use sg_core::boundary::BoundaryGrid;
+use sg_core::evaluate::{evaluate, evaluate_batch_parallel};
+use sg_core::full_grid::FullGrid;
+use sg_core::functions::{halton_points, TestFunction};
+use sg_core::grid::CompactGrid;
+use sg_core::hierarchize::{dehierarchize_parallel, hierarchize, hierarchize_parallel};
+use sg_core::level::GridSpec;
+
+#[test]
+fn full_grid_to_sparse_compression_pipeline() {
+    // Simulation output on a full grid … (zero boundary, as the default
+    // grids assume; non-zero boundaries are covered by the §4.4 tests)
+    let f = |x: &[f64]| {
+        (x[0] * 3.0).sin() * x[1] * (1.0 - x[1]) * 4.0 * x[2] * (1.0 - x[2])
+    };
+    let full = FullGrid::<f64>::from_fn(3, 6, f);
+
+    // … compressed: restrict to the sparse grid and hierarchize.
+    let spec = GridSpec::new(3, 6);
+    let mut sparse = full.restrict_to_sparse(spec);
+    hierarchize(&mut sparse);
+
+    let ratio = full.len() as f64 / sparse.len() as f64;
+    assert!(ratio > 10.0, "compression ratio {ratio} too small");
+
+    // Decompression agrees with the full grid at shared lattice points
+    // and stays close to it elsewhere.
+    for x in halton_points(3, 200).chunks_exact(3) {
+        let a = evaluate(&sparse, x);
+        let b = full.interpolate(x);
+        assert!((a - b).abs() < 0.05, "x={x:?}: sparse {a} vs full {b}");
+    }
+}
+
+#[test]
+fn serialize_store_decompress_roundtrip() {
+    // The storage hop: only spec + coefficients cross the boundary.
+    let spec = GridSpec::new(4, 5);
+    let f = TestFunction::Parabola;
+    let mut g = CompactGrid::<f32>::from_fn(spec, |x| f.eval(x) as f32);
+    hierarchize(&mut g);
+
+    let blob = serde_json::to_vec(&g).unwrap();
+    let restored: CompactGrid<f32> = serde_json::from_slice(&blob).unwrap();
+    assert_eq!(restored.values(), g.values());
+    assert_eq!(restored.spec(), g.spec());
+
+    let x = [0.3, 0.6, 0.9, 0.125];
+    assert_eq!(evaluate(&restored, &x), evaluate(&g, &x));
+}
+
+#[test]
+fn parallel_pipeline_matches_sequential() {
+    let spec = GridSpec::new(4, 5);
+    let f = TestFunction::Gaussian;
+    let mut seq = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    let mut par = CompactGrid::<f64>::from_fn_parallel(spec, |x| f.eval(x));
+    assert_eq!(seq.values(), par.values());
+
+    hierarchize(&mut seq);
+    hierarchize_parallel(&mut par);
+    assert_eq!(seq.values(), par.values());
+
+    let xs = halton_points(4, 100);
+    let batch = evaluate_batch_parallel(&par, &xs, 16);
+    for (x, &v) in xs.chunks_exact(4).zip(&batch) {
+        assert_eq!(evaluate(&seq, x), v);
+    }
+
+    dehierarchize_parallel(&mut par);
+    let nodal = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+    assert!(par.max_abs_diff(&nodal) < 1e-12);
+}
+
+#[test]
+fn boundary_pipeline_handles_nonzero_boundaries() {
+    // A function with non-trivial boundary values goes through the §4.4
+    // extension end to end.
+    let f = TestFunction::Oscillatory;
+    let mut g: BoundaryGrid<f64> = BoundaryGrid::from_fn(3, 4, |x| f.eval(x));
+    g.hierarchize();
+    // Exact at grid points (including corners and edges)…
+    let corner = [1.0, 1.0, 1.0];
+    assert!((g.evaluate(&corner) - f.eval(&corner)).abs() < 1e-12);
+    // …and approximate inside.
+    let mut worst = 0.0f64;
+    for x in halton_points(3, 300).chunks_exact(3) {
+        worst = worst.max((g.evaluate(x) - f.eval(x)).abs());
+    }
+    assert!(worst < 0.05, "interior error {worst}");
+}
+
+#[test]
+fn paper_scale_spec_is_addressable() {
+    // The paper's largest grid: d=10, level 11 — the indexer must handle
+    // it without allocating the 127M-value array.
+    let spec = GridSpec::new(10, 11);
+    assert_eq!(spec.num_points(), 127_574_017);
+    let ix = sg_core::bijection::GridIndexer::new(spec);
+    // Round-trip the extreme indices.
+    for idx in [0u64, 1, 127_574_016, 63_000_000] {
+        let (l, i) = ix.idx2gp_vec(idx);
+        assert_eq!(ix.gp2idx(&l, &i), idx);
+    }
+    // 4-byte coefficients would fit in the Tesla's 4 GB device memory.
+    assert!(spec.num_points() * 4 < (4u64 << 30));
+}

@@ -1,0 +1,74 @@
+//! Paper-scale stress tests — `#[ignore]`d by default, run with
+//! `cargo test --release -p sg-apps --test stress -- --ignored`.
+
+use sg_core::evaluate::{evaluate, evaluate_batch_parallel};
+use sg_core::functions::{halton_points, TestFunction};
+use sg_core::grid::CompactGrid;
+use sg_core::hierarchize::{dehierarchize_parallel, hierarchize_parallel};
+use sg_core::level::GridSpec;
+
+/// The paper's d = 10, level 8 grid (1.86M points) through the full
+/// pipeline in f32, as the GPU configuration would hold it.
+#[test]
+#[ignore = "paper-scale run (~1 minute); invoke with --ignored"]
+fn ten_dimensional_pipeline_at_scale() {
+    let spec = GridSpec::new(10, 8);
+    assert_eq!(spec.num_points(), 1_862_145);
+    let f = TestFunction::Parabola;
+    let mut grid: CompactGrid<f32> = CompactGrid::from_fn_parallel(spec, |x| f.eval(x) as f32);
+    hierarchize_parallel(&mut grid);
+
+    // Exact at a deep grid point.
+    let (l, i) = grid.indexer().idx2gp_vec(spec.num_points() - 1);
+    let x: Vec<f64> = l
+        .iter()
+        .zip(&i)
+        .map(|(&lt, &it)| sg_core::level::coordinate(lt, it))
+        .collect();
+    let err = (evaluate(&grid, &x) as f64 - f.eval(&x)).abs();
+    assert!(err < 1e-5, "grid-point error {err}");
+
+    // The paper's visualization workload: 10^5 interpolation points.
+    let xs = halton_points(10, 100_000);
+    let values = evaluate_batch_parallel(&grid, &xs, 64);
+    assert_eq!(values.len(), 100_000);
+    assert!(values.iter().all(|v| v.is_finite()));
+
+    // And the inverse transform restores the nodal values.
+    dehierarchize_parallel(&mut grid);
+    let nodal: CompactGrid<f32> = CompactGrid::from_fn_parallel(spec, |x| f.eval(x) as f32);
+    assert!(grid.max_abs_diff(&nodal) < 1e-4);
+}
+
+/// Serialization of a multi-hundred-MB-class grid stays exact.
+#[test]
+#[ignore = "allocates ~250 MB; invoke with --ignored"]
+fn large_grid_binary_roundtrip() {
+    let spec = GridSpec::new(8, 9);
+    let mut grid: CompactGrid<f32> =
+        CompactGrid::from_fn_parallel(spec, |x| TestFunction::Gaussian.eval(x) as f32);
+    hierarchize_parallel(&mut grid);
+    let blob = sg_io::encode(&grid);
+    assert_eq!(blob.len(), 32 + grid.len() * 4);
+    let back: CompactGrid<f32> = sg_io::decode(&blob).unwrap();
+    assert_eq!(back.values(), grid.values());
+}
+
+/// The indexer handles the paper's headline 127.5M-point shape without
+/// materializing values.
+#[test]
+#[ignore = "exhaustive index sweep (~1 minute); invoke with --ignored"]
+fn headline_indexer_sweep() {
+    let spec = GridSpec::new(10, 11);
+    let ix = sg_core::bijection::GridIndexer::new(spec);
+    let n = ix.num_points();
+    assert_eq!(n, 127_574_017);
+    // Stride through the whole range.
+    let mut l = vec![0u8; 10];
+    let mut i = vec![0u32; 10];
+    for k in 0..10_000u64 {
+        let idx = k * (n / 10_000);
+        ix.idx2gp(idx, &mut l, &mut i);
+        assert_eq!(ix.gp2idx(&l, &i), idx);
+    }
+}
