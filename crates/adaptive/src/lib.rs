@@ -52,7 +52,11 @@ pub fn tree_parent(l: Level, i: Index) -> Option<(Level, Index)> {
     if l == 0 {
         return None;
     }
-    let k = if i % 4 == 1 { i.div_ceil(2) } else { (i - 1) / 2 };
+    let k = if i % 4 == 1 {
+        i.div_ceil(2)
+    } else {
+        (i - 1) / 2
+    };
     Some((l - 1, k))
 }
 
@@ -322,8 +326,7 @@ impl AdaptiveSparseGrid {
     pub fn memory_bytes(&self) -> usize {
         // Entry: chain ptr + alloc header + key fat ptr + 8·d payload +
         // 8 value + bucket slot.
-        self.surpluses.len() * (8 + 16 + 16 + 8 * self.dim + 8 + 8)
-            + std::mem::size_of::<Self>()
+        self.surpluses.len() * (8 + 16 + 16 + 8 * self.dim + 8 + 8) + std::mem::size_of::<Self>()
     }
 }
 
@@ -479,7 +482,10 @@ mod tests {
         let before = g.surplus(&[2, 0], &[3, 1]).unwrap();
         g.insert_with_ancestors(&[3, 3], &[7, 5], &f);
         let after = g.surplus(&[2, 0], &[3, 1]).unwrap();
-        assert_eq!(before, after, "finer points must not change coarser surpluses");
+        assert_eq!(
+            before, after,
+            "finer points must not change coarser surpluses"
+        );
     }
 
     #[test]
@@ -487,7 +493,11 @@ mod tests {
         let f = |x: &[f64]| x[0];
         let mut g = AdaptiveSparseGrid::new(3);
         g.refine_by_surplus(&f, 0.0, 50, 10);
-        assert!(g.len() <= 50 + 6, "max_points roughly respected: {}", g.len());
+        assert!(
+            g.len() <= 50 + 6,
+            "max_points roughly respected: {}",
+            g.len()
+        );
         let mut h = AdaptiveSparseGrid::new(1);
         h.refine_by_surplus(&f, 0.0, 10_000, 2);
         assert!(h.max_level_sum() <= 2);

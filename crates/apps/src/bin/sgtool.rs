@@ -18,6 +18,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    let metrics_path = flag(&args, "--metrics-json");
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "compress" => cmd_compress(rest),
@@ -32,6 +33,14 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command: {other}\n{USAGE}")),
     };
+    let result = result.and_then(|()| {
+        let Some(path) = metrics_path else {
+            return Ok(());
+        };
+        let report = sg_telemetry::snapshot().to_json();
+        std::fs::write(&path, format!("{}\n", report.to_string_pretty()))
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -48,7 +57,12 @@ const USAGE: &str = "usage:
   sgtool eval FILE X1,...,XD [more points ...]
   sgtool integrate FILE
   sgtool slice FILE --axes A,B --at X1,...,XD [--width N]
-  sgtool render FILE --out IMG.ppm [--axes A,B] [--at X1,...,XD] [--width N]";
+  sgtool render FILE --out IMG.ppm [--axes A,B] [--at X1,...,XD] [--width N]
+
+global flags:
+  --metrics-json PATH   after a successful command, write the telemetry
+                        snapshot (span timings, call counters, bytes
+                        moved) to PATH as JSON";
 
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -78,7 +92,10 @@ fn parse_point(s: &str, d: usize) -> Result<Vec<f64>, String> {
     let v: Result<Vec<f64>, _> = s.split(',').map(str::parse).collect();
     let v = v.map_err(|e| format!("bad coordinate list {s:?}: {e}"))?;
     if v.len() != d {
-        return Err(format!("point {s:?} has {} coordinates, grid has {d}", v.len()));
+        return Err(format!(
+            "point {s:?} has {} coordinates, grid has {d}",
+            v.len()
+        ));
     }
     if v.iter().any(|&c| !(0.0..=1.0).contains(&c)) {
         return Err(format!("point {s:?} leaves the unit domain"));
@@ -131,10 +148,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("level          : {}", spec.levels());
     println!("points         : {}", grid.len());
     println!("memory         : {} bytes", grid.memory_bytes());
-    let max = grid
-        .values()
-        .iter()
-        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let max = grid.values().iter().fold(0.0f64, |m, &v| m.max(v.abs()));
     println!("max |surplus|  : {max:.6e}");
     println!("integral       : {:.6e}", integrate(&grid));
     Ok(())

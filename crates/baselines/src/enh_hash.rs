@@ -13,6 +13,13 @@ use sg_core::real::Real;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+crate::tel! {
+    static GETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.enh_hash.gets");
+    static SETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.enh_hash.sets");
+}
+
 /// Fibonacci-multiplicative hasher for integer keys (FxHash-style):
 /// one multiply per `write_u64`, no per-hash setup.
 #[derive(Default)]
@@ -81,6 +88,7 @@ impl<T: Real> SparseGridStore<T> for EnhancedHashGrid<T> {
     }
 
     fn get(&self, l: &[Level], i: &[Index]) -> T {
+        crate::tel! { GETS.add(1); }
         self.map
             .get(&self.indexer.gp2idx(l, i))
             .copied()
@@ -88,6 +96,7 @@ impl<T: Real> SparseGridStore<T> for EnhancedHashGrid<T> {
     }
 
     fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        crate::tel! { SETS.add(1); }
         self.map.insert(self.indexer.gp2idx(l, i), v);
     }
 

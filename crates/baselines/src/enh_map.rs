@@ -11,6 +11,13 @@ use sg_core::level::{GridSpec, Index, Level};
 use sg_core::real::Real;
 use std::collections::BTreeMap;
 
+crate::tel! {
+    static GETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.enh_map.gets");
+    static SETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.enh_map.sets");
+}
+
 /// Ordered map keyed by the compact linear index.
 pub struct EnhancedMapGrid<T> {
     indexer: GridIndexer,
@@ -43,6 +50,7 @@ impl<T: Real> SparseGridStore<T> for EnhancedMapGrid<T> {
     }
 
     fn get(&self, l: &[Level], i: &[Index]) -> T {
+        crate::tel! { GETS.add(1); }
         self.map
             .get(&self.indexer.gp2idx(l, i))
             .copied()
@@ -50,6 +58,7 @@ impl<T: Real> SparseGridStore<T> for EnhancedMapGrid<T> {
     }
 
     fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        crate::tel! { SETS.add(1); }
         self.map.insert(self.indexer.gp2idx(l, i), v);
     }
 

@@ -21,6 +21,18 @@
 //! in [`recursive`], and the closed-form memory accounting behind the
 //! Fig. 8 reproduction in [`memory_model`].
 
+/// Statement/item gate for instrumentation: compiled verbatim with the
+/// `telemetry` feature, compiled away without it (see `sg_core`'s twin).
+#[cfg(feature = "telemetry")]
+macro_rules! tel {
+    ($($t:tt)*) => { $($t)* };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! tel {
+    ($($t:tt)*) => {};
+}
+pub(crate) use tel;
+
 pub mod enh_hash;
 pub mod enh_map;
 pub mod memory_model;

@@ -197,7 +197,10 @@ mod tests {
         let b = std_map_bytes::<f32>(10, 1000);
         assert_eq!(b - a, 5 * 8 * 1000);
         // The gp2idx-keyed variants are d-independent.
-        assert_eq!(enhanced_map_bytes::<f32>(1000), enhanced_map_bytes::<f32>(1000));
+        assert_eq!(
+            enhanced_map_bytes::<f32>(1000),
+            enhanced_map_bytes::<f32>(1000)
+        );
     }
 
     #[test]

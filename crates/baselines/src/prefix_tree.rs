@@ -14,6 +14,13 @@ use crate::storage::SparseGridStore;
 use sg_core::level::{GridSpec, Index, Level};
 use sg_core::real::Real;
 
+crate::tel! {
+    static GETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.prefix_tree.gets");
+    static SETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.prefix_tree.sets");
+}
+
 /// Heap-order position of the 1-d point `(l, i)` inside a dimension
 /// array: level `l` occupies positions `2^l − 1 .. 2^{l+1} − 2`.
 #[inline(always)]
@@ -53,9 +60,7 @@ impl<T: Real> Node<T> {
     fn memory_bytes(&self) -> usize {
         const VEC_HDR: usize = 3 * std::mem::size_of::<usize>();
         match self {
-            Node::Leaf(slots) => {
-                VEC_HDR + slots.capacity() * std::mem::size_of::<Option<T>>()
-            }
+            Node::Leaf(slots) => VEC_HDR + slots.capacity() * std::mem::size_of::<Option<T>>(),
             Node::Inner(slots) => {
                 let mut bytes =
                     VEC_HDR + slots.capacity() * std::mem::size_of::<Option<Box<Node<T>>>>();
@@ -102,6 +107,7 @@ impl<T: Real> SparseGridStore<T> for PrefixTreeGrid<T> {
     }
 
     fn get(&self, l: &[Level], i: &[Index]) -> T {
+        crate::tel! { GETS.add(1); }
         let mut node = &self.root;
         for t in 0..self.spec.dim() {
             let pos = heap_position(l[t], i[t]);
@@ -123,6 +129,7 @@ impl<T: Real> SparseGridStore<T> for PrefixTreeGrid<T> {
     }
 
     fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        crate::tel! { SETS.add(1); }
         debug_assert!(self.spec.contains(l, i), "point not in grid");
         let d = self.spec.dim();
         let mut budget = self.spec.max_sum();

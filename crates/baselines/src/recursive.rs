@@ -52,10 +52,7 @@ fn hierarchize_1d<T: Real, S: SparseGridStore<T>>(
     let (lt, it) = (l[t], i[t]);
     let val = store.get(l, i);
     if level < max_level {
-        for (side, lv, rv) in [
-            (Side::Left, left_val, val),
-            (Side::Right, val, right_val),
-        ] {
+        for (side, lv, rv) in [(Side::Left, left_val, val), (Side::Right, val, right_val)] {
             let (cl, ci) = hierarchical_child(lt, it, side);
             l[t] = cl;
             i[t] = ci;

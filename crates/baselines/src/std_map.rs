@@ -11,6 +11,13 @@ use sg_core::level::{GridSpec, Index, Level};
 use sg_core::real::Real;
 use std::collections::BTreeMap;
 
+crate::tel! {
+    static GETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.std_map.gets");
+    static SETS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("baselines.std_map.sets");
+}
+
 /// One packed `(level, index)` component: level in the high 32 bits.
 #[inline]
 fn pack(l: Level, i: Index) -> u64 {
@@ -53,6 +60,7 @@ impl<T: Real> SparseGridStore<T> for StdMapGrid<T> {
     }
 
     fn get(&self, l: &[Level], i: &[Index]) -> T {
+        crate::tel! { GETS.add(1); }
         self.map
             .get(&self.key(l, i) as &[u64])
             .copied()
@@ -60,6 +68,7 @@ impl<T: Real> SparseGridStore<T> for StdMapGrid<T> {
     }
 
     fn set(&mut self, l: &[Level], i: &[Index], v: T) {
+        crate::tel! { SETS.add(1); }
         self.map.insert(self.key(l, i), v);
     }
 
@@ -68,10 +77,7 @@ impl<T: Real> SparseGridStore<T> for StdMapGrid<T> {
     }
 
     fn memory_bytes(&self) -> usize {
-        crate::memory_model::std_map_bytes::<T>(
-            self.spec.dim(),
-            self.map.len() as u64,
-        ) as usize
+        crate::memory_model::std_map_bytes::<T>(self.spec.dim(), self.map.len() as u64) as usize
     }
 }
 

@@ -3,7 +3,7 @@
 //! the fly (paper: the on-the-fly variant makes hierarchization ≈4×
 //! slower).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sg_bench::harness::Harness;
 use sg_core::bijection::{gp2idx_literal, GridIndexer};
 use sg_core::iter::for_each_point;
 use sg_core::level::GridSpec;
@@ -16,62 +16,56 @@ fn all_points(spec: &GridSpec) -> Vec<(Vec<u8>, Vec<u32>)> {
     pts
 }
 
-fn bench_gp2idx(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gp2idx");
-    group.sample_size(20);
-    for d in [3usize, 6, 10] {
-        let spec = GridSpec::new(d, 6);
-        let ix = GridIndexer::new(spec);
-        let pts = all_points(&spec);
-        group.bench_with_input(BenchmarkId::new("binmat_lookup", d), &d, |b, _| {
-            b.iter(|| {
+fn main() {
+    let mut h = Harness::from_args("bijection");
+
+    {
+        let mut group = h.group("gp2idx");
+        group.sample_size(20);
+        for d in [3usize, 6, 10] {
+            let spec = GridSpec::new(d, 6);
+            let ix = GridIndexer::new(spec);
+            let pts = all_points(&spec);
+            group.bench(&format!("binmat_lookup/{d}"), || {
                 let mut acc = 0u64;
                 for (l, i) in &pts {
                     acc = acc.wrapping_add(ix.gp2idx(black_box(l), black_box(i)));
                 }
                 acc
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("on_the_fly", d), &d, |b, _| {
-            b.iter(|| {
+            });
+            group.bench(&format!("on_the_fly/{d}"), || {
                 let mut acc = 0u64;
                 for (l, i) in &pts {
                     acc = acc.wrapping_add(gp2idx_literal(&spec, black_box(l), black_box(i)));
                 }
                 acc
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_idx2gp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("idx2gp");
-    group.sample_size(20);
-    for d in [3usize, 10] {
-        let spec = GridSpec::new(d, 6);
-        let ix = GridIndexer::new(spec);
-        let n = spec.num_points();
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+    {
+        let mut group = h.group("idx2gp");
+        group.sample_size(20);
+        for d in [3usize, 10] {
+            let spec = GridSpec::new(d, 6);
+            let ix = GridIndexer::new(spec);
+            let n = spec.num_points();
             let mut l = vec![0u8; d];
             let mut i = vec![0u32; d];
-            b.iter(|| {
+            group.bench(&format!("{d}"), || {
                 for idx in 0..n {
                     ix.idx2gp(black_box(idx), &mut l, &mut i);
                 }
                 (l[0], i[0])
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_next_level(c: &mut Criterion) {
-    let mut group = c.benchmark_group("next_level_iterator");
-    group.sample_size(20);
-    for d in [5usize, 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
-            b.iter(|| {
+    {
+        let mut group = h.group("next_level_iterator");
+        group.sample_size(20);
+        for d in [5usize, 10] {
+            group.bench(&format!("{d}"), || {
                 let mut count = 0u64;
                 let mut l = vec![0u8; d];
                 sg_core::iter::first_level(8, &mut l);
@@ -82,11 +76,9 @@ fn bench_next_level(c: &mut Criterion) {
                     }
                 }
                 count
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_gp2idx, bench_idx2gp, bench_next_level);
-criterion_main!(benches);
+    h.finish();
+}

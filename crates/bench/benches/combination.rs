@@ -2,8 +2,8 @@
 //! the adaptive hash-backed grid — the two representation trade-offs the
 //! paper positions itself against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sg_adaptive::AdaptiveSparseGrid;
+use sg_bench::harness::Harness;
 use sg_combination::CombinationGrid;
 use sg_core::evaluate::evaluate_batch_blocked;
 use sg_core::functions::{halton_points, TestFunction};
@@ -12,86 +12,73 @@ use sg_core::hierarchize::hierarchize;
 use sg_core::level::GridSpec;
 use std::hint::black_box;
 
-fn bench_combination_vs_direct_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("combination_vs_direct_eval");
-    group.sample_size(10);
-    let f = TestFunction::Gaussian;
-    for d in [3usize, 5] {
-        let spec = GridSpec::new(d, 6);
-        let mut direct = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
-        hierarchize(&mut direct);
-        let comb = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
-        let xs = halton_points(d, 1000);
-        group.throughput(Throughput::Elements(1000));
-        group.bench_with_input(BenchmarkId::new("direct", d), &d, |b, _| {
-            b.iter(|| black_box(evaluate_batch_blocked(&direct, &xs, 64)))
-        });
-        group.bench_with_input(BenchmarkId::new("combination", d), &d, |b, _| {
-            b.iter(|| {
+fn main() {
+    let mut h = Harness::from_args("combination");
+
+    {
+        let mut group = h.group("combination_vs_direct_eval");
+        group.sample_size(10);
+        group.throughput_elements(1000);
+        let f = TestFunction::Gaussian;
+        for d in [3usize, 5] {
+            let spec = GridSpec::new(d, 6);
+            let mut direct = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+            hierarchize(&mut direct);
+            let comb = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
+            let xs = halton_points(d, 1000);
+            group.bench(&format!("direct/{d}"), || {
+                black_box(evaluate_batch_blocked(&direct, &xs, 64))
+            });
+            group.bench(&format!("combination/{d}"), || {
                 let mut acc = 0.0;
                 for x in xs.chunks_exact(d) {
                     acc += comb.evaluate(black_box(x));
                 }
                 acc
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_build_cost(c: &mut Criterion) {
-    // Construction: sampling+hierarchization (direct) vs sampling all
-    // component grids (combination, no hierarchization needed).
-    let mut group = c.benchmark_group("build_cost");
-    group.sample_size(10);
-    let f = TestFunction::Parabola;
-    let spec = GridSpec::new(4, 6);
-    group.bench_function("direct_sample_hierarchize", |b| {
-        b.iter(|| {
+    {
+        // Construction: sampling+hierarchization (direct) vs sampling all
+        // component grids (combination, no hierarchization needed).
+        let mut group = h.group("build_cost");
+        group.sample_size(10);
+        let f = TestFunction::Parabola;
+        let spec = GridSpec::new(4, 6);
+        group.bench("direct_sample_hierarchize", || {
             let mut g = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
             hierarchize(&mut g);
             black_box(g.len())
-        })
-    });
-    group.bench_function("combination_sample_components", |b| {
-        b.iter(|| {
+        });
+        group.bench("combination_sample_components", || {
             let g = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
             black_box(g.total_points())
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_adaptive_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adaptive_vs_regular_eval");
-    group.sample_size(10);
-    let f = |x: &[f64]| (-200.0 * ((x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2))).exp();
-    let mut adaptive = AdaptiveSparseGrid::new(2);
-    adaptive.refine_by_surplus(&f, 1e-4, 2000, 12);
-    let spec = GridSpec::new(2, 9);
-    let mut regular = CompactGrid::<f64>::from_fn(spec, f);
-    hierarchize(&mut regular);
-    let xs = halton_points(2, 500);
-    group.throughput(Throughput::Elements(500));
-    group.bench_function("adaptive_hash", |b| {
-        b.iter(|| {
+    {
+        let mut group = h.group("adaptive_vs_regular_eval");
+        group.sample_size(10);
+        group.throughput_elements(500);
+        let f = |x: &[f64]| (-200.0 * ((x[0] - 0.3).powi(2) + (x[1] - 0.7).powi(2))).exp();
+        let mut adaptive = AdaptiveSparseGrid::new(2);
+        adaptive.refine_by_surplus(&f, 1e-4, 2000, 12);
+        let spec = GridSpec::new(2, 9);
+        let mut regular = CompactGrid::<f64>::from_fn(spec, f);
+        hierarchize(&mut regular);
+        let xs = halton_points(2, 500);
+        group.bench("adaptive_hash", || {
             let mut acc = 0.0;
             for x in xs.chunks_exact(2) {
                 acc += adaptive.evaluate(black_box(x));
             }
             acc
-        })
-    });
-    group.bench_function("regular_compact", |b| {
-        b.iter(|| black_box(evaluate_batch_blocked(&regular, &xs, 64)))
-    });
-    group.finish();
-}
+        });
+        group.bench("regular_compact", || {
+            black_box(evaluate_batch_blocked(&regular, &xs, 64))
+        });
+    }
 
-criterion_group!(
-    benches,
-    bench_combination_vs_direct_eval,
-    bench_build_cost,
-    bench_adaptive_eval
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,8 +1,10 @@
 //! Decompression benchmarks: single-point and batch evaluation, the
 //! cache-blocking ablation of paper §4.3, and parallel batch throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sg_core::evaluate::{evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel};
+use sg_bench::harness::Harness;
+use sg_core::evaluate::{
+    evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel,
+};
 use sg_core::functions::halton_points;
 use sg_core::grid::CompactGrid;
 use sg_core::hierarchize::hierarchize;
@@ -17,52 +19,48 @@ fn surplus_grid(d: usize, levels: usize) -> CompactGrid<f64> {
     g
 }
 
-fn bench_single_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evaluate_single");
-    group.sample_size(30);
-    for d in [3usize, 6, 10] {
-        let g = surplus_grid(d, 6);
-        let x = vec![0.37; d];
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
-            b.iter(|| evaluate(&g, black_box(&x)))
+fn main() {
+    let mut h = Harness::from_args("evaluate");
+
+    {
+        let mut group = h.group("evaluate_single");
+        group.sample_size(30);
+        for d in [3usize, 6, 10] {
+            let g = surplus_grid(d, 6);
+            let x = vec![0.37; d];
+            group.bench(&format!("{d}"), || evaluate(&g, black_box(&x)));
+        }
+    }
+
+    {
+        // Paper §4.3: blocking over evaluation points keeps each subspace
+        // cache-resident across the block.
+        let mut group = h.group("evaluate_blocking");
+        group.sample_size(10);
+        let g = surplus_grid(5, 8);
+        let xs = halton_points(5, 2000);
+        group.throughput_elements(2000);
+        group.bench("unblocked", || black_box(evaluate_batch(&g, &xs)));
+        for block in [8usize, 64, 256] {
+            group.bench(&format!("blocked/{block}"), || {
+                black_box(evaluate_batch_blocked(&g, &xs, block))
+            });
+        }
+    }
+
+    {
+        let mut group = h.group("evaluate_parallel");
+        group.sample_size(10);
+        let g = surplus_grid(5, 7);
+        let xs = halton_points(5, 4000);
+        group.throughput_elements(4000);
+        group.bench("sequential_blocked", || {
+            black_box(evaluate_batch_blocked(&g, &xs, 64))
+        });
+        group.bench("threaded", || {
+            black_box(evaluate_batch_parallel(&g, &xs, 64))
         });
     }
-    group.finish();
-}
 
-fn bench_blocking_ablation(c: &mut Criterion) {
-    // Paper §4.3: blocking over evaluation points keeps each subspace
-    // cache-resident across the block.
-    let mut group = c.benchmark_group("evaluate_blocking");
-    group.sample_size(10);
-    let g = surplus_grid(5, 8);
-    let xs = halton_points(5, 2000);
-    group.throughput(Throughput::Elements(2000));
-    group.bench_function("unblocked", |b| {
-        b.iter(|| black_box(evaluate_batch(&g, &xs)))
-    });
-    for block in [8usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("blocked", block), &block, |b, &blk| {
-            b.iter(|| black_box(evaluate_batch_blocked(&g, &xs, blk)))
-        });
-    }
-    group.finish();
+    h.finish();
 }
-
-fn bench_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evaluate_parallel");
-    group.sample_size(10);
-    let g = surplus_grid(5, 7);
-    let xs = halton_points(5, 4000);
-    group.throughput(Throughput::Elements(4000));
-    group.bench_function("sequential_blocked", |b| {
-        b.iter(|| black_box(evaluate_batch_blocked(&g, &xs, 64)))
-    });
-    group.bench_function("rayon", |b| {
-        b.iter(|| black_box(evaluate_batch_parallel(&g, &xs, 64)))
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_single_point, bench_blocking_ablation, bench_parallel);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Compression benchmarks: the iterative traversal vs the literal Alg. 6
-//! (per-point `idx2gp`) vs the rayon-parallel version, plus the recursive
-//! classic on the conventional structures.
+//! (per-point `idx2gp`) vs the thread-parallel version, plus the
+//! recursive classic on the conventional structures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sg_baselines::{hierarchize_recursive, StoreKind};
+use sg_bench::harness::Harness;
 use sg_bench::AnyStore;
 use sg_core::grid::CompactGrid;
 use sg_core::hierarchize::{hierarchize, hierarchize_alg6_literal, hierarchize_parallel};
@@ -13,100 +13,75 @@ fn sample(spec: GridSpec) -> CompactGrid<f64> {
     CompactGrid::from_fn(spec, |x| x.iter().map(|&v| v * (1.0 - v)).sum())
 }
 
-fn bench_compact_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchize_compact");
-    group.sample_size(10);
-    let spec = GridSpec::new(5, 7);
-    let base = sample(spec);
-    group.bench_function("iterative", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut g| hierarchize(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("alg6_literal", |b| {
-        b.iter_batched(
+fn main() {
+    let mut h = Harness::from_args("hierarchize");
+
+    {
+        let mut group = h.group("hierarchize_compact");
+        group.sample_size(10);
+        let spec = GridSpec::new(5, 7);
+        let base = sample(spec);
+        group.bench_with_setup("iterative", || base.clone(), |mut g| hierarchize(&mut g));
+        group.bench_with_setup(
+            "alg6_literal",
             || base.clone(),
             |mut g| hierarchize_alg6_literal(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("parallel", |b| {
-        b.iter_batched(
+        );
+        group.bench_with_setup(
+            "parallel",
             || base.clone(),
             |mut g| hierarchize_parallel(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
-}
+        );
+    }
 
-fn bench_stores(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchize_stores");
-    group.sample_size(10);
-    let spec = GridSpec::new(4, 5);
-    for kind in StoreKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter_batched(
+    {
+        let mut group = h.group("hierarchize_stores");
+        group.sample_size(10);
+        let spec = GridSpec::new(4, 5);
+        for kind in StoreKind::ALL {
+            group.bench_with_setup(
+                kind.label(),
                 || {
                     let mut s = AnyStore::new(kind, spec);
                     s.fill(|x| x[0] + x[1]);
                     s
                 },
                 |mut s| s.hierarchize_seq(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+            );
+        }
     }
-    group.finish();
-}
 
-fn bench_recursive_vs_iterative_on_compact(c: &mut Criterion) {
-    // The paper's starting point: the recursive classic also runs on the
-    // compact structure; the iterative version wins through locality.
-    let mut group = c.benchmark_group("hierarchize_recursive_vs_iterative");
-    group.sample_size(10);
-    let spec = GridSpec::new(4, 6);
-    let base = sample(spec);
-    group.bench_function("recursive_alg1", |b| {
-        b.iter_batched(
+    {
+        // The paper's starting point: the recursive classic also runs on
+        // the compact structure; the iterative version wins via locality.
+        let mut group = h.group("hierarchize_recursive_vs_iterative");
+        group.sample_size(10);
+        let spec = GridSpec::new(4, 6);
+        let base = sample(spec);
+        group.bench_with_setup(
+            "recursive_alg1",
             || base.clone(),
             |mut g| hierarchize_recursive(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("iterative_alg6", |b| {
-        b.iter_batched(
+        );
+        group.bench_with_setup(
+            "iterative_alg6",
             || base.clone(),
             |mut g| hierarchize(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
-}
+        );
+    }
 
-fn bench_dehierarchize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dehierarchize");
-    group.sample_size(10);
-    let spec = GridSpec::new(5, 7);
-    let mut base = sample(spec);
-    hierarchize(&mut base);
-    group.bench_function("sequential", |b| {
-        b.iter_batched(
+    {
+        let mut group = h.group("dehierarchize");
+        group.sample_size(10);
+        let spec = GridSpec::new(5, 7);
+        let mut base = sample(spec);
+        hierarchize(&mut base);
+        group.bench_with_setup(
+            "sequential",
             || base.clone(),
             |mut g| sg_core::hierarchize::dehierarchize(&mut g),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
-}
+        );
+    }
 
-criterion_group!(
-    benches,
-    bench_compact_variants,
-    bench_stores,
-    bench_recursive_vs_iterative_on_compact,
-    bench_dehierarchize
-);
-criterion_main!(benches);
+    h.finish();
+}

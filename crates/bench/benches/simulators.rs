@@ -2,8 +2,8 @@
 //! simulator and the GPU kernel simulator drive every figure harness, so
 //! their speed bounds how large a grid the experiments can profile.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sg_baselines::StoreKind;
+use sg_bench::harness::Harness;
 use sg_core::functions::halton_points;
 use sg_core::grid::CompactGrid;
 use sg_core::level::GridSpec;
@@ -11,22 +11,22 @@ use sg_gpu::{evaluate_gpu, hierarchize_gpu, GpuDevice, KernelConfig};
 use sg_machine::{trace_hierarchization, CacheSim};
 use std::hint::black_box;
 
-fn bench_cache_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_sim_accesses");
-    group.sample_size(20);
-    const N: u64 = 100_000;
-    group.throughput(Throughput::Elements(N));
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
+fn main() {
+    let mut h = Harness::from_args("simulators");
+
+    {
+        let mut group = h.group("cache_sim_accesses");
+        group.sample_size(20);
+        const N: u64 = 100_000;
+        group.throughput_elements(N);
+        group.bench("sequential", || {
             let mut sim = CacheSim::nehalem();
             for k in 0..N {
                 sim.access(black_box(k * 8), 8);
             }
             sim.dram_lines()
-        })
-    });
-    group.bench_function("scattered", |b| {
-        b.iter(|| {
+        });
+        group.bench("scattered", || {
             let mut sim = CacheSim::nehalem();
             let mut x = 0x12345u64;
             for _ in 0..N {
@@ -36,55 +36,50 @@ fn bench_cache_sim(c: &mut Criterion) {
                 sim.access(black_box(x % (1 << 30)), 8);
             }
             sim.dram_lines()
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_traced_profiles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_hierarchization");
-    group.sample_size(10);
-    for kind in [StoreKind::Compact, StoreKind::EnhancedMap] {
-        let spec = GridSpec::new(4, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut sim = CacheSim::opteron_barcelona();
-                    black_box(trace_hierarchization(kind, spec, &mut sim))
-                })
+    {
+        let mut group = h.group("trace_hierarchization");
+        group.sample_size(10);
+        for kind in [StoreKind::Compact, StoreKind::EnhancedMap] {
+            let spec = GridSpec::new(4, 7);
+            group.bench(kind.label(), || {
+                let mut sim = CacheSim::opteron_barcelona();
+                black_box(trace_hierarchization(kind, spec, &mut sim))
+            });
+        }
+    }
+
+    {
+        let mut group = h.group("gpu_simulator");
+        group.sample_size(10);
+        let dev = GpuDevice::tesla_c1060();
+        let cfg = KernelConfig::default();
+        let spec = GridSpec::new(5, 6);
+        let base: CompactGrid<f32> =
+            CompactGrid::from_fn(spec, |x| x.iter().product::<f64>() as f32);
+        group.throughput_elements(spec.num_points());
+        group.bench_with_setup(
+            "hierarchize_kernel",
+            || base.clone(),
+            |mut g| {
+                black_box(hierarchize_gpu(&mut g, &dev, &cfg))
+                    .counters
+                    .bytes
             },
         );
+        let mut g = base.clone();
+        sg_core::hierarchize::hierarchize(&mut g);
+        let xs = halton_points(5, 2000);
+        group.throughput_elements(2000);
+        group.bench("evaluate_kernel_2k_points", || {
+            black_box(evaluate_gpu(&g, &xs, &dev, &cfg))
+                .1
+                .counters
+                .bytes
+        });
     }
-    group.finish();
-}
 
-fn bench_gpu_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpu_simulator");
-    group.sample_size(10);
-    let dev = GpuDevice::tesla_c1060();
-    let cfg = KernelConfig::default();
-    let spec = GridSpec::new(5, 6);
-    let base: CompactGrid<f32> =
-        CompactGrid::from_fn(spec, |x| x.iter().product::<f64>() as f32);
-    group.throughput(Throughput::Elements(spec.num_points()));
-    group.bench_function("hierarchize_kernel", |b| {
-        b.iter_batched(
-            || base.clone(),
-            |mut g| black_box(hierarchize_gpu(&mut g, &dev, &cfg)),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    let mut g = base.clone();
-    sg_core::hierarchize::hierarchize(&mut g);
-    let xs = halton_points(5, 2000);
-    group.throughput(Throughput::Elements(2000));
-    group.bench_function("evaluate_kernel_2k_points", |b| {
-        b.iter(|| black_box(evaluate_gpu(&g, &xs, &dev, &cfg)))
-    });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_cache_sim, bench_traced_profiles, bench_gpu_sim);
-criterion_main!(benches);

@@ -1,72 +1,69 @@
 //! Random-access benchmarks across the five storage structures
 //! (the measured counterpart of paper Table 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sg_baselines::StoreKind;
+use sg_bench::harness::Harness;
 use sg_bench::AnyStore;
 use sg_core::bijection::GridIndexer;
 use sg_core::level::GridSpec;
 use std::hint::black_box;
 
-fn bench_random_get(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_random_get");
-    group.sample_size(20);
-    let spec = GridSpec::new(4, 8);
-    let ix = GridIndexer::new(spec);
-    let n = spec.num_points();
+fn main() {
+    let mut h = Harness::from_args("stores");
 
-    // Deterministic shuffled access order, decoded up front.
-    let mut order: Vec<u64> = (0..n).collect();
-    let mut state = 0x2545F4914F6CDD1Du64;
-    for k in 0..order.len() {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        let j = (state % n) as usize;
-        order.swap(k, j);
-    }
-    order.truncate(20_000);
-    let points: Vec<(Vec<u8>, Vec<u32>)> = order
-        .iter()
-        .map(|&idx| {
-            let mut l = vec![0u8; 4];
-            let mut i = vec![0u32; 4];
-            ix.idx2gp(idx, &mut l, &mut i);
-            (l, i)
-        })
-        .collect();
+    {
+        let mut group = h.group("store_random_get");
+        group.sample_size(20);
+        let spec = GridSpec::new(4, 8);
+        let ix = GridIndexer::new(spec);
+        let n = spec.num_points();
 
-    for kind in StoreKind::ALL {
-        let mut store = AnyStore::new(kind, spec);
-        store.fill(|x| x[0] - x[3]);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
-            b.iter(|| {
+        // Deterministic shuffled access order, decoded up front.
+        let mut order: Vec<u64> = (0..n).collect();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for k in 0..order.len() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % n) as usize;
+            order.swap(k, j);
+        }
+        order.truncate(20_000);
+        let points: Vec<(Vec<u8>, Vec<u32>)> = order
+            .iter()
+            .map(|&idx| {
+                let mut l = vec![0u8; 4];
+                let mut i = vec![0u32; 4];
+                ix.idx2gp(idx, &mut l, &mut i);
+                (l, i)
+            })
+            .collect();
+
+        for kind in StoreKind::ALL {
+            let mut store = AnyStore::new(kind, spec);
+            store.fill(|x| x[0] - x[3]);
+            group.bench(kind.label(), || {
                 let mut acc = 0.0f64;
                 for (l, i) in &points {
                     acc += store.get(black_box(l), black_box(i));
                 }
                 acc
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn bench_fill(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_fill");
-    group.sample_size(10);
-    let spec = GridSpec::new(4, 6);
-    for kind in StoreKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
+    {
+        let mut group = h.group("store_fill");
+        group.sample_size(10);
+        let spec = GridSpec::new(4, 6);
+        for kind in StoreKind::ALL {
+            group.bench(kind.label(), || {
                 let mut s = AnyStore::new(kind, spec);
                 s.fill(|x| x[0]);
                 black_box(s.memory_bytes())
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_random_get, bench_fill);
-criterion_main!(benches);
+    h.finish();
+}

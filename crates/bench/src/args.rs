@@ -39,7 +39,10 @@ impl Args {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -50,7 +53,10 @@ impl Args {
 
     /// String flag with default.
     pub fn str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 

@@ -58,11 +58,31 @@ fn main() {
 
     let mut hier = Table::new(
         &format!("Fig. 10a: hierarchization speedup vs 1 Nehalem core, level {level}"),
-        &["d", "points", dev.name, "32c Opteron", "8c Nehalem EP", "4c Nehalem", "seq model", "seq host"],
+        &[
+            "d",
+            "points",
+            dev.name,
+            "32c Opteron",
+            "8c Nehalem EP",
+            "4c Nehalem",
+            "seq model",
+            "seq host",
+        ],
     );
     let mut eval = Table::new(
-        &format!("Fig. 10b: evaluation speedup vs 1 Nehalem core, level {level}, {n_points} points"),
-        &["d", "points", dev.name, "32c Opteron", "8c Nehalem EP", "4c Nehalem", "seq model", "seq host"],
+        &format!(
+            "Fig. 10b: evaluation speedup vs 1 Nehalem core, level {level}, {n_points} points"
+        ),
+        &[
+            "d",
+            "points",
+            dev.name,
+            "32c Opteron",
+            "8c Nehalem EP",
+            "4c Nehalem",
+            "seq model",
+            "seq host",
+        ],
     );
     let mut raw = Vec::new();
 
@@ -80,7 +100,10 @@ fn main() {
         let t_seq_hier = cpu.time(hier_instr(d, n), hier_traffic.dram_bytes / 64);
         let mut sim = CacheSim::nehalem();
         let eval_traffic = trace_evaluation(StoreKind::Compact, spec, n_points, &mut sim);
-        let t_seq_eval = cpu.time(eval_instr(d, subspaces, n_points as u64), eval_traffic.dram_bytes / 64);
+        let t_seq_eval = cpu.time(
+            eval_instr(d, subspaces, n_points as u64),
+            eval_traffic.dram_bytes / 64,
+        );
 
         // --- Real host measurements (reference column).
         let mut host = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
@@ -127,7 +150,7 @@ fn main() {
             fmt_secs(t_seq_eval),
             fmt_secs(t_host_eval),
         ]);
-        raw.push(serde_json::json!({
+        raw.push(sg_json::json!({
             "d": d, "points": n,
             "gpu_hier_speedup": gpu_hier_speedup,
             "gpu_eval_speedup": gpu_eval_speedup,
@@ -156,24 +179,39 @@ fn main() {
         // which the paper measured its §5.3 gains.
         let abl_d = 12;
         let mut abl = Table::new(
-            &format!("GPU ablations (paper §5.3), level {}, d = {abl_d}", level.min(5)),
+            &format!(
+                "GPU ablations (paper §5.3), level {}, d = {abl_d}",
+                level.min(5)
+            ),
             &["variant", "hier time", "eval time", "eval occupancy"],
         );
         let spec = GridSpec::new(abl_d, level.min(5));
         let xs = halton_points(abl_d, n_points.min(4096));
         for (name, cfg) in [
-            ("constant-cache binmat, block-shared l", KernelConfig::default()),
+            (
+                "constant-cache binmat, block-shared l",
+                KernelConfig::default(),
+            ),
             (
                 "shared-memory binmat",
-                KernelConfig { binmat: BinmatLocation::SharedMemory, ..Default::default() },
+                KernelConfig {
+                    binmat: BinmatLocation::SharedMemory,
+                    ..Default::default()
+                },
             ),
             (
                 "on-the-fly binomials",
-                KernelConfig { binmat: BinmatLocation::OnTheFly, ..Default::default() },
+                KernelConfig {
+                    binmat: BinmatLocation::OnTheFly,
+                    ..Default::default()
+                },
             ),
             (
                 "per-thread l",
-                KernelConfig { block_shared_l: false, ..Default::default() },
+                KernelConfig {
+                    block_shared_l: false,
+                    ..Default::default()
+                },
             ),
         ] {
             let mut g: CompactGrid<f32> = CompactGrid::from_fn(spec, |x| f.eval(x) as f32);
@@ -189,11 +227,12 @@ fn main() {
         abl.print();
     }
 
-    let json = serde_json::json!({
+    let json = sg_json::json!({
         "experiment": "fig10_speedup",
         "level": level, "points": n_points, "device": dev.name,
         "fig10a": hier.to_json(), "fig10b": eval.to_json(), "raw": raw,
     });
+    let json = sg_bench::attach_telemetry(json);
     match report::save_json("fig10_speedup", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),

@@ -33,14 +33,32 @@ fn main() {
             "Fig. 11a: hierarchization speedup on {} (d={d}, level {level})",
             machine.name
         ),
-        &["structure", "seq (host)", "DRAM traffic", "p=4", "p=8", "p=16", "p=24", "p=32"],
+        &[
+            "structure",
+            "seq (host)",
+            "DRAM traffic",
+            "p=4",
+            "p=8",
+            "p=16",
+            "p=24",
+            "p=32",
+        ],
     );
     let mut eval = Table::new(
         &format!(
             "Fig. 11b: evaluation speedup on {} (d={d}, level {level}, {evals} points)",
             machine.name
         ),
-        &["structure", "seq (host)", "DRAM traffic", "p=4", "p=8", "p=16", "p=24", "p=32"],
+        &[
+            "structure",
+            "seq (host)",
+            "DRAM traffic",
+            "p=4",
+            "p=8",
+            "p=16",
+            "p=24",
+            "p=32",
+        ],
     );
     let mut raw = Vec::new();
 
@@ -104,12 +122,12 @@ fn main() {
             pick(&eval_curve, 24),
             pick(&eval_curve, 32),
         ]);
-        raw.push(serde_json::json!({
+        raw.push(sg_json::json!({
             "kind": kind.label(),
             "seq_hier_s": t_hier, "seq_eval_s": t_eval,
             "hier_dram_bytes": hier_profile.dram_bytes,
             "eval_dram_bytes": eval_profile.dram_bytes,
-            "cores": cores,
+            "cores": &cores[..],
             "hier_speedups": hier_curve, "eval_speedups": eval_curve,
         }));
         eprintln!("{} done", kind.label());
@@ -124,12 +142,13 @@ fn main() {
          the prefix tree the best of the conventional structures.\n"
     );
 
-    let json = serde_json::json!({
+    let json = sg_json::json!({
         "experiment": "fig11_scalability",
         "level": level, "dims": d, "evals": evals,
         "machine": machine.name,
         "fig11a": hier.to_json(), "fig11b": eval.to_json(), "raw": raw,
     });
+    let json = sg_bench::attach_telemetry(json);
     match report::save_json("fig11_scalability", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),

@@ -60,7 +60,13 @@ fn main() {
 
     let mut validation = Table::new(
         "Model validation against allocated instances (level 5, f64)",
-        &["d", "structure", "allocated/actual", "closed-form model", "model/actual"],
+        &[
+            "d",
+            "structure",
+            "allocated/actual",
+            "closed-form model",
+            "model/actual",
+        ],
     );
     if args.flag("validate") {
         for d in [3usize, 5] {
@@ -94,12 +100,13 @@ fn main() {
         );
     }
 
-    let json = serde_json::json!({
+    let json = sg_json::json!({
         "experiment": "fig8_memory",
         "level": level,
         "table": table.to_json(),
-        "validation": if args.flag("validate") { Some(validation.to_json()) } else { None },
+        "validation": if args.flag("validate") { validation.to_json() } else { sg_json::Value::Null },
     });
+    let json = sg_bench::attach_telemetry(json);
     match report::save_json("fig8_memory", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),

@@ -26,11 +26,27 @@ fn main() {
 
     let mut hier = Table::new(
         &format!("Fig. 9a: sequential hierarchization runtime, level {level}"),
-        &["d", "points", "Ours", "Prefix Tree", "Enh. Hashtable", "Enh. Map", "Std Map"],
+        &[
+            "d",
+            "points",
+            "Ours",
+            "Prefix Tree",
+            "Enh. Hashtable",
+            "Enh. Map",
+            "Std Map",
+        ],
     );
     let mut eval = Table::new(
         &format!("Fig. 9b: sequential time per evaluation, level {level} ({evals} points)"),
-        &["d", "points", "Ours", "Prefix Tree", "Enh. Hashtable", "Enh. Map", "Std Map"],
+        &[
+            "d",
+            "points",
+            "Ours",
+            "Prefix Tree",
+            "Enh. Hashtable",
+            "Enh. Map",
+            "Std Map",
+        ],
     );
     let mut raw = Vec::new();
 
@@ -82,7 +98,7 @@ fn main() {
 
             hier_cells.push(fmt_secs(t_hier_only));
             eval_cells.push(fmt_secs(t_eval));
-            raw.push(serde_json::json!({
+            raw.push(sg_json::json!({
                 "d": d, "kind": kind.label(),
                 "hierarchize_s": t_hier_only, "eval_per_point_s": t_eval,
             }));
@@ -100,12 +116,13 @@ fn main() {
          coordinate-keyed std map slowest throughout.\n"
     );
 
-    let json = serde_json::json!({
+    let json = sg_json::json!({
         "experiment": "fig9_sequential",
         "level": level, "evals": evals,
         "fig9a": hier.to_json(), "fig9b": eval.to_json(),
         "raw": raw,
     });
+    let json = sg_bench::attach_telemetry(json);
     match report::save_json("fig9_sequential", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),

@@ -34,7 +34,9 @@ fn main() {
     let mut order: Vec<u64> = (0..n).collect();
     let mut state = 0x9E3779B97F4A7C15u64;
     for k in 0..order.len() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % order.len();
         order.swap(k, j);
     }
@@ -42,7 +44,13 @@ fn main() {
 
     let mut table = Table::new(
         &format!("Table 1: access cost, d={d}, level {level} ({n} points)"),
-        &["structure", "time", "non-seq refs", "ns/access (host)", "DRAM lines/access (sim)"],
+        &[
+            "structure",
+            "time",
+            "non-seq refs",
+            "ns/access (host)",
+            "DRAM lines/access (sim)",
+        ],
     );
     let mut raw = Vec::new();
 
@@ -80,7 +88,7 @@ fn main() {
             format!("{ns_per_access:.1}"),
             format!("{lines_per_access:.2}"),
         ]);
-        raw.push(serde_json::json!({
+        raw.push(sg_json::json!({
             "kind": kind.label(),
             "ns_per_access": ns_per_access,
             "dram_lines_per_access": lines_per_access,
@@ -95,11 +103,12 @@ fn main() {
          worst-case but benefits from cache-resident upper levels.\n"
     );
 
-    let json = serde_json::json!({
+    let json = sg_json::json!({
         "experiment": "table1_access",
         "dims": d, "level": level, "accesses": order.len(),
         "table": table.to_json(), "raw": raw,
     });
+    let json = sg_bench::attach_telemetry(json);
     match report::save_json("table1_access", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),

@@ -8,6 +8,7 @@
 //! table printing with JSON export.
 
 pub mod args;
+pub mod harness;
 pub mod report;
 pub mod runner;
 
@@ -16,6 +17,22 @@ pub use report::Table;
 pub use runner::AnyStore;
 
 use std::time::Instant;
+
+/// Append a `"telemetry"` section (the process-wide instrument snapshot,
+/// see `sg_telemetry::Report::to_json` for the schema) to a JSON report
+/// object when the `telemetry` feature is enabled; identity otherwise.
+pub fn attach_telemetry(report: sg_json::Value) -> sg_json::Value {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut report = report;
+        if let sg_json::Value::Object(fields) = &mut report {
+            fields.push(("telemetry".to_string(), sg_telemetry::snapshot().to_json()));
+        }
+        return report;
+    }
+    #[cfg(not(feature = "telemetry"))]
+    report
+}
 
 /// Wall time of one invocation of `f`, seconds.
 pub fn time_once(mut f: impl FnMut()) -> f64 {

@@ -1,6 +1,6 @@
 //! Aligned table printing and JSON experiment records.
 
-use serde_json::Value;
+use sg_json::{json, Value};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -74,10 +74,15 @@ impl Table {
 
     /// JSON representation (`{title, headers, rows}`).
     pub fn to_json(&self) -> Value {
-        serde_json::json!({
-            "title": self.title,
-            "headers": self.headers,
-            "rows": self.rows,
+        json!({
+            "title": self.title.clone(),
+            "headers": self.headers.clone(),
+            "rows": Value::Array(
+                self.rows
+                    .iter()
+                    .map(|r| Value::from(r.clone()))
+                    .collect(),
+            ),
         })
     }
 }
@@ -89,7 +94,7 @@ pub fn save_json(name: &str, value: &Value) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{}", serde_json::to_string_pretty(value)?)?;
+    writeln!(f, "{}", value.to_string_pretty())?;
     Ok(path)
 }
 

@@ -7,7 +7,6 @@
 //! parallel and vectorizable — the very property the combination
 //! technique trades memory for (paper §7).
 
-use rayon::prelude::*;
 use sg_core::level::Level;
 use sg_core::real::Real;
 
@@ -65,23 +64,24 @@ impl<T: Real> AnisoFullGrid<T> {
         let mut g = Self::new(levels);
         let d = g.levels.len();
         let per_dim = g.per_dim.clone();
-        g.values
-            .par_iter_mut()
-            .enumerate()
-            .for_each_init(
-                || (vec![0usize; d], vec![0.0f64; d]),
-                |(multi, x), (flat, v)| {
-                    let mut rem = flat;
-                    for t in (0..d).rev() {
-                        multi[t] = rem % per_dim[t];
-                        rem /= per_dim[t];
-                    }
-                    for t in 0..d {
-                        x[t] = (multi[t] + 1) as f64 / (per_dim[t] + 1) as f64;
-                    }
-                    *v = f(x);
-                },
-            );
+        const CHUNK: usize = 1024;
+        let per_dim = &per_dim;
+        sg_par::par_chunks_mut(&mut g.values, CHUNK, |ci, chunk| {
+            let mut multi = vec![0usize; d];
+            let mut x = vec![0.0f64; d];
+            let base = ci * CHUNK;
+            for (off, v) in chunk.iter_mut().enumerate() {
+                let mut rem = base + off;
+                for t in (0..d).rev() {
+                    multi[t] = rem % per_dim[t];
+                    rem /= per_dim[t];
+                }
+                for t in 0..d {
+                    x[t] = (multi[t] + 1) as f64 / (per_dim[t] + 1) as f64;
+                }
+                *v = f(&x);
+            }
+        });
         g
     }
 

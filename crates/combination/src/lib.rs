@@ -25,7 +25,6 @@ pub mod aniso;
 
 pub use aniso::AnisoFullGrid;
 
-use rayon::prelude::*;
 use sg_core::combinatorics::binomial;
 use sg_core::iter::for_each_level;
 use sg_core::level::{GridSpec, Level};
@@ -64,13 +63,10 @@ impl<T: Real> CombinationGrid<T> {
     /// Sample `f` on every component grid (in parallel over components).
     pub fn from_fn(spec: GridSpec, f: impl Fn(&[f64]) -> T + Sync) -> Self {
         let scheme = Self::scheme(spec);
-        let components = scheme
-            .into_par_iter()
-            .map(|(coefficient, levels)| Component {
-                coefficient,
-                grid: AnisoFullGrid::from_fn(&levels, &f),
-            })
-            .collect();
+        let components = sg_par::par_map(&scheme, |(coefficient, levels)| Component {
+            coefficient: *coefficient,
+            grid: AnisoFullGrid::from_fn(levels, &f),
+        });
         Self { spec, components }
     }
 
@@ -98,7 +94,8 @@ impl<T: Real> CombinationGrid<T> {
     pub fn evaluate_batch_parallel(&self, xs: &[f64]) -> Vec<T> {
         let d = self.spec.dim();
         assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
-        xs.par_chunks_exact(d).map(|x| self.evaluate(x)).collect()
+        let n = xs.len() / d;
+        sg_par::par_map_indexed(n, |k| self.evaluate(&xs[k * d..(k + 1) * d]))
     }
 
     /// Total stored values across all components — with the replication
@@ -154,8 +151,11 @@ mod tests {
         let scheme = CombinationGrid::<f64>::scheme(spec);
         let on = |coef: i64| scheme.iter().filter(|(c, _)| *c == coef).count() as u64;
         // q=0: coef +1 (10 components), q=1: −2 (6), q=2: +1 (3).
-        assert_eq!(on(1), sg_core::combinatorics::subspace_count(3, 3)
-            + sg_core::combinatorics::subspace_count(3, 1));
+        assert_eq!(
+            on(1),
+            sg_core::combinatorics::subspace_count(3, 3)
+                + sg_core::combinatorics::subspace_count(3, 1)
+        );
         assert_eq!(on(-2), sg_core::combinatorics::subspace_count(3, 2));
     }
 
@@ -194,8 +194,10 @@ mod tests {
         // The paper's criticism quantified: the combination technique
         // stores strictly more values than the direct representation,
         // increasingly so in higher dimensions.
-        let r3 = CombinationGrid::<f64>::from_fn(GridSpec::new(3, 5), |x| x[0]).replication_factor();
-        let r5 = CombinationGrid::<f64>::from_fn(GridSpec::new(5, 5), |x| x[0]).replication_factor();
+        let r3 =
+            CombinationGrid::<f64>::from_fn(GridSpec::new(3, 5), |x| x[0]).replication_factor();
+        let r5 =
+            CombinationGrid::<f64>::from_fn(GridSpec::new(5, 5), |x| x[0]).replication_factor();
         assert!(r3 > 1.0, "replication {r3}");
         assert!(r5 > r3, "replication should grow with d: {r3} → {r5}");
     }

@@ -17,6 +17,15 @@
 use crate::combinatorics::BinomialTable;
 use crate::iter::{decode_subspace_rank, encode_subspace_rank};
 use crate::level::{GridSpec, Index, Level};
+#[allow(unused_imports)] // the import is "unused" when `telemetry` is off
+use crate::tel;
+
+tel! {
+    static GP2IDX_CALLS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.bijection.gp2idx_calls");
+    static IDX2GP_CALLS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.bijection.idx2gp_calls");
+}
 
 /// Precomputed tables realizing `gp2idx` / `idx2gp` for one [`GridSpec`].
 ///
@@ -144,6 +153,7 @@ impl GridIndexer {
     #[inline]
     pub fn gp2idx(&self, l: &[Level], i: &[Index]) -> u64 {
         debug_assert!(self.spec.contains(l, i), "point not in grid");
+        tel! { GP2IDX_CALLS.add(1); }
         let index1 = encode_subspace_rank(l, i);
         let n: usize = l.iter().map(|&v| v as usize).sum();
         let index2 = self.subspace_rank(l) << n;
@@ -155,6 +165,7 @@ impl GridIndexer {
     #[inline]
     pub fn idx2gp(&self, idx: u64, l: &mut [Level], i: &mut [Index]) {
         debug_assert!(idx < self.num_points(), "index out of range");
+        tel! { IDX2GP_CALLS.add(1); }
         // Level group: last n with group_offsets[n] <= idx.
         let n = match self.group_offsets.binary_search(&idx) {
             Ok(n) if n < self.spec.levels() => n,
@@ -333,7 +344,11 @@ mod tests {
         // The compact structure's auxiliary tables must stay cache-sized
         // even for the paper's largest grid (d=10, level 11).
         let ix = GridIndexer::new(GridSpec::new(10, 11));
-        assert!(ix.memory_bytes() < 4096, "indexer too large: {}", ix.memory_bytes());
+        assert!(
+            ix.memory_bytes() < 4096,
+            "indexer too large: {}",
+            ix.memory_bytes()
+        );
     }
 
     #[test]

@@ -21,10 +21,9 @@ use crate::combinatorics::{binomial, sparse_grid_points};
 use crate::iter::{decode_subspace_rank, first_level, next_level};
 use crate::level::{coordinate, hierarchical_parent, GridSpec, Index, Level, Side};
 use crate::real::Real;
-use serde::{Deserialize, Serialize};
 
 /// Position of one dimension of a boundary-grid point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DimCoord {
     /// Interior hierarchical coordinate `(level, odd index)`.
     Interior(Level, Index),
@@ -91,7 +90,10 @@ impl BoundaryIndexer {
     /// refinement level `levels`.
     pub fn new(dim: usize, levels: usize) -> Self {
         // The face table has 3^d entries; 12 dims ≈ 531k faces is a sane cap.
-        assert!((1..=12).contains(&dim), "boundary grids support 1..=12 dims");
+        assert!(
+            (1..=12).contains(&dim),
+            "boundary grids support 1..=12 dims"
+        );
         assert!(levels >= 1);
         let interior: Vec<GridIndexer> = (1..=dim)
             .map(|k| GridIndexer::new(GridSpec::new(k, levels)))
@@ -244,7 +246,11 @@ impl BoundaryIndexer {
     /// Bytes consumed by the index tables.
     pub fn memory_bytes(&self) -> usize {
         self.faces.capacity() * std::mem::size_of::<FaceInfo>()
-            + self.interior.iter().map(|ix| ix.memory_bytes()).sum::<usize>()
+            + self
+                .interior
+                .iter()
+                .map(|ix| ix.memory_bytes())
+                .sum::<usize>()
             + self.rank_offsets.capacity() * 8
             + std::mem::size_of::<Self>()
     }
@@ -424,9 +430,7 @@ impl<T: Real> BoundaryGrid<T> {
                 }
                 let k = d - face.num_fixed() as usize;
                 // Position of dimension t among the face's free dims.
-                let pos_t = (0..t)
-                    .filter(|&u| face.fixed_mask & (1 << u) == 0)
-                    .count();
+                let pos_t = (0..t).filter(|&u| face.fixed_mask & (1 << u) == 0).count();
                 let ix = &interior[k - 1];
                 let group_order: Box<dyn Iterator<Item = usize>> = if inverse {
                     Box::new(0..levels)
@@ -677,7 +681,13 @@ mod tests {
     fn affine_function_is_reproduced_exactly_everywhere() {
         // f(x) = 2 + Σ a_t x_t is multilinear: with boundary basis, the
         // interpolant is exact throughout the whole domain.
-        let f = |x: &[f64]| 2.0 + x.iter().enumerate().map(|(t, &v)| (t + 1) as f64 * v).sum::<f64>();
+        let f = |x: &[f64]| {
+            2.0 + x
+                .iter()
+                .enumerate()
+                .map(|(t, &v)| (t + 1) as f64 * v)
+                .sum::<f64>()
+        };
         for d in 1..=3usize {
             let mut g: BoundaryGrid<f64> = BoundaryGrid::from_fn(d, 3, f);
             g.hierarchize();
@@ -754,8 +764,16 @@ mod tests {
         // corner surpluses stay the nodal values.
         for (cx, cy) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
             let p = [
-                if cx == 0.0 { DimCoord::Lo } else { DimCoord::Hi },
-                if cy == 0.0 { DimCoord::Lo } else { DimCoord::Hi },
+                if cx == 0.0 {
+                    DimCoord::Lo
+                } else {
+                    DimCoord::Hi
+                },
+                if cy == 0.0 {
+                    DimCoord::Lo
+                } else {
+                    DimCoord::Hi
+                },
             ];
             assert_eq!(g.get(&p), f(&[cx, cy]));
         }

@@ -36,7 +36,10 @@ impl CappedGridSpec {
     /// `l_t ≤ caps[t]`.
     pub fn new(caps: Vec<Level>, levels: usize) -> Self {
         assert!(!caps.is_empty(), "dimension must be at least 1");
-        assert!((1..=31).contains(&levels), "refinement level must be in 1..=31");
+        assert!(
+            (1..=31).contains(&levels),
+            "refinement level must be in 1..=31"
+        );
         Self { caps, levels }
     }
 
@@ -63,8 +66,7 @@ impl CappedGridSpec {
         let sum: usize = l.iter().map(|&v| v as usize).sum();
         sum < self.levels
             && l.iter().zip(&self.caps).all(|(&lt, &c)| lt <= c)
-            && l
-                .iter()
+            && l.iter()
                 .zip(i)
                 .all(|(&lt, &it)| it % 2 == 1 && it < (1u32 << (lt as u32 + 1)))
     }
@@ -163,7 +165,11 @@ impl CappedIndexer {
             let cap = self.spec.caps[t] as usize;
             let mut k = 0usize;
             loop {
-                let block = if m >= k { self.prefix_count[t][m - k] } else { 0 };
+                let block = if m >= k {
+                    self.prefix_count[t][m - k]
+                } else {
+                    0
+                };
                 if rank < block {
                     break;
                 }
@@ -454,10 +460,8 @@ mod tests {
         // caps = L−1 in every dimension degenerates to the regular grid:
         // same counts, same order, same indices.
         for (d, levels) in [(2usize, 5usize), (3, 4), (4, 3)] {
-            let capped = CappedIndexer::new(CappedGridSpec::new(
-                vec![(levels - 1) as Level; d],
-                levels,
-            ));
+            let capped =
+                CappedIndexer::new(CappedGridSpec::new(vec![(levels - 1) as Level; d], levels));
             let regular = GridIndexer::new(GridSpec::new(d, levels));
             assert_eq!(capped.num_points(), regular.num_points());
             let (mut l, mut i) = (vec![0; d], vec![0u32; d]);
@@ -494,11 +498,7 @@ mod tests {
                 .map(|(&lt, &it)| crate::level::coordinate(lt, it))
                 .collect();
             let got = g.evaluate(&x);
-            assert!(
-                (got - f(&x)).abs() < 1e-12,
-                "at {x:?}: {got} vs {}",
-                f(&x)
-            );
+            assert!((got - f(&x)).abs() < 1e-12, "at {x:?}: {got} vs {}", f(&x));
         }
     }
 
@@ -511,8 +511,7 @@ mod tests {
         let spec = GridSpec::new(2, 4);
         let mut regular = CompactGrid::<f64>::from_fn(spec, f);
         hier_regular(&mut regular);
-        let mut capped =
-            CappedGrid::<f64>::from_fn(CappedGridSpec::new(vec![3, 3], 4), f);
+        let mut capped = CappedGrid::<f64>::from_fn(CappedGridSpec::new(vec![3, 3], 4), f);
         capped.hierarchize();
         assert_eq!(capped.values(), regular.values());
         for x in crate::functions::halton_points(2, 25).chunks_exact(2) {

@@ -114,7 +114,10 @@ impl BinomialTable {
     /// `C(t + s, t)`, a single array lookup.
     #[inline(always)]
     pub fn choose(&self, t: usize, s: usize) -> u64 {
-        debug_assert!(t < self.d && s <= self.max_sum, "binmat lookup out of range");
+        debug_assert!(
+            t < self.d && s <= self.max_sum,
+            "binmat lookup out of range"
+        );
         self.data[t * (self.max_sum + 1) + s]
     }
 

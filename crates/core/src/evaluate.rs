@@ -16,7 +16,19 @@ use crate::grid::CompactGrid;
 use crate::iter::{first_level, next_level};
 use crate::level::Level;
 use crate::real::Real;
-use rayon::prelude::*;
+#[allow(unused_imports)] // the import is "unused" when `telemetry` is off
+use crate::tel;
+
+tel! {
+    static EVAL_POINTS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.evaluate.points");
+    static SUBSPACE_WALKS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.evaluate.subspace_walks");
+    static COEFF_BYTES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.evaluate.bytes_moved");
+    static BATCH_SPAN: sg_telemetry::Span =
+        sg_telemetry::Span::new("core.evaluate.batch");
+}
 
 /// Per-dimension contribution at `x`: the in-subspace cell index and the
 /// hat value inside that cell (paper Alg. 7 lines 9–13).
@@ -51,6 +63,10 @@ pub fn evaluate<T: Real>(grid: &CompactGrid<T>, x: &[f64]) -> T {
     let mut l = vec![0 as Level; d];
     let mut res = 0.0f64;
     let mut index2 = 0usize; // running subspace offset (index2 + index3)
+    tel! {
+        let mut walks = 0u64;
+        let mut reads = 0u64;
+    }
     for n in 0..spec.levels() {
         let sub_len = 1usize << n;
         first_level(n, &mut l);
@@ -68,12 +84,19 @@ pub fn evaluate<T: Real>(grid: &CompactGrid<T>, x: &[f64]) -> T {
             }
             if prod != 0.0 {
                 res += prod * values[index2 + index1 as usize].to_f64();
+                tel! { reads += 1; }
             }
             index2 += sub_len;
+            tel! { walks += 1; }
             if !next_level(&mut l) {
                 break;
             }
         }
+    }
+    tel! {
+        EVAL_POINTS.add(1);
+        SUBSPACE_WALKS.add(walks);
+        COEFF_BYTES.add(reads * T::size_bytes() as u64);
     }
     T::from_f64(res)
 }
@@ -89,11 +112,7 @@ pub fn evaluate_batch<T: Real>(grid: &CompactGrid<T>, xs: &[f64]) -> Vec<T> {
 /// Blocked batch evaluation (paper §4.3): process `block` query points per
 /// subspace sweep, so each subspace's coefficient chunk — fetched once —
 /// serves the whole block from cache.
-pub fn evaluate_batch_blocked<T: Real>(
-    grid: &CompactGrid<T>,
-    xs: &[f64],
-    block: usize,
-) -> Vec<T> {
+pub fn evaluate_batch_blocked<T: Real>(grid: &CompactGrid<T>, xs: &[f64], block: usize) -> Vec<T> {
     let spec = grid.spec();
     let d = spec.dim();
     assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
@@ -107,6 +126,11 @@ pub fn evaluate_batch_blocked<T: Real>(
     let mut out = vec![T::ZERO; k];
     let mut l = vec![0 as Level; d];
 
+    tel! {
+        let batch_t0 = std::time::Instant::now();
+        let mut walks = 0u64;
+        let mut reads = 0u64;
+    }
     let mut blk_start = 0usize;
     while blk_start < k {
         let blk = blk_start..(blk_start + block).min(k);
@@ -133,9 +157,11 @@ pub fn evaluate_batch_blocked<T: Real>(
                     }
                     if prod != 0.0 {
                         *a += prod * values[index2 + index1 as usize].to_f64();
+                        tel! { reads += 1; }
                     }
                 }
                 index2 += sub_len;
+                tel! { walks += 1; }
                 if !next_level(&mut l) {
                     break;
                 }
@@ -146,23 +172,30 @@ pub fn evaluate_batch_blocked<T: Real>(
         }
         blk_start = blk.end;
     }
+    tel! {
+        BATCH_SPAN.record(batch_t0.elapsed().as_nanos() as u64);
+        EVAL_POINTS.add(k as u64);
+        SUBSPACE_WALKS.add(walks);
+        COEFF_BYTES.add(reads * T::size_bytes() as u64);
+    }
     out
 }
 
 /// Parallel batch evaluation: static decomposition of the query points
 /// over threads (the paper's GPU scheme: one thread per interpolation
 /// point), blocked within each thread's chunk.
-pub fn evaluate_batch_parallel<T: Real>(
-    grid: &CompactGrid<T>,
-    xs: &[f64],
-    block: usize,
-) -> Vec<T> {
+pub fn evaluate_batch_parallel<T: Real>(grid: &CompactGrid<T>, xs: &[f64], block: usize) -> Vec<T> {
     let d = grid.spec().dim();
     assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
     let chunk = block.max(1) * d;
-    xs.par_chunks(chunk)
-        .flat_map_iter(|sub| evaluate_batch_blocked(grid, sub, block).into_iter())
-        .collect()
+    let n_chunks = xs.len().div_ceil(chunk);
+    sg_par::par_map_indexed(n_chunks, |k| {
+        let sub = &xs[k * chunk..((k + 1) * chunk).min(xs.len())];
+        evaluate_batch_blocked(grid, sub, block)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -42,9 +42,10 @@ impl TestFunction {
     pub fn eval(&self, x: &[f64]) -> f64 {
         match self {
             TestFunction::Parabola => x.iter().map(|&v| 4.0 * v * (1.0 - v)).product(),
-            TestFunction::SineProduct => {
-                x.iter().map(|&v| (std::f64::consts::PI * v).sin()).product()
-            }
+            TestFunction::SineProduct => x
+                .iter()
+                .map(|&v| (std::f64::consts::PI * v).sin())
+                .product(),
             TestFunction::Gaussian => {
                 let r2: f64 = x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum();
                 (-10.0 * r2).exp()
@@ -86,10 +87,13 @@ impl TestFunction {
 /// (§5.3: "the number of interpolation points is typically around 10⁵").
 pub fn halton_points(d: usize, count: usize) -> Vec<f64> {
     const PRIMES: [u64; 32] = [
-        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
-        89, 97, 101, 103, 107, 109, 113, 127, 131,
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+        97, 101, 103, 107, 109, 113, 127, 131,
     ];
-    assert!(d <= PRIMES.len(), "halton_points supports up to 32 dimensions");
+    assert!(
+        d <= PRIMES.len(),
+        "halton_points supports up to 32 dimensions"
+    );
     let mut out = Vec::with_capacity(d * count);
     for k in 1..=count as u64 {
         for &p in &PRIMES[..d] {
@@ -158,8 +162,7 @@ mod tests {
         assert!(pts.iter().all(|&v| (0.0..1.0).contains(&v)));
         // Mean should be close to 0.5 in every dimension.
         for t in 0..3 {
-            let mean: f64 =
-                pts.iter().skip(t).step_by(3).sum::<f64>() / 1000.0;
+            let mean: f64 = pts.iter().skip(t).step_by(3).sum::<f64>() / 1000.0;
             assert!((mean - 0.5).abs() < 0.02, "dim {t} mean {mean}");
         }
     }

@@ -9,9 +9,6 @@ use crate::bijection::GridIndexer;
 use crate::iter::for_each_point;
 use crate::level::{coordinate, GridSpec, Index, Level};
 use crate::real::Real;
-use rayon::prelude::*;
-use serde::de::DeserializeOwned;
-use serde::{Deserialize, Serialize};
 
 /// A regular zero-boundary sparse grid with contiguous value storage.
 ///
@@ -52,25 +49,26 @@ impl<T: Real> CompactGrid<T> {
         grid
     }
 
-    /// Sample `f` at every grid point in parallel over level groups'
-    /// subspace chunks.
+    /// Sample `f` at every grid point in parallel over contiguous chunks
+    /// of the coefficient array.
     pub fn from_fn_parallel(spec: GridSpec, f: impl Fn(&[f64]) -> T + Sync) -> Self {
+        const CHUNK: usize = 1024;
         let mut grid = Self::new(spec);
         let d = spec.dim();
         let indexer = grid.indexer.clone();
-        grid.values
-            .par_iter_mut()
-            .enumerate()
-            .for_each_init(
-                || (vec![0u8; d], vec![0u32; d], vec![0.0f64; d]),
-                |(l, i, coords), (idx, v)| {
-                    indexer.idx2gp(idx as u64, l, i);
-                    for t in 0..d {
-                        coords[t] = coordinate(l[t], i[t]);
-                    }
-                    *v = f(coords);
-                },
-            );
+        sg_par::par_chunks_mut(&mut grid.values, CHUNK, |ci, chunk| {
+            let mut l = vec![0 as Level; d];
+            let mut i = vec![0 as Index; d];
+            let mut coords = vec![0.0f64; d];
+            let base = ci * CHUNK;
+            for (k, v) in chunk.iter_mut().enumerate() {
+                indexer.idx2gp((base + k) as u64, &mut l, &mut i);
+                for t in 0..d {
+                    coords[t] = coordinate(l[t], i[t]);
+                }
+                *v = f(&coords);
+            }
+        });
         grid
     }
 
@@ -196,41 +194,6 @@ impl<T: Real> CompactGrid<T> {
     }
 }
 
-/// Serialization image of a grid: spec plus raw values. The index tables
-/// are derived data and deliberately not serialized (compression pipeline,
-/// paper Fig. 1: only the coefficient array crosses the storage boundary).
-#[derive(Serialize, Deserialize)]
-struct GridImage<T> {
-    spec: GridSpec,
-    values: Vec<T>,
-}
-
-impl<T: Real + Serialize> Serialize for CompactGrid<T> {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        GridImage {
-            spec: *self.spec(),
-            values: self.values.clone(),
-        }
-        .serialize(s)
-    }
-}
-
-impl<'de, T: Real + DeserializeOwned> Deserialize<'de> for CompactGrid<T> {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let img = GridImage::<T>::deserialize(d)?;
-        let indexer = GridIndexer::new(img.spec);
-        if img.values.len() as u64 != indexer.num_points() {
-            return Err(serde::de::Error::custom(
-                "value array length does not match grid spec",
-            ));
-        }
-        Ok(Self {
-            indexer,
-            values: img.values,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,38 +297,5 @@ mod tests {
     fn truncation_rejects_finer_levels() {
         let g: CompactGrid<f64> = CompactGrid::new(GridSpec::new(2, 3));
         let _ = g.truncated(4);
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let spec = GridSpec::new(3, 3);
-        let g = CompactGrid::from_fn(spec, |x| x[0] - x[2]);
-        let json = serde_json::to_string(&g).unwrap();
-        let back: CompactGrid<f64> = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.spec(), g.spec());
-        assert_eq!(back.values(), g.values());
-    }
-
-    #[test]
-    fn serde_rejects_corrupt_spec() {
-        // A spec violating the GridSpec invariants must surface as a
-        // deserialization error, never a panic.
-        for bad in [
-            r#"{"spec":{"dim":0,"levels":3},"values":[]}"#,
-            r#"{"spec":{"dim":2,"levels":0},"values":[]}"#,
-            r#"{"spec":{"dim":2,"levels":40},"values":[]}"#,
-        ] {
-            let r: Result<CompactGrid<f64>, _> = serde_json::from_str(bad);
-            assert!(r.is_err(), "must reject {bad}");
-        }
-    }
-
-    #[test]
-    fn serde_rejects_corrupt_length() {
-        let spec = GridSpec::new(2, 2);
-        let g: CompactGrid<f64> = CompactGrid::new(spec);
-        let mut json: serde_json::Value = serde_json::to_value(&g).unwrap();
-        json["values"].as_array_mut().unwrap().pop();
-        assert!(serde_json::from_value::<CompactGrid<f64>>(json).is_err());
     }
 }

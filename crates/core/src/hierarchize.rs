@@ -12,11 +12,39 @@
 //! coarser groups — still hold their pre-update values when read. Inside
 //! one group there are no dependencies, which is what makes the algorithm
 //! parallel with one barrier per group (paper §5.3).
+//!
+//! With the `telemetry` feature, every level-group sweep is timed into the
+//! spans `core.hierarchize.group_<n>` (n = level sum of the group), and
+//! the counter `core.hierarchize.bytes_moved` accumulates modeled traffic:
+//! per updated point, one read-modify-write of the coefficient plus up to
+//! two ancestor reads — `4 · sizeof(T)` bytes. Barrier wait time of the
+//! parallel variants is accounted by `sg-par` under `par.barrier_wait_ns`.
 
 use crate::grid::CompactGrid;
 use crate::level::{hierarchical_parent, Index, Level, Side};
 use crate::real::Real;
-use rayon::prelude::*;
+#[allow(unused_imports)] // the import is "unused" when `telemetry` is off
+use crate::tel;
+
+tel! {
+    macro_rules! group_spans {
+        ($prefix:literal; $($n:literal),*) => {
+            [$(sg_telemetry::Span::new(concat!($prefix, stringify!($n)))),*]
+        };
+    }
+    /// One accumulating span per level group `n` (a `GridSpec` admits
+    /// `n ≤ 30`); index `n` holds all sweeps over group `n`, across
+    /// dimensions and calls.
+    static GROUP_SWEEP: [sg_telemetry::Span; 31] = group_spans!(
+        "core.hierarchize.group_";
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+        16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30
+    );
+    static DEHIER_SWEEP: sg_telemetry::Span =
+        sg_telemetry::Span::new("core.dehierarchize.group_sweep");
+    static BYTES_MOVED: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.hierarchize.bytes_moved");
+}
 
 /// Surplus update for one point in dimension `t`: `v − (left + right)/2`
 /// with missing (boundary) ancestors contributing zero.
@@ -56,6 +84,10 @@ pub fn hierarchize<T: Real>(grid: &mut CompactGrid<T>) {
     let mut i = vec![0 as Index; d];
     for t in 0..d {
         for n in (0..spec.levels()).rev() {
+            tel! {
+                let sweep_t0 = std::time::Instant::now();
+                let mut touched = 0u64;
+            }
             let group_start = indexer.group_offset(n) as usize;
             let mut sub_start = group_start;
             crate::iter::first_level(n, &mut l);
@@ -68,11 +100,16 @@ pub fn hierarchize<T: Real>(grid: &mut CompactGrid<T>) {
                         let h = parent_halfsum(values, &indexer, &mut l, &mut i, t);
                         values[sub_start + rank as usize] -= h;
                     }
+                    tel! { touched += 1u64 << n; }
                 }
                 sub_start += 1usize << n;
                 if !crate::iter::next_level(&mut l) {
                     break;
                 }
+            }
+            tel! {
+                GROUP_SWEEP[n].record(sweep_t0.elapsed().as_nanos() as u64);
+                BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
             }
         }
     }
@@ -115,6 +152,7 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
         .collect();
     for t in 0..d {
         for n in (0..spec.levels()).rev() {
+            tel! { let sweep_t0 = std::time::Instant::now(); }
             let group_start = indexer.group_offset(n) as usize;
             let group_end = indexer.group_range(n).end as usize;
             // Ancestors live strictly below the group: split the borrow so
@@ -123,21 +161,26 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             let group = &mut rest[..group_end - group_start];
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
-            group
-                .par_chunks_exact_mut(sub_len)
-                .zip(levels.par_iter())
-                .for_each(|(chunk, l0)| {
-                    if l0[t] == 0 {
-                        return;
-                    }
-                    let mut l = l0.clone();
-                    let mut i = vec![0 as Index; d];
-                    for (rank, v) in chunk.iter_mut().enumerate() {
-                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                        let h = parent_halfsum(lower, &indexer, &mut l, &mut i, t);
-                        *v -= h;
-                    }
-                });
+            let indexer = &indexer;
+            sg_par::par_chunks_mut(group, sub_len, |k, chunk| {
+                let l0 = &levels[k];
+                if l0[t] == 0 {
+                    return;
+                }
+                let mut l = l0.clone();
+                let mut i = vec![0 as Index; d];
+                for (rank, v) in chunk.iter_mut().enumerate() {
+                    crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
+                    let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
+                    *v -= h;
+                }
+            });
+            tel! {
+                GROUP_SWEEP[n].record(sweep_t0.elapsed().as_nanos() as u64);
+                let touched: u64 = levels.iter().filter(|l0| l0[t] != 0).count() as u64
+                    * sub_len as u64;
+                BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
+            }
         }
     }
 }
@@ -154,6 +197,7 @@ pub fn dehierarchize<T: Real>(grid: &mut CompactGrid<T>) {
     let mut i = vec![0 as Index; d];
     for t in (0..d).rev() {
         for n in 0..spec.levels() {
+            tel! { let sweep_t0 = std::time::Instant::now(); }
             let group_start = indexer.group_offset(n) as usize;
             let mut sub_start = group_start;
             crate::iter::first_level(n, &mut l);
@@ -170,6 +214,7 @@ pub fn dehierarchize<T: Real>(grid: &mut CompactGrid<T>) {
                     break;
                 }
             }
+            tel! { DEHIER_SWEEP.record(sweep_t0.elapsed().as_nanos() as u64); }
         }
     }
 }
@@ -187,27 +232,28 @@ pub fn dehierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
         .collect();
     for t in (0..d).rev() {
         for n in 0..spec.levels() {
+            tel! { let sweep_t0 = std::time::Instant::now(); }
             let group_start = indexer.group_offset(n) as usize;
             let group_end = indexer.group_range(n).end as usize;
             let (lower, rest) = values.split_at_mut(group_start);
             let group = &mut rest[..group_end - group_start];
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
-            group
-                .par_chunks_exact_mut(sub_len)
-                .zip(levels.par_iter())
-                .for_each(|(chunk, l0)| {
-                    if l0[t] == 0 {
-                        return;
-                    }
-                    let mut l = l0.clone();
-                    let mut i = vec![0 as Index; d];
-                    for (rank, v) in chunk.iter_mut().enumerate() {
-                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                        let h = parent_halfsum(lower, &indexer, &mut l, &mut i, t);
-                        *v += h;
-                    }
-                });
+            let indexer = &indexer;
+            sg_par::par_chunks_mut(group, sub_len, |k, chunk| {
+                let l0 = &levels[k];
+                if l0[t] == 0 {
+                    return;
+                }
+                let mut l = l0.clone();
+                let mut i = vec![0 as Index; d];
+                for (rank, v) in chunk.iter_mut().enumerate() {
+                    crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
+                    let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
+                    *v += h;
+                }
+            });
+            tel! { DEHIER_SWEEP.record(sweep_t0.elapsed().as_nanos() as u64); }
         }
     }
 }
@@ -364,11 +410,35 @@ mod tests {
             for i in (1u32..=last).step_by(2) {
                 let s = g.get(&[l], &[i]);
                 if i == last {
-                    assert!(s.abs() > 1e-9, "chain-end surplus at ({l},{i}) must not vanish");
+                    assert!(
+                        s.abs() > 1e-9,
+                        "chain-end surplus at ({l},{i}) must not vanish"
+                    );
                 } else {
                     assert!(s.abs() < 1e-14, "surplus at ({l},{i}) should vanish");
                 }
             }
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_records_group_sweeps_and_traffic() {
+        let spec = GridSpec::new(3, 4);
+        let mut g = sample(spec);
+        let before = sg_telemetry::snapshot();
+        hierarchize(&mut g);
+        let after = sg_telemetry::snapshot();
+        // Every level group of every dimension pass was timed...
+        for n in 0..spec.levels() {
+            let name = format!("core.hierarchize.group_{n}");
+            let prev = before.span(&name).map_or(0, |s| s.count);
+            let now = after.span(&name).expect("group span registered").count;
+            assert!(now >= prev + spec.dim() as u64, "group {n} sweeps missing");
+        }
+        // ...and traffic was accounted.
+        let moved = after.counter("core.hierarchize.bytes_moved").unwrap_or(0)
+            - before.counter("core.hierarchize.bytes_moved").unwrap_or(0);
+        assert!(moved > 0, "bytes_moved must accumulate");
     }
 }

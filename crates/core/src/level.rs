@@ -7,7 +7,6 @@
 //! subspaces with `|l|₁ ≤ L − 1`.
 
 use crate::combinatorics::sparse_grid_points;
-use serde::{Deserialize, Serialize};
 
 /// Per-dimension level component (zero-based, paper convention).
 pub type Level = u8;
@@ -17,28 +16,13 @@ pub type Index = u32;
 /// Shape of a regular zero-boundary sparse grid: dimensionality and
 /// refinement level.
 ///
-/// Deserialization re-validates through [`GridSpec::try_new`], so corrupt
-/// serialized data yields an error instead of violating the invariants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(try_from = "RawGridSpec")]
+/// Codecs (see `sg-io`) must rebuild specs from untrusted data through
+/// [`GridSpec::try_new`], so corrupt serialized data yields an error
+/// instead of violating the invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridSpec {
     dim: usize,
     levels: usize,
-}
-
-/// Unvalidated wire form of [`GridSpec`].
-#[derive(Deserialize)]
-struct RawGridSpec {
-    dim: usize,
-    levels: usize,
-}
-
-impl TryFrom<RawGridSpec> for GridSpec {
-    type Error = SpecError;
-
-    fn try_from(raw: RawGridSpec) -> Result<Self, SpecError> {
-        GridSpec::try_new(raw.dim, raw.levels)
-    }
 }
 
 /// Reason a [`GridSpec`] could not be constructed.
@@ -148,7 +132,7 @@ impl std::fmt::Display for GridSpec {
 }
 
 /// A sparse grid point identified by its level and index vectors.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GridPoint {
     /// Level vector `l` (zero-based components).
     pub level: Vec<Level>,

@@ -14,7 +14,8 @@
 //!   contiguous array with zero structural overhead ([`grid::CompactGrid`]);
 //! * **iterative hierarchization** (compression, [`hierarchize`]) and
 //!   **evaluation** (decompression, [`evaluate`]), sequential and
-//!   rayon-parallel, plus the blocked batch evaluation of paper §4.3;
+//!   thread-parallel (via `sg-par`), plus the blocked batch evaluation of
+//!   paper §4.3;
 //! * the **boundary extension** of paper §4.4 ([`boundary`]);
 //! * full grids, test functions, and the level-vector iterator machinery
 //!   everything is built on.
@@ -36,6 +37,23 @@
 //! let v = evaluate(&grid, &[0.5, 0.5, 0.5, 0.5]);
 //! assert!((v - 1.0).abs() < 1e-12); // exact at grid points
 //! ```
+
+/// Statement/item gate for instrumentation: with the `telemetry` feature
+/// the wrapped tokens are compiled verbatim, without it they vanish — no
+/// atomics, no clocks, no dead branches in the hot paths.
+///
+/// All tokens come from the call site, so a `let` bound inside one `tel!`
+/// invocation stays visible to later `tel!` invocations in the same scope
+/// (accumulate locally, publish once).
+#[cfg(feature = "telemetry")]
+macro_rules! tel {
+    ($($t:tt)*) => { $($t)* };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! tel {
+    ($($t:tt)*) => {};
+}
+pub(crate) use tel;
 
 pub mod bijection;
 pub mod boundary;

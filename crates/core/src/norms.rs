@@ -48,8 +48,7 @@ pub fn group_surplus_l1<T: Real>(grid: &CompactGrid<T>) -> Vec<f64> {
     let mut out = Vec::with_capacity(spec.levels());
     let mut offset = 0usize;
     for n in 0..spec.levels() {
-        let group_points =
-            (crate::combinatorics::subspace_count(d, n) as usize) << n;
+        let group_points = (crate::combinatorics::subspace_count(d, n) as usize) << n;
         let sum: f64 = values[offset..offset + group_points]
             .iter()
             .map(|v| v.to_f64().abs())
@@ -86,9 +85,8 @@ mod tests {
     use crate::level::GridSpec;
 
     fn surplus_grid(d: usize, levels: usize) -> CompactGrid<f64> {
-        let mut g = CompactGrid::from_fn(GridSpec::new(d, levels), |x| {
-            TestFunction::Parabola.eval(x)
-        });
+        let mut g =
+            CompactGrid::from_fn(GridSpec::new(d, levels), |x| TestFunction::Parabola.eval(x));
         hierarchize(&mut g);
         g
     }
@@ -146,8 +144,7 @@ mod tests {
             let mean_diff: f64 = probes
                 .chunks_exact(2)
                 .map(|x| {
-                    (crate::evaluate::evaluate(&g, x) - crate::evaluate::evaluate(&coarse, x))
-                        .abs()
+                    (crate::evaluate::evaluate(&g, x) - crate::evaluate::evaluate(&coarse, x)).abs()
                 })
                 .sum::<f64>()
                 / count as f64;

@@ -153,10 +153,8 @@ mod tests {
     #[test]
     fn integral_is_linear() {
         let g = surplus_grid(2, 5, |x| TestFunction::SineProduct.eval(x));
-        let doubled = CompactGrid::from_parts(
-            *g.spec(),
-            g.values().iter().map(|&v| 2.0 * v).collect(),
-        );
+        let doubled =
+            CompactGrid::from_parts(*g.spec(), g.values().iter().map(|&v| 2.0 * v).collect());
         assert!((integrate(&doubled) - 2.0 * integrate(&g)).abs() < 1e-14);
     }
 

@@ -22,7 +22,10 @@ pub struct CoalesceResult {
 pub fn coalesce(addrs: &[u64], access_bytes: u64, segment_bytes: u64) -> CoalesceResult {
     debug_assert!(addrs.len() <= 32);
     if addrs.is_empty() {
-        return CoalesceResult { transactions: 0, bytes: 0 };
+        return CoalesceResult {
+            transactions: 0,
+            bytes: 0,
+        };
     }
     let mut lanes = [None; 32];
     for (k, &a) in addrs.iter().enumerate() {

@@ -203,8 +203,7 @@ pub fn hierarchize_gpu<T: Real>(
                 if cfg.block_shared_l {
                     // Every warp of the block issues the barrier guarding
                     // the shared l.
-                    let warps_in_block =
-                        sub_len.min(cfg.threads_per_block as u64).div_ceil(32);
+                    let warps_in_block = sub_len.min(cfg.threads_per_block as u64).div_ceil(32);
                     counters.barriers += warps_in_block;
                     counters.shared_accesses += d as u64;
                 }
@@ -375,7 +374,10 @@ mod tests {
         let dev = GpuDevice::tesla_c1060();
         let mk = |binmat| {
             let mut g = grid(5, 8);
-            let cfg = KernelConfig { binmat, ..Default::default() };
+            let cfg = KernelConfig {
+                binmat,
+                ..Default::default()
+            };
             kernel_time(hierarchize_gpu(&mut g, &dev, &cfg).time)
         };
         let constant = mk(BinmatLocation::ConstantCache);
@@ -401,7 +403,10 @@ mod tests {
         hierarchize(&mut g);
         let xs = halton_points(d, 2048);
         let t = |block_shared_l| {
-            let cfg = KernelConfig { block_shared_l, ..Default::default() };
+            let cfg = KernelConfig {
+                block_shared_l,
+                ..Default::default()
+            };
             kernel_time(evaluate_gpu(&g, &xs, &dev, &cfg).1.time)
         };
         let shared = t(true);

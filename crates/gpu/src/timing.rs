@@ -117,12 +117,12 @@ pub fn estimate_time(dev: &GpuDevice, c: &GpuCounters, occ: &Occupancy) -> TimeB
     // Below `issue_coverage_warps` resident warps, dependent-instruction
     // latency stalls the issue stage proportionally.
     let stall = (dev.issue_coverage_warps / occ.warps_per_sm.max(1) as f64).max(1.0);
-    let issue = instr as f64 * dev.cycles_per_warp_instruction() * stall
-        / (dev.sms as f64 * dev.clock_hz);
+    let issue =
+        instr as f64 * dev.cycles_per_warp_instruction() * stall / (dev.sms as f64 * dev.clock_hz);
     let bandwidth = c.bytes as f64 / dev.mem_bandwidth;
     let resident = occ.warps_per_sm.max(1) as f64;
-    let latency = c.transactions as f64 * dev.mem_latency_cycles
-        / (dev.sms as f64 * resident * dev.clock_hz);
+    let latency =
+        c.transactions as f64 * dev.mem_latency_cycles / (dev.sms as f64 * resident * dev.clock_hz);
     let launch = c.kernel_launches as f64 * dev.kernel_launch_overhead;
     let transfer = c.host_bytes as f64 / dev.pcie_bandwidth;
     TimeBreakdown {

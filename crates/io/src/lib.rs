@@ -20,11 +20,34 @@
 //!
 //! Overhead: 32 bytes total, independent of `N` and `d` — compare the
 //! per-point keys a map-based representation would have to persist.
+//!
+//! A human-readable JSON codec ([`encode_json`] / [`decode_json`]) is
+//! provided for interchange and debugging; it carries the same fields
+//! (`dim`, `levels`, `values`) and performs the same shape/length
+//! validation as the binary path.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sg_core::grid::CompactGrid;
 use sg_core::level::GridSpec;
 use sg_core::real::Real;
+use sg_json::Value;
+
+/// Statement/item gate for instrumentation: compiled verbatim with the
+/// `telemetry` feature, compiled away without it (see `sg_core`'s twin).
+#[cfg(feature = "telemetry")]
+macro_rules! tel {
+    ($($t:tt)*) => { $($t)* };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! tel {
+    ($($t:tt)*) => {};
+}
+
+tel! {
+    static ENCODE_BYTES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.encode_bytes");
+    static DECODE_BYTES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.decode_bytes");
+}
 
 /// Format magic.
 pub const MAGIC: [u8; 4] = *b"SGC1";
@@ -62,6 +85,8 @@ pub enum DecodeError {
     ChecksumMismatch,
     /// Invalid grid shape (d = 0 or L = 0 or too large).
     BadShape,
+    /// JSON document malformed or missing a required field.
+    BadJson(String),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -79,6 +104,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::LengthMismatch => write!(f, "payload length mismatch"),
             DecodeError::ChecksumMismatch => write!(f, "checksum mismatch (corrupt blob)"),
             DecodeError::BadShape => write!(f, "invalid grid shape"),
+            DecodeError::BadJson(why) => write!(f, "bad JSON grid document: {why}"),
         }
     }
 }
@@ -104,25 +130,64 @@ fn type_tag<T: Real>() -> u8 {
     }
 }
 
+/// Little-endian read cursor over a byte slice; every `get_*` assumes the
+/// caller has already verified enough bytes remain.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// Encode a grid into the compact binary format.
-pub fn encode<T: Real>(grid: &CompactGrid<T>) -> Bytes {
+pub fn encode<T: Real>(grid: &CompactGrid<T>) -> Vec<u8> {
     let n = grid.len();
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + n * T::size_bytes() + CHECKSUM_LEN);
-    buf.put_slice(&MAGIC);
-    buf.put_u8(type_tag::<T>());
-    buf.put_slice(&[0u8; 3]);
-    buf.put_u32_le(grid.spec().dim() as u32);
-    buf.put_u32_le(grid.spec().levels() as u32);
-    buf.put_u64_le(n as u64);
+    let mut buf = Vec::with_capacity(HEADER_LEN + n * T::size_bytes() + CHECKSUM_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(type_tag::<T>());
+    buf.extend_from_slice(&[0u8; 3]);
+    buf.extend_from_slice(&(grid.spec().dim() as u32).to_le_bytes());
+    buf.extend_from_slice(&(grid.spec().levels() as u32).to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
     for &v in grid.values() {
         match T::size_bytes() {
-            4 => buf.put_f32_le(v.to_f64() as f32),
-            _ => buf.put_f64_le(v.to_f64()),
+            4 => buf.extend_from_slice(&(v.to_f64() as f32).to_le_bytes()),
+            _ => buf.extend_from_slice(&v.to_f64().to_le_bytes()),
         }
     }
     let checksum = fnv1a(&buf);
-    buf.put_u64_le(checksum);
-    buf.freeze()
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    tel! { ENCODE_BYTES.add(buf.len() as u64); }
+    buf
 }
 
 /// Decode a grid from the compact binary format.
@@ -136,10 +201,8 @@ pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
         return Err(DecodeError::ChecksumMismatch);
     }
 
-    let mut cur = body;
-    let mut magic = [0u8; 4];
-    cur.copy_to_slice(&mut magic);
-    if magic != MAGIC {
+    let mut cur = Cursor { buf: body };
+    if cur.take(4) != MAGIC {
         return Err(DecodeError::BadMagic);
     }
     let tag = cur.get_u8();
@@ -152,7 +215,7 @@ pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
             expected: type_tag::<T>(),
         });
     }
-    cur.advance(3);
+    cur.take(3);
     let d = cur.get_u32_le() as usize;
     let levels = cur.get_u32_le() as usize;
     let n = cur.get_u64_le();
@@ -177,6 +240,73 @@ pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
         };
         values.push(v);
     }
+    tel! { DECODE_BYTES.add(blob.len() as u64); }
+    Ok(CompactGrid::from_parts(spec, values))
+}
+
+/// Encode a grid as a JSON document:
+/// `{"format": "sg-grid", "dim": d, "levels": L, "values": [...]}`.
+pub fn encode_json<T: Real>(grid: &CompactGrid<T>) -> String {
+    let values: Vec<Value> = grid
+        .values()
+        .iter()
+        .map(|v| Value::Num(v.to_f64()))
+        .collect();
+    let doc = Value::Object(vec![
+        ("format".into(), Value::Str("sg-grid".into())),
+        ("dim".into(), Value::Num(grid.spec().dim() as f64)),
+        ("levels".into(), Value::Num(grid.spec().levels() as f64)),
+        ("values".into(), Value::Array(values)),
+    ]);
+    let out = doc.to_string();
+    tel! { ENCODE_BYTES.add(out.len() as u64); }
+    out
+}
+
+/// Decode a grid from the JSON document produced by [`encode_json`].
+///
+/// Rejects malformed documents, invalid shapes (`dim` = 0, `levels`
+/// outside 1..=31), and value arrays whose length does not match the
+/// shape — the same guarantees the binary decoder gives.
+pub fn decode_json<T: Real>(text: &str) -> Result<CompactGrid<T>, DecodeError> {
+    let doc = sg_json::parse(text).map_err(|e| DecodeError::BadJson(e.to_string()))?;
+    let field = |name: &str| -> Result<&Value, DecodeError> {
+        doc.get(name)
+            .ok_or_else(|| DecodeError::BadJson(format!("missing field `{name}`")))
+    };
+    let as_dim = |name: &str| -> Result<usize, DecodeError> {
+        match field(name)? {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Ok(*x as usize),
+            _ => Err(DecodeError::BadJson(format!(
+                "field `{name}` is not a non-negative integer"
+            ))),
+        }
+    };
+    let d = as_dim("dim")?;
+    let levels = as_dim("levels")?;
+    if d == 0 || levels == 0 || levels > 31 || d > 64 {
+        return Err(DecodeError::BadShape);
+    }
+    let spec = GridSpec::new(d, levels);
+    let raw = match field("values")? {
+        Value::Array(items) => items,
+        _ => {
+            return Err(DecodeError::BadJson(
+                "field `values` is not an array".into(),
+            ))
+        }
+    };
+    if raw.len() as u64 != spec.num_points() {
+        return Err(DecodeError::LengthMismatch);
+    }
+    let mut values = Vec::with_capacity(raw.len());
+    for item in raw {
+        match item {
+            Value::Num(x) => values.push(T::from_f64(*x)),
+            _ => return Err(DecodeError::BadJson("non-numeric value entry".into())),
+        }
+    }
+    tel! { DECODE_BYTES.add(text.len() as u64); }
     Ok(CompactGrid::from_parts(spec, values))
 }
 
@@ -225,7 +355,7 @@ mod tests {
 
     #[test]
     fn detects_single_bit_corruption_anywhere() {
-        let blob = encode(&sample_grid()).to_vec();
+        let blob = encode(&sample_grid());
         // Flip one bit in a spread of positions across header, payload
         // and checksum.
         for pos in (0..blob.len()).step_by(blob.len() / 23 + 1) {
@@ -243,13 +373,16 @@ mod tests {
         let r: Result<CompactGrid<f32>, _> = decode(&blob);
         assert_eq!(
             r.unwrap_err(),
-            DecodeError::ValueTypeMismatch { found: 1, expected: 0 }
+            DecodeError::ValueTypeMismatch {
+                found: 1,
+                expected: 0
+            }
         );
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut blob = encode(&sample_grid()).to_vec();
+        let mut blob = encode(&sample_grid());
         blob[0] = b'X';
         // Re-stamp the checksum so only the magic is wrong.
         let len = blob.len();
@@ -261,7 +394,7 @@ mod tests {
 
     #[test]
     fn rejects_inconsistent_count() {
-        let mut blob = encode(&sample_grid()).to_vec();
+        let mut blob = encode(&sample_grid());
         // Overwrite the count field (offset 16) with a wrong value.
         blob[16..24].copy_from_slice(&999u64.to_le_bytes());
         let len = blob.len();
@@ -273,7 +406,10 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = DecodeError::CountMismatch { header: 1, expected: 2 };
+        let e = DecodeError::CountMismatch {
+            header: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("header count 1"));
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
     }
@@ -283,5 +419,54 @@ mod tests {
         // Known FNV-1a 64 test vector.
         assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample_grid();
+        let text = encode_json(&g);
+        let back: CompactGrid<f64> = decode_json(&text).unwrap();
+        assert_eq!(back.spec(), g.spec());
+        assert_eq!(back.values(), g.values());
+    }
+
+    #[test]
+    fn json_rejects_corrupt_spec() {
+        let g = sample_grid();
+        // Zero dim, zero/oversized levels, all invalid shapes.
+        for (dim, levels) in [(0, 4), (3, 0), (3, 32), (65, 4)] {
+            let text = encode_json(&g)
+                .replace("\"dim\":3", &format!("\"dim\":{dim}"))
+                .replace("\"levels\":4", &format!("\"levels\":{levels}"));
+            let r: Result<CompactGrid<f64>, _> = decode_json(&text);
+            assert_eq!(
+                r.unwrap_err(),
+                DecodeError::BadShape,
+                "dim={dim} levels={levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_rejects_wrong_value_count() {
+        let g = sample_grid();
+        // Claim a different shape than the value array supports.
+        let text = encode_json(&g).replace("\"levels\":4", "\"levels\":5");
+        let r: Result<CompactGrid<f64>, _> = decode_json(&text);
+        assert_eq!(r.unwrap_err(), DecodeError::LengthMismatch);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,2,3]",
+            "{\"dim\": 2}",
+            "{\"dim\": 1.5, \"levels\": 2, \"values\": []}",
+        ] {
+            let r: Result<CompactGrid<f64>, _> = decode_json(bad);
+            assert!(r.is_err(), "must reject {bad:?}");
+        }
     }
 }

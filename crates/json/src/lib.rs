@@ -1,0 +1,876 @@
+#![warn(missing_docs)]
+
+//! # sg-json — minimal JSON for an offline workspace
+//!
+//! A self-contained JSON document model ([`Value`]), a recursive-descent
+//! parser, compact and pretty writers, and a [`json!`] construction macro.
+//! It exists because this workspace builds with no registry access: it
+//! replaces `serde_json` for the three places JSON crosses a boundary —
+//! grid serialization (`sg-io`), experiment records (`sg-bench`), and
+//! telemetry reports (`sg-telemetry`).
+//!
+//! Numbers are stored as `f64` and written with Rust's shortest-roundtrip
+//! `Display` formatting, so any `f64` written by this crate parses back to
+//! the identical bit pattern. Integers are exact up to 2^53, which covers
+//! every count in this workspace (the largest paper grid has 1.27·10^8
+//! points).
+
+use std::fmt;
+
+/// A JSON document: null, bool, number, string, array, or object.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// hash maps); key lookup is a linear scan, which is fine for the small
+/// reports this workspace produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, stored as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable elements, if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a member (object values only; panics otherwise).
+    pub fn set(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Object(o) => {
+                if let Some(slot) = o.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    o.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Value::set on a non-object"),
+        }
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+
+    /// Parse a JSON document. The entire input must be consumed (trailing
+    /// whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact serialization (`value.to_string()` via `ToString`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in a.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in o.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        // Rust's f64 Display is shortest-roundtrip; integers print bare.
+        use std::fmt::Write;
+        let _ = write!(out, "{n}");
+    } else {
+        // JSON has no NaN/Inf; follow serde_json and write null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Why a document failed to parse, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable reason.
+    pub message: &'static str,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            message,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect("null", Value::Null),
+            Some(b't') => self.expect("true", Value::Bool(true)),
+            Some(b'f') => self.expect("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // '{'
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest escape-free ASCII/UTF-8 run.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so the byte range is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a paired \uXXXX.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("bad hex digit")),
+            };
+            v = (v << 4) | digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: either a single 0 or a non-zero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+// ---------------------------------------------------------------- indexing
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Member access; missing keys and non-objects yield `null` (the
+    /// `serde_json` convention, so chained lookups never panic).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Mutable member access; inserts `null` for a missing key. Panics on
+    /// non-objects.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let o = match self {
+            Value::Object(o) => o,
+            _ => panic!("cannot index a non-object with a string key"),
+        };
+        if let Some(p) = o.iter().position(|(k, _)| k == key) {
+            return &mut o[p].1;
+        }
+        o.push((key.to_string(), Value::Null));
+        &mut o.last_mut().unwrap().1
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Element access; out-of-range and non-arrays yield `null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// -------------------------------------------------------------- conversion
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Num(v as f64)
+    }
+}
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Num(v as f64)
+            }
+        }
+    )*};
+}
+from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Parse a JSON document — free-function convenience for [`Value::parse`].
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    Value::parse(input)
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::Str(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Clone + Into<Value>> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+// Comparisons against plain literals, for terse assertions.
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+// ------------------------------------------------------------------ macro
+
+/// Construct a [`Value`] from a JSON-like literal.
+///
+/// Object keys must be string literals; values may be `null`, booleans,
+/// nested `{...}` / `[...]` literals, or arbitrary Rust expressions that
+/// implement `Into<Value>`.
+///
+/// ```
+/// use sg_json::{json, Value};
+/// let sizes = vec![1u64, 17, 31];
+/// let v = json!({
+///     "experiment": "fig8",
+///     "ok": true,
+///     "sizes": sizes,
+///     "nested": {"d": 10, "raw": [1, 2.5, "x", null]},
+/// });
+/// assert_eq!(v["nested"]["d"], 10u64);
+/// assert_eq!(v["sizes"][1], 17u64);
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array!(@acc [] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_object!(@acc [] $($tt)*)) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal array muncher for [`json!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    (@acc [$($out:expr,)*]) => { vec![$($out,)*] };
+    (@acc [$($out:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@acc [$($out,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] { $($v:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@acc [$($out,)* $crate::json!({ $($v)* }),] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] [ $($v:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@acc [$($out,)* $crate::json!([ $($v)* ]),] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!(@acc [$($out,)* $crate::Value::from($val),] $($($rest)*)?)
+    };
+}
+
+/// Internal object muncher for [`json!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    (@acc [$($out:expr,)*]) => { vec![$($out,)*] };
+    (@acc [$($out:expr,)*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@acc [$($out,)* ($key.to_string(), $crate::Value::Null),] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] $key:literal : { $($v:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@acc [$($out,)* ($key.to_string(), $crate::json!({ $($v)* })),] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] $key:literal : [ $($v:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@acc [$($out,)* ($key.to_string(), $crate::json!([ $($v)* ])),] $($($rest)*)?)
+    };
+    (@acc [$($out:expr,)*] $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!(@acc [$($out,)* ($key.to_string(), $crate::Value::from($val)),] $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic_values() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12",
+            "3.25",
+            "1e-3",
+            "\"hi\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"a\":1,\"b\":[true,null]}",
+        ] {
+            let v = Value::parse(text).unwrap();
+            let back = Value::parse(&v.to_string()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for &f in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -2.2250738585072014e-308,
+            #[allow(clippy::excessive_precision)] // deliberately more digits than f64 holds
+            123456789.123456789,
+            1e-45,
+        ] {
+            let v = Value::Num(f);
+            let back = Value::parse(&v.to_string()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), f.to_bits(), "{f}");
+        }
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let original = "line1\nline2\t\"quoted\" \\ / \u{1F600} \u{8} \u{c} control:\u{1}";
+        let v = Value::Str(original.to_string());
+        let back = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        let v = Value::parse(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "Aé😀");
+        assert!(Value::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+        assert!(Value::parse(r#""\ud83dxx""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "[1]x",
+            "--1",
+        ] {
+            assert!(Value::parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Value::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Value::parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn indexing_conventions() {
+        let v = json!({"a": {"b": [10, 20]}});
+        assert_eq!(v["a"]["b"][1], 20.0);
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["b"][9].is_null());
+        assert!(
+            v[0].is_null(),
+            "string-keyed object has no positional members"
+        );
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = json!({});
+        v["x"] = json!(5);
+        v["x"] = json!(6);
+        assert_eq!(v["x"], 6.0);
+        assert_eq!(v.as_object().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn macro_builds_nested_documents() {
+        let headers = vec!["d".to_string(), "value".to_string()];
+        let n = 42u64;
+        let v = json!({
+            "title": "demo",
+            "headers": headers,
+            "flag": true,
+            "nothing": null,
+            "count": n,
+            "nested": [{"x": 1}, {"x": 2}],
+        });
+        assert_eq!(v["title"], "demo");
+        assert_eq!(v["headers"][0], "d");
+        assert_eq!(v["count"], 42u64);
+        assert_eq!(v["nested"][1]["x"], 2.0);
+        assert!(v["nothing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": "text"}});
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains('\n'));
+        assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn nan_and_infinity_write_as_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+    }
+}

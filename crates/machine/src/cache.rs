@@ -7,6 +7,13 @@
 //! while tree- and map-based structures take `O(log N)` or `O(d)`
 //! non-sequential references per access (Table 1).
 
+crate::tel! {
+    static ACCESSES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("machine.cache.accesses");
+    static DRAM_BYTES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("machine.cache.dram_bytes");
+}
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -40,7 +47,10 @@ pub struct CacheLevel {
 impl CacheLevel {
     fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.line_bytes.is_power_of_two());
-        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
             cfg,
@@ -121,9 +131,24 @@ impl CacheSim {
     /// sequential-baseline and 4/8-core machines).
     pub fn nehalem() -> Self {
         Self::new(&[
-            CacheConfig { name: "L1", size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
-            CacheConfig { name: "L2", size_bytes: 256 << 10, line_bytes: 64, ways: 8 },
-            CacheConfig { name: "L3", size_bytes: 8 << 20, line_bytes: 64, ways: 16 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: 256 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
+            CacheConfig {
+                name: "L3",
+                size_bytes: 8 << 20,
+                line_bytes: 64,
+                ways: 16,
+            },
         ])
     }
 
@@ -131,9 +156,24 @@ impl CacheSim {
     /// scalability machine; per-core L1/L2, 2 MB shared L3 per socket).
     pub fn opteron_barcelona() -> Self {
         Self::new(&[
-            CacheConfig { name: "L1", size_bytes: 64 << 10, line_bytes: 64, ways: 2 },
-            CacheConfig { name: "L2", size_bytes: 512 << 10, line_bytes: 64, ways: 16 },
-            CacheConfig { name: "L3", size_bytes: 2 << 20, line_bytes: 64, ways: 32 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: 512 << 10,
+                line_bytes: 64,
+                ways: 16,
+            },
+            CacheConfig {
+                name: "L3",
+                size_bytes: 2 << 20,
+                line_bytes: 64,
+                ways: 32,
+            },
         ])
     }
 
@@ -143,15 +183,35 @@ impl CacheSim {
     /// structure (e.g. batch evaluation with partitioned query points).
     pub fn opteron_barcelona_aggregate() -> Self {
         Self::new(&[
-            CacheConfig { name: "L1", size_bytes: 64 << 10, line_bytes: 64, ways: 2 },
-            CacheConfig { name: "L2", size_bytes: 512 << 10, line_bytes: 64, ways: 16 },
-            CacheConfig { name: "L3x8", size_bytes: 16 << 20, line_bytes: 64, ways: 32 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: 512 << 10,
+                line_bytes: 64,
+                ways: 16,
+            },
+            CacheConfig {
+                name: "L3x8",
+                size_bytes: 16 << 20,
+                line_bytes: 64,
+                ways: 32,
+            },
         ])
     }
 
     /// A tiny hierarchy for unit tests.
     pub fn tiny() -> Self {
-        Self::new(&[CacheConfig { name: "L1", size_bytes: 1024, line_bytes: 64, ways: 2 }])
+        Self::new(&[CacheConfig {
+            name: "L1",
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        }])
     }
 
     /// Line size shared by all levels.
@@ -161,6 +221,7 @@ impl CacheSim {
 
     /// Simulate one access of `size` bytes at `addr` (may span lines).
     pub fn access(&mut self, addr: u64, size: usize) {
+        crate::tel! { let dram0 = self.dram_lines; }
         self.accesses += 1;
         let line_sz = self.line_bytes() as u64;
         let first = addr / line_sz;
@@ -181,6 +242,10 @@ impl CacheSim {
                     break;
                 }
             }
+        }
+        crate::tel! {
+            ACCESSES.add(1);
+            DRAM_BYTES.add((self.dram_lines - dram0) * self.line_bytes() as u64);
         }
     }
 
@@ -247,7 +312,12 @@ mod tests {
 
     #[test]
     fn geometry() {
-        let c = CacheConfig { name: "L1", size_bytes: 32 << 10, line_bytes: 64, ways: 8 };
+        let c = CacheConfig {
+            name: "L1",
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 8,
+        };
         assert_eq!(c.sets(), 64);
     }
 
@@ -314,7 +384,7 @@ mod tests {
     #[test]
     fn capacity_miss_on_large_working_set() {
         let mut sim = CacheSim::tiny(); // 1 KiB
-        // Stream 64 KiB twice: second pass misses everything again.
+                                        // Stream 64 KiB twice: second pass misses everything again.
         for _ in 0..2 {
             for k in 0..1024u64 {
                 sim.access(k * 64, 1);
@@ -328,8 +398,18 @@ mod tests {
     #[test]
     fn second_level_absorbs_l1_misses() {
         let mut sim = CacheSim::new(&[
-            CacheConfig { name: "L1", size_bytes: 1024, line_bytes: 64, ways: 2 },
-            CacheConfig { name: "L2", size_bytes: 64 << 10, line_bytes: 64, ways: 8 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: 1024,
+                line_bytes: 64,
+                ways: 2,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
         ]);
         // Working set of 16 KiB: too big for L1, fits L2.
         for _ in 0..3 {

@@ -15,6 +15,18 @@
 //! * [`multicore`] — the bandwidth-saturation scaling model that
 //!   reproduces the shape of the paper's Fig. 11 on its 32-core Opteron.
 
+/// Statement/item gate for instrumentation: compiled verbatim with the
+/// `telemetry` feature, compiled away without it (see `sg_core`'s twin).
+#[cfg(feature = "telemetry")]
+macro_rules! tel {
+    ($($t:tt)*) => { $($t)* };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! tel {
+    ($($t:tt)*) => {};
+}
+pub(crate) use tel;
+
 pub mod cache;
 pub mod multicore;
 pub mod profile;

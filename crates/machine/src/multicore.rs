@@ -169,7 +169,8 @@ impl WorkloadProfile {
     pub fn time_at(&self, m: &MachineModel, p: usize) -> f64 {
         assert!(p >= 1 && p <= m.cores);
         let p_f = p as f64;
-        let cpu = self.seq_cpu_time(m) * (self.serial_fraction + (1.0 - self.serial_fraction) / p_f);
+        let cpu =
+            self.seq_cpu_time(m) * (self.serial_fraction + (1.0 - self.serial_fraction) / p_f);
         let stream = (self.dram_bytes - self.random_bytes) / m.bandwidth(p);
         let random = self.random_bytes / m.random_bandwidth(p);
         // A barrier among p cores costs ~t_sync·log2(p); at p = 1 it is a
@@ -237,7 +238,10 @@ mod tests {
             s_at_32 < s_at_sat * 1.15,
             "memory-bound curve kept scaling: {s_at_sat} → {s_at_32}"
         );
-        assert!(s_at_32 < 18.0, "memory-bound speedup must stay bounded: {s_at_32}");
+        assert!(
+            s_at_32 < 18.0,
+            "memory-bound speedup must stay bounded: {s_at_32}"
+        );
     }
 
     #[test]

@@ -86,13 +86,19 @@ impl AccessTracer {
     pub fn record_idx(&self, idx: u64, l: &[Level], sim: &mut CacheSim) {
         match self.kind {
             StoreKind::Compact => {
-                sim.access(VALUES_BASE + idx * self.value_bytes as u64, self.value_bytes);
+                sim.access(
+                    VALUES_BASE + idx * self.value_bytes as u64,
+                    self.value_bytes,
+                );
             }
             StoreKind::EnhancedHash => {
                 // One bucket-array slot, then the entry itself.
                 let n = self.indexer.num_points();
                 sim.access(BUCKET_BASE + (mix(idx) % n.max(1)) * 8, 8);
-                sim.access(ENTRY_BASE + mix(idx ^ 0xDEAD) % self.heap_span / 64 * 64, 32);
+                sim.access(
+                    ENTRY_BASE + mix(idx ^ 0xDEAD) % self.heap_span / 64 * 64,
+                    32,
+                );
             }
             StoreKind::EnhancedMap | StoreKind::StdMap => {
                 // Balanced search tree over the key space 0..N: the lookup
@@ -193,7 +199,10 @@ mod tests {
         let trie = misses_per_access(StoreKind::PrefixTree, spec);
         let emap = misses_per_access(StoreKind::EnhancedMap, spec);
         let smap = misses_per_access(StoreKind::StdMap, spec);
-        assert!(compact <= 1.05, "compact {compact} must be ≤ ~1 miss/access");
+        assert!(
+            compact <= 1.05,
+            "compact {compact} must be ≤ ~1 miss/access"
+        );
         assert!(hash >= compact, "hash {hash} vs compact {compact}");
         // The trie's upper-level node arrays stay cache-resident, so its
         // *measured* misses sit between compact and the maps even though

@@ -1,0 +1,256 @@
+#![warn(missing_docs)]
+
+//! # sg-par — scoped-thread data parallelism
+//!
+//! The paper's parallel algorithms need exactly two primitives: a
+//! *chunked mutable sweep* (subspaces of one level group distributed over
+//! threads, with a barrier per group — paper §5.3) and an *ordered
+//! parallel map* (batch evaluation, one thread per block of query
+//! points). This crate provides both on `std::thread::scope` with
+//! deterministic static partitioning: thread `j` always receives the same
+//! contiguous range of work items, so parallel results are bitwise
+//! reproducible run to run regardless of scheduling.
+//!
+//! With the `telemetry` cargo feature enabled, every parallel region
+//! accounts its barrier wait time — the sum over workers of how long each
+//! finished worker waited for the slowest one — under the
+//! `par.barrier_wait_ns` counter, which is what makes load imbalance in
+//! the per-group hierarchization sweeps visible (paper Fig. 11 territory).
+
+use std::sync::OnceLock;
+
+#[cfg(feature = "telemetry")]
+static BARRIER_WAIT_NS: sg_telemetry::Counter = sg_telemetry::Counter::new("par.barrier_wait_ns");
+#[cfg(feature = "telemetry")]
+static REGIONS: sg_telemetry::Counter = sg_telemetry::Counter::new("par.regions");
+
+/// Number of worker threads parallel regions will use: the
+/// `SG_PAR_THREADS` environment variable if set, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if let Ok(v) = std::env::var("SG_PAR_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Split `n` work items into at most `k` contiguous ranges of
+/// near-equal length (the first `n % k` ranges get one extra item).
+fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.min(n).max(1);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for j in 0..k {
+        let len = base + usize::from(j < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Record barrier wait: the sum over workers of (latest finish − own
+/// finish), i.e. total thread-time spent idle at the implicit barrier.
+#[cfg(feature = "telemetry")]
+fn record_barrier_wait(finishes: &[std::time::Instant]) {
+    if let Some(&last) = finishes.iter().max() {
+        let wait: u128 = finishes
+            .iter()
+            .map(|&t| last.duration_since(t).as_nanos())
+            .sum();
+        BARRIER_WAIT_NS.add(wait as u64);
+        REGIONS.add(1);
+    }
+}
+
+/// Run `f(chunk_index, chunk)` for every consecutive `chunk_len`-sized
+/// chunk of `data` (the final chunk may be shorter), distributing
+/// contiguous runs of chunks over threads. Returns after all chunks are
+/// processed — the call is the barrier.
+///
+/// Panics if `chunk_len == 0`. Falls back to a sequential loop when the
+/// data is small or one thread is available.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let k = num_threads().min(n_chunks);
+    if k <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    let spans = ranges(n_chunks, k);
+    let f = &f;
+    // Split the data into one contiguous sub-slice per thread along the
+    // chunk-range boundaries.
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(k);
+    let mut rest = data;
+    for span in &spans {
+        let bytes = ((span.end - span.start) * chunk_len).min(rest.len());
+        let (head, tail) = rest.split_at_mut(bytes);
+        parts.push((span.start, head));
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(parts.len());
+        for (first_chunk, part) in parts {
+            handles.push(scope.spawn(move || {
+                for (off, chunk) in part.chunks_mut(chunk_len).enumerate() {
+                    f(first_chunk + off, chunk);
+                }
+                #[cfg(feature = "telemetry")]
+                return std::time::Instant::now();
+                #[cfg(not(feature = "telemetry"))]
+                #[allow(unreachable_code)]
+                ()
+            }));
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            let finishes: Vec<std::time::Instant> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            record_barrier_wait(&finishes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+/// Ordered parallel map over `0..n`: returns `vec![f(0), f(1), …]` with
+/// work distributed in contiguous index ranges.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let k = num_threads().min(n);
+    if k <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let spans = ranges(n, k);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        let mut rest = out.as_mut_slice();
+        for span in &spans {
+            let (head, tail) = rest.split_at_mut(span.end - span.start);
+            rest = tail;
+            let start = span.start;
+            handles.push(scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(start + off));
+                }
+                #[cfg(feature = "telemetry")]
+                return std::time::Instant::now();
+                #[cfg(not(feature = "telemetry"))]
+                #[allow(unreachable_code)]
+                ()
+            }));
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            let finishes: Vec<std::time::Instant> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            record_barrier_wait(&finishes);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    out.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Ordered parallel map over a slice.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items.len(), |k| f(&items[k]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for k in [1usize, 2, 3, 7, 64] {
+                let r = ranges(n, k);
+                let total: usize = r.iter().map(|s| s.end - s.start).sum();
+                assert_eq!(total, n, "n={n} k={k}");
+                for w in r.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    // Balanced to within one item.
+                    let a = w[0].end - w[0].start;
+                    let b = w[1].end - w[1].start;
+                    assert!(a == b || a == b + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_sweep_visits_every_chunk_once() {
+        let mut data: Vec<u64> = vec![0; 1003];
+        par_chunks_mut(&mut data, 16, |ci, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 16 + k) as u64 + 1;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunked_sweep_handles_degenerate_shapes() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        let mut one = vec![7u8];
+        par_chunks_mut(&mut one, 100, |ci, chunk| {
+            assert_eq!(ci, 0);
+            chunk[0] = 9;
+        });
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out = par_map_indexed(501, |k| k * k);
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, k * k);
+        }
+        let items: Vec<i64> = (0..97).collect();
+        let doubled = par_map(&items, |&v| 2 * v);
+        assert_eq!(doubled, (0..97).map(|v| 2 * v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_of_zero_items_is_empty() {
+        assert!(par_map_indexed(0, |_| 0u8).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

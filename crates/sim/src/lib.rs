@@ -16,7 +16,6 @@
 //! Dirichlet boundaries, CFL-guarded, and validated against the analytic
 //! decay of Fourier modes.
 
-use rayon::prelude::*;
 use sg_core::full_grid::FullGrid;
 
 /// Explicit finite-difference solver for `∂u/∂t = ν Δu` on `[0,1]^d`
@@ -91,10 +90,11 @@ impl HeatSolver {
         let strides = &self.strides;
         let d = self.space_dims;
         let field = &self.field;
-        self.scratch
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(flat, out)| {
+        const CHUNK: usize = 4096;
+        sg_par::par_chunks_mut(&mut self.scratch, CHUNK, |ci, chunk| {
+            let base = ci * CHUNK;
+            for (off, out) in chunk.iter_mut().enumerate() {
+                let flat = base + off;
                 let u = field[flat];
                 let mut lap = 0.0;
                 for t in 0..d {
@@ -108,7 +108,8 @@ impl HeatSolver {
                     lap += left - 2.0 * u + right;
                 }
                 *out = u + r * lap;
-            });
+            }
+        });
         std::mem::swap(&mut self.field, &mut self.scratch);
         self.time += self.dt;
     }
@@ -166,25 +167,25 @@ impl SweepDataset {
         times: &[f64],
         nus: &[f64],
     ) -> Self {
-        assert!(times.len() >= 2 && nus.len() >= 2, "need a 2+ point lattice");
+        assert!(
+            times.len() >= 2 && nus.len() >= 2,
+            "need a 2+ point lattice"
+        );
         assert!(
             times.windows(2).all(|w| w[1] > w[0]) && times[0] == 0.0,
             "times must be ascending from 0"
         );
         assert!(nus.windows(2).all(|w| w[1] > w[0]), "nus must be ascending");
-        let snapshots: Vec<Vec<FullGrid<f64>>> = nus
-            .par_iter()
-            .map(|&nu| {
-                let mut solver = HeatSolver::new(space_dims, level, nu, &ic);
-                times
-                    .iter()
-                    .map(|&t| {
-                        solver.advance_to(t);
-                        solver.snapshot()
-                    })
-                    .collect()
-            })
-            .collect();
+        let snapshots: Vec<Vec<FullGrid<f64>>> = sg_par::par_map(nus, |&nu| {
+            let mut solver = HeatSolver::new(space_dims, level, nu, &ic);
+            times
+                .iter()
+                .map(|&t| {
+                    solver.advance_to(t);
+                    solver.snapshot()
+                })
+                .collect()
+        });
         Self {
             space_dims,
             times: times.to_vec(),
@@ -315,13 +316,8 @@ mod tests {
 
     #[test]
     fn sweep_lattice_is_interpolated_exactly_at_nodes() {
-        let ds = SweepDataset::generate(
-            1,
-            5,
-            |x| (PI * x[0]).sin(),
-            &[0.0, 0.01, 0.02],
-            &[0.2, 0.6],
-        );
+        let ds =
+            SweepDataset::generate(1, 5, |x| (PI * x[0]).sin(), &[0.0, 0.01, 0.02], &[0.2, 0.6]);
         assert_eq!(ds.dim(), 3);
         // At (t01, nu01) lattice corners, eval must reproduce the
         // snapshot interpolants.
@@ -336,13 +332,8 @@ mod tests {
 
     #[test]
     fn sweep_decays_in_time_and_faster_for_higher_nu() {
-        let ds = SweepDataset::generate(
-            1,
-            6,
-            |x| (PI * x[0]).sin(),
-            &[0.0, 0.02, 0.04],
-            &[0.1, 1.0],
-        );
+        let ds =
+            SweepDataset::generate(1, 6, |x| (PI * x[0]).sin(), &[0.0, 0.02, 0.04], &[0.1, 1.0]);
         let centre_at = |t01: f64, nu01: f64| ds.eval(&[0.5, t01, nu01]);
         assert!(centre_at(1.0, 0.0) < centre_at(0.0, 0.0));
         assert!(centre_at(1.0, 1.0) < centre_at(1.0, 0.0));

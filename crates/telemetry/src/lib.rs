@@ -1,0 +1,390 @@
+#![warn(missing_docs)]
+
+//! # sg-telemetry — counters, span timers, and traffic accounting
+//!
+//! The paper's claims are quantitative: memory overhead of the `gp2idx`
+//! store versus maps and tries (Table 1), hierarchization and evaluation
+//! runtime (Figs. 8–10), and multicore scalability (Fig. 11). This crate
+//! is the measurement substrate those claims are checked against. It
+//! provides three primitives, all safe to call from any thread:
+//!
+//! - [`Counter`] — a monotonically increasing `u64` (call counts,
+//!   bytes moved, bytes allocated);
+//! - [`Span`] — an accumulating timer recording how many times a region
+//!   ran and the total nanoseconds spent inside it, via either
+//!   [`Span::time`] (closure) or [`Span::start`] (RAII guard);
+//! - [`snapshot`] — a consistent-enough read of every registered
+//!   instrument into a [`Report`], convertible to JSON for
+//!   `sgtool --metrics-json` and the `BENCH_*.json` trajectory.
+//!
+//! ## Zero cost when disabled
+//!
+//! Instruments are declared as `static` items and register themselves in
+//! a global registry on first use, so there is no init call and no
+//! registration order to get wrong. Crates on the hot path (`sg-core`,
+//! `sg-baselines`, `sg-machine`, `sg-par`) do **not** depend on this
+//! crate unconditionally: they gate both the statics and every recording
+//! call behind their own `telemetry` cargo feature (via a local `tel!`
+//! macro), so a default build contains no atomics, no branches, and no
+//! `Instant::now()` calls — the hooks are compiled away, not skipped at
+//! runtime.
+//!
+//! ## Naming convention
+//!
+//! Instrument names are dotted paths, `<crate>.<subsystem>.<what>`, e.g.
+//! `core.bijection.gp2idx_calls` or `par.barrier_wait_ns`. Counters whose
+//! value is a byte count end in `_bytes`; counters holding accumulated
+//! nanoseconds end in `_ns`. The JSON report groups by these names
+//! verbatim — see `DESIGN.md` for the schema.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sg_json::{json, Value};
+
+/// Global registry of every instrument that has recorded at least once.
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    spans: Mutex<Vec<&'static Span>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        spans: Mutex::new(Vec::new()),
+    })
+}
+
+/// A monotonically increasing event or traffic counter.
+///
+/// Declare as a `static` and bump with [`Counter::add`]:
+///
+/// ```
+/// static GP2IDX_CALLS: sg_telemetry::Counter =
+///     sg_telemetry::Counter::new("core.bijection.gp2idx_calls");
+/// GP2IDX_CALLS.add(1);
+/// assert!(GP2IDX_CALLS.get() >= 1);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Create an unregistered counter; it joins the global registry on
+    /// the first [`add`](Counter::add).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Add `n` to the counter. Relaxed ordering: totals are exact, the
+    /// instant at which a concurrent [`snapshot`] observes them is not.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.lock().unwrap().push(self);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The dotted instrument name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// An accumulating timer for a named code region.
+///
+/// ```
+/// static SWEEP: sg_telemetry::Span = sg_telemetry::Span::new("core.hierarchize.sweep");
+/// let out = SWEEP.time(|| 2 + 2);
+/// assert_eq!(out, 4);
+/// ```
+pub struct Span {
+    name: &'static str,
+    count: AtomicU64,
+    nanos: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Span {
+    /// Create an unregistered span; it joins the global registry on the
+    /// first recorded interval.
+    pub const fn new(name: &'static str) -> Self {
+        Span {
+            name,
+            count: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Time one execution of `f`, accumulating into this span.
+    #[inline]
+    pub fn time<R>(&'static self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Begin an interval; the returned guard records it when dropped.
+    /// Use when the region does not fit a closure (e.g. spans an early
+    /// return or a loop iteration boundary).
+    #[inline]
+    pub fn start(&'static self) -> SpanGuard {
+        SpanGuard {
+            span: self,
+            t0: Instant::now(),
+        }
+    }
+
+    /// Record an externally measured interval of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&'static self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.nanos.fetch_add(ns, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().spans.lock().unwrap().push(self);
+        }
+    }
+
+    /// Number of recorded intervals.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.nanos.load(Ordering::Relaxed)
+    }
+
+    /// The dotted instrument name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// RAII guard from [`Span::start`]; records the interval on drop.
+pub struct SpanGuard {
+    span: &'static Span,
+    t0: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.span.record(self.t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// One counter's state in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Dotted instrument name.
+    pub name: &'static str,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One span's state in a [`Report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Dotted instrument name.
+    pub name: &'static str,
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total accumulated nanoseconds across all intervals.
+    pub total_ns: u64,
+}
+
+/// A point-in-time copy of every registered instrument, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All registered counters.
+    pub counters: Vec<CounterStat>,
+    /// All registered spans.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Report {
+    /// Serialize to the metrics JSON schema used by
+    /// `sgtool --metrics-json` and the bench binaries:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": { "<name>": <u64>, ... },
+    ///   "spans": { "<name>": { "count": <u64>, "total_ns": <u64>,
+    ///                          "mean_ns": <f64> }, ... }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Value {
+        let mut counters = json!({});
+        for c in &self.counters {
+            counters[c.name] = Value::from(c.value as f64);
+        }
+        let mut spans = json!({});
+        for s in &self.spans {
+            let mean = if s.count > 0 {
+                s.total_ns as f64 / s.count as f64
+            } else {
+                0.0
+            };
+            spans[s.name] = json!({
+                "count": s.count as f64,
+                "total_ns": s.total_ns as f64,
+                "mean_ns": mean
+            });
+        }
+        json!({ "counters": counters, "spans": spans })
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a span by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Copy every registered instrument into a [`Report`], sorted by name.
+/// Values recorded concurrently with the snapshot may or may not be
+/// included; totals never go backwards.
+pub fn snapshot() -> Report {
+    let reg = registry();
+    let mut counters: Vec<CounterStat> = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| CounterStat {
+            name: c.name,
+            value: c.get(),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut spans: Vec<SpanStat> = reg
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| SpanStat {
+            name: s.name,
+            count: s.count(),
+            total_ns: s.total_ns(),
+        })
+        .collect();
+    spans.sort_by_key(|s| s.name);
+    Report { counters, spans }
+}
+
+/// Zero every registered instrument (they stay registered). Intended for
+/// bench binaries that measure several configurations in one process.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.lock().unwrap().iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for s in reg.spans.lock().unwrap().iter() {
+        s.count.store(0, Ordering::Relaxed);
+        s.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share one process-global registry, so each test uses its
+    // own instruments and asserts only about those.
+
+    #[test]
+    fn counter_accumulates_and_registers() {
+        static C: Counter = Counter::new("test.counter_accumulates");
+        C.add(3);
+        C.add(4);
+        assert_eq!(C.get(), 7);
+        let rep = snapshot();
+        assert_eq!(rep.counter("test.counter_accumulates"), Some(7));
+    }
+
+    #[test]
+    fn span_records_closure_and_guard() {
+        static S: Span = Span::new("test.span_records");
+        let out = S.time(|| 21 * 2);
+        assert_eq!(out, 42);
+        {
+            let _g = S.start();
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(S.count(), 2);
+        let rep = snapshot();
+        let stat = rep.span("test.span_records").expect("span registered");
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, S.total_ns());
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        static C: Counter = Counter::new("test.counter_threads");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        C.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 8000);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        static C: Counter = Counter::new("test.json_counter");
+        static S: Span = Span::new("test.json_span");
+        C.add(5);
+        S.record(100);
+        S.record(300);
+        let v = snapshot().to_json();
+        assert_eq!(v["counters"]["test.json_counter"], 5u64);
+        assert_eq!(v["spans"]["test.json_span"]["count"], 2u64);
+        assert_eq!(v["spans"]["test.json_span"]["total_ns"], 400u64);
+        assert_eq!(v["spans"]["test.json_span"]["mean_ns"], 200.0);
+        // The report must survive a JSON round-trip (it is written to
+        // disk by sgtool --metrics-json).
+        let reparsed = sg_json::parse(&v.to_string()).unwrap();
+        assert_eq!(reparsed["counters"]["test.json_counter"], 5u64);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        static A: Counter = Counter::new("test.sorted_b");
+        static B: Counter = Counter::new("test.sorted_a");
+        A.add(1);
+        B.add(1);
+        let rep = snapshot();
+        let names: Vec<&str> = rep.counters.iter().map(|c| c.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

@@ -32,7 +32,10 @@ fn main() {
             .fold(0.0f64, f64::max)
     };
 
-    println!("{:>28} {:>9} {:>12} {:>14}", "representation", "points", "max error", "bytes");
+    println!(
+        "{:>28} {:>9} {:>12} {:>14}",
+        "representation", "points", "max error", "bytes"
+    );
 
     // Adaptive: refine where the surplus says the function lives.
     let mut adaptive = AdaptiveSparseGrid::new(2);

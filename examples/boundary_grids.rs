@@ -43,7 +43,8 @@ fn main() {
     let mut with_boundary: BoundaryGrid<f64> = BoundaryGrid::from_fn(d, levels, |x| f.eval(x));
     with_boundary.hierarchize();
 
-    let mut without: CompactGrid<f64> = CompactGrid::from_fn(GridSpec::new(d, levels), |x| f.eval(x));
+    let mut without: CompactGrid<f64> =
+        CompactGrid::from_fn(GridSpec::new(d, levels), |x| f.eval(x));
     hierarchize(&mut without);
 
     let probes = halton_points(d, 2000);
@@ -53,13 +54,19 @@ fn main() {
         err_with = err_with.max((with_boundary.evaluate(x) - f.eval(x)).abs());
         err_without = err_without.max((evaluate(&without, x) - f.eval(x)).abs());
     }
-    println!("max interpolation error for {} (non-zero boundary):", f.name());
-    println!("  zero-boundary grid   : {err_without:.3e}   ({} points)", GridSpec::new(d, levels).num_points());
-    println!("  boundary extension   : {err_with:.3e}   ({} points)", ix.num_points());
     println!(
-        "  improvement          : {:.0}x\n",
-        err_without / err_with
+        "max interpolation error for {} (non-zero boundary):",
+        f.name()
     );
+    println!(
+        "  zero-boundary grid   : {err_without:.3e}   ({} points)",
+        GridSpec::new(d, levels).num_points()
+    );
+    println!(
+        "  boundary extension   : {err_with:.3e}   ({} points)",
+        ix.num_points()
+    );
+    println!("  improvement          : {:.0}x\n", err_without / err_with);
 
     // --- Affine functions are represented *exactly* by the corners alone.
     let affine = |x: &[f64]| 1.0 + 2.0 * x[0] - 0.5 * x[1] + 0.25 * x[2];

@@ -32,7 +32,10 @@ fn full_error(d: usize, level: usize, f: &TestFunction, probes: &[f64]) -> f64 {
 fn main() {
     let f = TestFunction::Parabola;
 
-    println!("=== error decay with level (d = 3, function: {}) ===", f.name());
+    println!(
+        "=== error decay with level (d = 3, function: {}) ===",
+        f.name()
+    );
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "level", "sparse pts", "full pts", "sparse err", "full err", "ratio"
@@ -69,17 +72,26 @@ fn main() {
             spec.num_points() * 8,
         );
     }
-    println!("→ the sparse grid stays tractable where the full grid long stopped fitting in RAM.\n");
+    println!(
+        "→ the sparse grid stays tractable where the full grid long stopped fitting in RAM.\n"
+    );
 
     println!("=== per-function behaviour (d = 4, level 7) ===");
     let probes = halton_points(4, 1000);
-    println!("{:>14} {:>12} {:>16}", "function", "max error", "zero boundary?");
+    println!(
+        "{:>14} {:>12} {:>16}",
+        "function", "max error", "zero boundary?"
+    );
     for func in TestFunction::ALL {
         if !func.is_zero_boundary() && func != TestFunction::Gaussian {
             continue; // zero-boundary grids cannot represent these; see boundary_grids example
         }
         let err = sparse_error(4, 7, &func, &probes);
-        println!("{:>14} {err:>12.3e} {:>16}", func.name(), func.is_zero_boundary());
+        println!(
+            "{:>14} {err:>12.3e} {:>16}",
+            func.name(),
+            func.is_zero_boundary()
+        );
     }
     println!("→ smooth zero-boundary functions compress best; for non-zero boundaries");
     println!("  see the boundary_grids example (paper §4.4).");

@@ -17,7 +17,10 @@ use std::time::Instant;
 
 fn main() {
     // --- Simulation sweep (the expensive offline part).
-    let ic = |x: &[f64]| (PI * x[0]).sin() * (PI * x[1]).sin() + 0.5 * (2.0 * PI * x[0]).sin().abs() * x[1] * (1.0 - x[1]);
+    let ic = |x: &[f64]| {
+        (PI * x[0]).sin() * (PI * x[1]).sin()
+            + 0.5 * (2.0 * PI * x[0]).sin().abs() * x[1] * (1.0 - x[1])
+    };
     let times: Vec<f64> = (0..9).map(|k| k as f64 * 0.005).collect();
     let nus: Vec<f64> = vec![0.1, 0.2, 0.4, 0.8, 1.6];
     let t0 = Instant::now();

@@ -26,20 +26,23 @@ fn simulation_field(x: &[f64]) -> f64 {
 fn main() {
     // --- Simulation + compression (offline, Fig. 1 left).
     let spec = GridSpec::new(5, 8);
-    println!("compressing a 5-d field on {} sparse grid points …", spec.num_points());
+    println!(
+        "compressing a 5-d field on {} sparse grid points …",
+        spec.num_points()
+    );
     let t0 = Instant::now();
     let mut grid = CompactGrid::from_fn_parallel(spec, simulation_field);
     hierarchize_parallel(&mut grid);
     println!("  sampled + hierarchized in {:.2?}", t0.elapsed());
 
     // --- Storage hop: the compact format is just spec + coefficients.
-    let blob = serde_json::to_vec(&grid).expect("serialize");
+    let blob = sg_io::encode(&grid);
     println!(
         "  stored blob: {} bytes for {} coefficients",
         blob.len(),
         grid.len()
     );
-    let grid: CompactGrid<f64> = serde_json::from_slice(&blob).expect("deserialize");
+    let grid: CompactGrid<f64> = sg_io::decode(&blob).expect("deserialize");
 
     // --- Visualization client (online, Fig. 1 right): render 2-d slices
     // through (t, nu, amp) at interactive rates.
@@ -73,8 +76,8 @@ fn main() {
             let line: String = (0..W)
                 .map(|col| {
                     let v = values[row * W + col] / max;
-                    let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
-                        .min(SHADES.len() - 1);
+                    let idx =
+                        ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                     SHADES[idx] as char
                 })
                 .collect();

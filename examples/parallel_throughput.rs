@@ -1,9 +1,9 @@
 //! Parallel decompression throughput — the paper's visualization workload
 //! (§5.3: "the number of interpolation points is typically around 10⁵").
 //!
-//! Measures batch evaluation throughput sequential vs blocked vs rayon,
-//! and runs the same workload through the simulated Tesla C1060 for
-//! comparison.
+//! Measures batch evaluation throughput sequential vs blocked vs
+//! thread-parallel, and runs the same workload through the simulated
+//! Tesla C1060 for comparison.
 //!
 //! Run with: `cargo run --release -p sg-apps --example parallel_throughput [points]`
 
@@ -20,9 +20,14 @@ fn main() {
     let d = 6;
     let spec = GridSpec::new(d, 7);
 
-    println!("grid: d={d}, level 7, {} points; evaluating at {n_points} query points", spec.num_points());
+    println!(
+        "grid: d={d}, level 7, {} points; evaluating at {n_points} query points",
+        spec.num_points()
+    );
     let mut grid = CompactGrid::from_fn_parallel(spec, |x| {
-        x.iter().map(|&v| (std::f64::consts::PI * v).sin()).product()
+        x.iter()
+            .map(|&v| (std::f64::consts::PI * v).sin())
+            .product()
     });
     hierarchize_parallel(&mut grid);
     let xs = halton_points(d, n_points);
@@ -46,14 +51,14 @@ fn main() {
     let t_blocked = t0.elapsed();
     println!("blocked (64)        : {:>8.3} Mpts/s", mpts(t_blocked));
 
-    // Rayon-parallel over query points (embarrassingly parallel, the
+    // Thread-parallel over query points (embarrassingly parallel, the
     // paper's static decomposition).
     let t0 = Instant::now();
     let parallel = evaluate_batch_parallel(&grid, &xs, 64);
     let t_par = t0.elapsed();
     println!(
-        "rayon ({:>2} threads)  : {:>8.3} Mpts/s  ({:.2}x over blocked)",
-        rayon::current_num_threads(),
+        "threads ({:>2})        : {:>8.3} Mpts/s  ({:.2}x over blocked)",
+        sg_par::num_threads(),
         mpts(t_par),
         t_blocked.as_secs_f64() / t_par.as_secs_f64()
     );
@@ -64,7 +69,9 @@ fn main() {
 
     // The same workload on the simulated Tesla C1060 (f32, as the paper).
     let mut g32: CompactGrid<f32> = CompactGrid::from_fn(spec, |x| {
-        x.iter().map(|&v| (std::f64::consts::PI * v).sin()).product::<f64>() as f32
+        x.iter()
+            .map(|&v| (std::f64::consts::PI * v).sin())
+            .product::<f64>() as f32
     });
     sg_core::hierarchize::hierarchize(&mut g32);
     let dev = GpuDevice::tesla_c1060();

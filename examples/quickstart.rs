@@ -37,7 +37,10 @@ fn main() {
         vec![0.25, 0.75, 0.5, 0.5, 0.125, 0.875],
         vec![0.3142, 0.2719, 0.5773, 0.6933, 0.4143, 0.7072],
     ];
-    println!("\n{:<55} {:>10} {:>10} {:>9}", "x", "f(x)", "sparse", "error");
+    println!(
+        "\n{:<55} {:>10} {:>10} {:>9}",
+        "x", "f(x)", "sparse", "error"
+    );
     for x in &probes {
         let exact = f(x);
         let approx = evaluate(&grid, x);

@@ -30,7 +30,15 @@ fn compress_info_eval_roundtrip() {
     let f = file.to_str().unwrap();
 
     let o = sgtool(&[
-        "compress", "--dims", "3", "--level", "5", "--function", "parabola", "--out", f,
+        "compress",
+        "--dims",
+        "3",
+        "--level",
+        "5",
+        "--function",
+        "parabola",
+        "--out",
+        f,
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("351 points"), "{}", stdout(&o));
@@ -51,9 +59,21 @@ fn compress_info_eval_roundtrip() {
     assert!(o.status.success());
     let integral: f64 = stdout(&o).trim().parse().unwrap();
     // ∫ (4x(1−x))³ ≈ (2/3)³ at this resolution.
-    assert!((integral - (2.0f64 / 3.0).powi(3)).abs() < 0.01, "{integral}");
+    assert!(
+        (integral - (2.0f64 / 3.0).powi(3)).abs() < 0.01,
+        "{integral}"
+    );
 
-    let o = sgtool(&["slice", f, "--axes", "0,1", "--at", "0.5,0.5,0.5", "--width", "20"]);
+    let o = sgtool(&[
+        "slice",
+        f,
+        "--axes",
+        "0,1",
+        "--at",
+        "0.5,0.5,0.5",
+        "--width",
+        "20",
+    ]);
     assert!(o.status.success());
     assert!(stdout(&o).contains("axes x=0 y=1"));
 
@@ -66,15 +86,45 @@ fn rejects_bad_inputs() {
     assert!(!o.status.success());
     assert!(stderr(&o).contains("cannot read"));
 
-    let o = sgtool(&["compress", "--dims", "2", "--level", "4", "--function", "nope", "--out", "/tmp/x.sgc"]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "2",
+        "--level",
+        "4",
+        "--function",
+        "nope",
+        "--out",
+        "/tmp/x.sgc",
+    ]);
     assert!(!o.status.success());
     assert!(stderr(&o).contains("unknown function"));
 
     // Invalid grid shapes exit cleanly rather than panicking.
-    let o = sgtool(&["compress", "--dims", "0", "--level", "3", "--function", "parabola", "--out", "/tmp/x.sgc"]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "0",
+        "--level",
+        "3",
+        "--function",
+        "parabola",
+        "--out",
+        "/tmp/x.sgc",
+    ]);
     assert!(!o.status.success());
     assert!(stderr(&o).contains("dimension must be at least 1"));
-    let o = sgtool(&["compress", "--dims", "2", "--level", "40", "--function", "parabola", "--out", "/tmp/x.sgc"]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "2",
+        "--level",
+        "40",
+        "--function",
+        "parabola",
+        "--out",
+        "/tmp/x.sgc",
+    ]);
     assert!(!o.status.success());
     assert!(stderr(&o).contains("level above 31"));
 
@@ -90,7 +140,17 @@ fn rejects_bad_inputs() {
 fn eval_validates_points() {
     let file = temp_path("validate.sgc");
     let f = file.to_str().unwrap();
-    let o = sgtool(&["compress", "--dims", "2", "--level", "3", "--function", "parabola", "--out", f]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "2",
+        "--level",
+        "3",
+        "--function",
+        "parabola",
+        "--out",
+        f,
+    ]);
     assert!(o.status.success());
 
     // Wrong arity.
@@ -110,7 +170,17 @@ fn eval_validates_points() {
 fn detects_corrupt_files() {
     let file = temp_path("corrupt.sgc");
     let f = file.to_str().unwrap();
-    let o = sgtool(&["compress", "--dims", "2", "--level", "3", "--function", "gaussian", "--out", f]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "2",
+        "--level",
+        "3",
+        "--function",
+        "gaussian",
+        "--out",
+        f,
+    ]);
     assert!(o.status.success());
 
     let mut blob = std::fs::read(&file).unwrap();
@@ -129,7 +199,17 @@ fn detects_corrupt_files() {
 fn flags_before_the_file_and_one_dimensional_eval() {
     let file = temp_path("flags.sgc");
     let f = file.to_str().unwrap();
-    let o = sgtool(&["compress", "--dims", "1", "--level", "4", "--function", "parabola", "--out", f]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "1",
+        "--level",
+        "4",
+        "--function",
+        "parabola",
+        "--out",
+        f,
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
 
     // Flag value before the positional file must not be mistaken for it.
@@ -150,11 +230,28 @@ fn render_writes_a_valid_ppm() {
     let file = temp_path("render.sgc");
     let img = temp_path("render.ppm");
     let f = file.to_str().unwrap();
-    let o = sgtool(&["compress", "--dims", "3", "--level", "4", "--function", "gaussian", "--out", f]);
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "3",
+        "--level",
+        "4",
+        "--function",
+        "gaussian",
+        "--out",
+        f,
+    ]);
     assert!(o.status.success());
 
     let o = sgtool(&[
-        "render", f, "--out", img.to_str().unwrap(), "--axes", "0,2", "--width", "32",
+        "render",
+        f,
+        "--out",
+        img.to_str().unwrap(),
+        "--axes",
+        "0,2",
+        "--width",
+        "32",
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let bytes = std::fs::read(&img).unwrap();
@@ -170,6 +267,59 @@ fn render_writes_a_valid_ppm() {
 
     std::fs::remove_file(&file).ok();
     std::fs::remove_file(&img).ok();
+}
+
+#[test]
+fn metrics_json_flag_writes_a_telemetry_report() {
+    let file = temp_path("metrics.sgc");
+    let metrics = temp_path("metrics.json");
+    let f = file.to_str().unwrap();
+    let m = metrics.to_str().unwrap();
+
+    // The flag is global: it may appear before the subcommand arguments.
+    let o = sgtool(&[
+        "compress",
+        "--metrics-json",
+        m,
+        "--dims",
+        "3",
+        "--level",
+        "5",
+        "--function",
+        "parabola",
+        "--out",
+        f,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let report = sg_json::parse(&text).expect("metrics file must be valid JSON");
+    let counters = report
+        .get("counters")
+        .expect("report has a counters section");
+    let idx2gp = counters
+        .get("core.bijection.idx2gp_calls")
+        .and_then(|v| v.as_f64())
+        .expect("idx2gp call counter present");
+    assert!(
+        idx2gp > 0.0,
+        "compressing a grid must exercise the bijection"
+    );
+    assert!(report.get("spans").is_some(), "report has a spans section");
+
+    // Commands that fail must not write a metrics file.
+    let bogus = temp_path("metrics-bogus.json");
+    let o = sgtool(&[
+        "info",
+        "/nonexistent/grid.sgc",
+        "--metrics-json",
+        bogus.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(!bogus.exists(), "no metrics on failure");
+
+    std::fs::remove_file(&file).ok();
+    std::fs::remove_file(&metrics).ok();
 }
 
 #[test]

@@ -6,7 +6,9 @@ use sg_baselines::{
     evaluate_recursive, hierarchize_recursive, EnhancedHashGrid, EnhancedMapGrid, PrefixTreeGrid,
     SparseGridStore, StdMapGrid,
 };
-use sg_core::evaluate::{evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel};
+use sg_core::evaluate::{
+    evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel,
+};
 use sg_core::functions::{halton_points, TestFunction};
 use sg_core::grid::CompactGrid;
 use sg_core::hierarchize::{hierarchize, hierarchize_alg6_literal, hierarchize_parallel};
@@ -70,7 +72,11 @@ fn all_evaluation_variants_agree() {
         let single: Vec<f64> = xs.chunks_exact(d).map(|x| evaluate(&g, x)).collect();
         assert_eq!(single, evaluate_batch(&g, &xs), "batch d={d}");
         assert_eq!(single, evaluate_batch_blocked(&g, &xs, 7), "blocked d={d}");
-        assert_eq!(single, evaluate_batch_parallel(&g, &xs, 16), "parallel d={d}");
+        assert_eq!(
+            single,
+            evaluate_batch_parallel(&g, &xs, 16),
+            "parallel d={d}"
+        );
         for (x, &expect) in xs.chunks_exact(d).zip(&single) {
             let rec = evaluate_recursive(&g, x);
             assert!((rec - expect).abs() < 1e-12, "recursive d={d} x={x:?}");
@@ -96,6 +102,95 @@ fn recursive_evaluation_agrees_on_every_store() {
         let expect = evaluate(&r, x);
         assert!((evaluate_recursive(&tree, x) - expect).abs() < 1e-12);
         assert!((evaluate_recursive(&map, x) - expect).abs() < 1e-12);
+    }
+}
+
+/// The full paper matrix: d ∈ {1, 2, 3, 5} × levels ∈ {1..6}. The
+/// hierarchize → evaluate round trip reproduces the nodal data at every
+/// grid point, and all four baseline stores produce the same interpolant
+/// as the compact grid, everywhere within 1e-12.
+#[test]
+fn round_trip_matrix_across_all_stores() {
+    use sg_core::iter::for_each_point;
+    use sg_core::level::coordinate;
+
+    let f = TestFunction::Gaussian;
+    for d in [1usize, 2, 3, 5] {
+        for levels in 1..=6 {
+            let spec = GridSpec::new(d, levels);
+            let r = reference(spec, &f);
+
+            // Round trip 1: evaluating the hierarchized grid at every
+            // grid point gives back the value that was compressed.
+            let mut x = vec![0.0; d];
+            for_each_point(&spec, |_idx, l, i| {
+                for t in 0..d {
+                    x[t] = coordinate(l[t], i[t]);
+                }
+                let got = evaluate(&r, &x);
+                let expect = f.eval(&x);
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "d={d} levels={levels} x={x:?}: {got} vs {expect}"
+                );
+            });
+
+            // Round trip 2: each baseline store, hierarchized by the
+            // recursive classic algorithm, interpolates identically.
+            let xs = halton_points(d, 16);
+            macro_rules! check {
+                ($store:expr, $name:literal) => {{
+                    let mut s = $store;
+                    s.fill_from(|x| f.eval(x));
+                    hierarchize_recursive(&mut s);
+                    for x in xs.chunks_exact(d) {
+                        let a = evaluate_recursive(&s, x);
+                        let b = evaluate(&r, x);
+                        assert!(
+                            (a - b).abs() < 1e-12,
+                            "{} d={d} levels={levels} x={x:?}: {a} vs {b}",
+                            $name
+                        );
+                    }
+                }};
+            }
+            check!(StdMapGrid::<f64>::new(spec), "std-map");
+            check!(EnhancedMapGrid::<f64>::new(spec), "enh-map");
+            check!(EnhancedHashGrid::<f64>::new(spec), "enh-hash");
+            check!(PrefixTreeGrid::<f64>::new(spec), "prefix-tree");
+        }
+    }
+}
+
+/// The boundary extension (§4.4) joins the matrix: a function that is
+/// affine in each coordinate is represented *exactly* by the boundary
+/// grid (all interior surpluses vanish), so the hierarchize → evaluate
+/// round trip must be 1e-12-exact at arbitrary points, not just lattice
+/// points.
+#[test]
+fn boundary_grid_round_trip_is_exact_for_multilinear_data() {
+    use sg_core::boundary::BoundaryGrid;
+
+    for d in [1usize, 2, 3] {
+        for levels in 1..=4 {
+            let f = |x: &[f64]| {
+                x.iter()
+                    .enumerate()
+                    .map(|(t, &v)| 1.0 + (t as f64 + 1.0) * v)
+                    .product::<f64>()
+            };
+            let mut g: BoundaryGrid<f64> = BoundaryGrid::from_fn(d, levels, f);
+            g.hierarchize();
+            let corner = vec![1.0; d];
+            assert!((g.evaluate(&corner) - f(&corner)).abs() < 1e-12);
+            for x in halton_points(d, 24).chunks_exact(d) {
+                let (a, b) = (g.evaluate(x), f(x));
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "d={d} levels={levels} x={x:?}: {a} vs {b}"
+                );
+            }
+        }
     }
 }
 

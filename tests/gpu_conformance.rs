@@ -112,7 +112,9 @@ fn bigger_grids_cost_more_modelled_time() {
     let time = |levels: usize| {
         let mut g =
             CompactGrid::<f32>::from_fn(GridSpec::new(3, levels), |x| x.iter().sum::<f64>() as f32);
-        hierarchize_gpu(&mut g, &dev, &KernelConfig::default()).time.total
+        hierarchize_gpu(&mut g, &dev, &KernelConfig::default())
+            .time
+            .total
     };
     assert!(time(6) > time(4));
 }

@@ -32,10 +32,7 @@ fn map_structures_move_an_order_of_magnitude_more_data() {
     };
     let compact = traffic(StoreKind::Compact);
     let map = traffic(StoreKind::EnhancedMap);
-    assert!(
-        map > 10 * compact,
-        "map traffic {map} vs compact {compact}"
-    );
+    assert!(map > 10 * compact, "map traffic {map} vs compact {compact}");
 }
 
 #[test]
@@ -61,11 +58,11 @@ fn fig11_shape_compact_scales_baselines_saturate() {
 
     let s_compact = compact.workload(t_compact).speedup(&machine, 32);
     let s_map = map.workload_tasked(t_map).speedup(&machine, 32);
+    assert!(s_compact > 12.0, "compact should keep scaling: {s_compact}");
     assert!(
-        s_compact > 12.0,
-        "compact should keep scaling: {s_compact}"
+        s_map < s_compact,
+        "map {s_map} must scale worse than compact {s_compact}"
     );
-    assert!(s_map < s_compact, "map {s_map} must scale worse than compact {s_compact}");
 
     // Saturation: the map gains little beyond 16 cores.
     let w = map.workload_tasked(t_map);
@@ -84,18 +81,27 @@ fn fig10_shape_gpu_beats_multicore() {
     let n_points = 5000usize;
     let cpu = SeqCpuModel::nehalem_core();
 
-    let subspaces: u64 = (0..6).map(|g| sg_core::combinatorics::subspace_count(d, g)).sum();
+    let subspaces: u64 = (0..6)
+        .map(|g| sg_core::combinatorics::subspace_count(d, g))
+        .sum();
     let mut sim = CacheSim::nehalem();
     let traffic = trace_evaluation(StoreKind::Compact, spec, n_points, &mut sim);
-    let t_seq = cpu.time(n_points as u64 * subspaces * (8 * d as u64 + 4), traffic.dram_bytes / 64);
+    let t_seq = cpu.time(
+        n_points as u64 * subspaces * (8 * d as u64 + 4),
+        traffic.dram_bytes / 64,
+    );
 
     // GPU side.
-    let mut grid = sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| {
-        x.iter().product::<f64>() as f32
-    });
+    let mut grid =
+        sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| x.iter().product::<f64>() as f32);
     sg_core::hierarchize::hierarchize(&mut grid);
     let xs = sg_core::functions::halton_points(d, n_points);
-    let (_, report) = evaluate_gpu(&grid, &xs, &GpuDevice::tesla_c1060(), &KernelConfig::default());
+    let (_, report) = evaluate_gpu(
+        &grid,
+        &xs,
+        &GpuDevice::tesla_c1060(),
+        &KernelConfig::default(),
+    );
     let gpu_speedup = t_seq / report.time.total;
 
     let best_multicore = [
@@ -130,10 +136,13 @@ fn gpu_hierarchization_speedup_band() {
     let instr = n * d as u64 * (3 * d as u64 + 24);
     let t_seq = cpu.time(instr, traffic.dram_bytes / 64);
 
-    let mut grid = sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| {
-        x.iter().sum::<f64>() as f32
-    });
-    let report = hierarchize_gpu(&mut grid, &GpuDevice::tesla_c1060(), &KernelConfig::default());
+    let mut grid =
+        sg_core::grid::CompactGrid::<f32>::from_fn(spec, |x| x.iter().sum::<f64>() as f32);
+    let report = hierarchize_gpu(
+        &mut grid,
+        &GpuDevice::tesla_c1060(),
+        &KernelConfig::default(),
+    );
     let speedup = t_seq / report.time.total;
     assert!(
         speedup > 3.0 && speedup < 60.0,

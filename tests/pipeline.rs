@@ -14,9 +14,7 @@ use sg_core::level::GridSpec;
 fn full_grid_to_sparse_compression_pipeline() {
     // Simulation output on a full grid … (zero boundary, as the default
     // grids assume; non-zero boundaries are covered by the §4.4 tests)
-    let f = |x: &[f64]| {
-        (x[0] * 3.0).sin() * x[1] * (1.0 - x[1]) * 4.0 * x[2] * (1.0 - x[2])
-    };
+    let f = |x: &[f64]| (x[0] * 3.0).sin() * x[1] * (1.0 - x[1]) * 4.0 * x[2] * (1.0 - x[2]);
     let full = FullGrid::<f64>::from_fn(3, 6, f);
 
     // … compressed: restrict to the sparse grid and hierarchize.
@@ -44,13 +42,20 @@ fn serialize_store_decompress_roundtrip() {
     let mut g = CompactGrid::<f32>::from_fn(spec, |x| f.eval(x) as f32);
     hierarchize(&mut g);
 
-    let blob = serde_json::to_vec(&g).unwrap();
-    let restored: CompactGrid<f32> = serde_json::from_slice(&blob).unwrap();
+    // Binary codec (the wire format of the figures).
+    let blob = sg_io::encode(&g);
+    let restored: CompactGrid<f32> = sg_io::decode(&blob).unwrap();
     assert_eq!(restored.values(), g.values());
     assert_eq!(restored.spec(), g.spec());
 
     let x = [0.3, 0.6, 0.9, 0.125];
     assert_eq!(evaluate(&restored, &x), evaluate(&g, &x));
+
+    // Text codec (the interchange format for external tools).
+    let text = sg_io::encode_json(&g);
+    let from_text: CompactGrid<f32> = sg_io::decode_json(&text).unwrap();
+    assert_eq!(from_text.spec(), g.spec());
+    assert_eq!(from_text.values(), g.values());
 }
 
 #[test]

@@ -1,225 +1,308 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-based tests (sg-prop) on the core invariants.
+//!
+//! Each property runs across a deterministic family of seeds; on failure
+//! the harness prints an `SG_PROP_SEED` value that reproduces the exact
+//! case (see crates/prop).
 
-use proptest::prelude::*;
 use sg_core::bijection::{gp2idx_literal, GridIndexer};
-use sg_core::boundary::BoundaryIndexer;
+use sg_core::boundary::{BoundaryGrid, BoundaryIndexer};
 use sg_core::evaluate::evaluate;
 use sg_core::grid::CompactGrid;
 use sg_core::hierarchize::{dehierarchize, hierarchize, hierarchize_parallel};
-use sg_core::iter::LevelIter;
+use sg_core::iter::{for_each_point, LevelIter};
 use sg_core::level::{coordinate, hierarchical_child, hierarchical_parent, GridSpec, Side};
+use sg_prop::{run_cases, Rng};
 
 /// Small grid shapes (keep the products of tests fast).
-fn spec_strategy() -> impl Strategy<Value = GridSpec> {
-    (1usize..=5, 1usize..=5).prop_map(|(d, l)| GridSpec::new(d, l))
+fn rand_spec(rng: &mut Rng) -> GridSpec {
+    GridSpec::new(rng.usize_in(1..=5), rng.usize_in(1..=5))
 }
 
 /// A grid with arbitrary (not smooth-function) coefficients.
-fn grid_strategy() -> impl Strategy<Value = CompactGrid<f64>> {
-    spec_strategy().prop_flat_map(|spec| {
-        let n = spec.num_points() as usize;
-        proptest::collection::vec(-100.0f64..100.0, n)
-            .prop_map(move |values| CompactGrid::from_parts(spec, values))
-    })
+fn rand_grid(rng: &mut Rng) -> CompactGrid<f64> {
+    let spec = rand_spec(rng);
+    let n = spec.num_points() as usize;
+    let values = (0..n).map(|_| rng.f64_in(-100.0, 100.0)).collect();
+    CompactGrid::from_parts(spec, values)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bijection_roundtrip(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn bijection_roundtrip() {
+    run_cases("bijection_roundtrip", 64, |rng| {
+        let spec = rand_spec(rng);
         let ix = GridIndexer::new(spec);
-        let idx = seed % ix.num_points();
+        let idx = rng.u64_in(0..=ix.num_points() - 1);
         let (l, i) = ix.idx2gp_vec(idx);
-        prop_assert!(spec.contains(&l, &i));
-        prop_assert_eq!(ix.gp2idx(&l, &i), idx);
+        assert!(spec.contains(&l, &i));
+        assert_eq!(ix.gp2idx(&l, &i), idx);
         // Alg. 5 as printed agrees with the table-driven version.
-        prop_assert_eq!(gp2idx_literal(&spec, &l, &i), idx);
-    }
+        assert_eq!(gp2idx_literal(&spec, &l, &i), idx);
+    });
+}
 
-    #[test]
-    fn enumeration_is_a_bijection_on_compositions(d in 1usize..=5, n in 0usize..=6) {
+#[test]
+fn enumeration_is_a_bijection_on_compositions() {
+    run_cases("enumeration_is_a_bijection_on_compositions", 64, |rng| {
+        let d = rng.usize_in(1..=5);
+        let n = rng.usize_in(0..=6);
         let all: Vec<_> = LevelIter::new(d, n).collect();
         // Count matches the closed form.
-        prop_assert_eq!(all.len() as u64, sg_core::combinatorics::subspace_count(d, n));
+        assert_eq!(
+            all.len() as u64,
+            sg_core::combinatorics::subspace_count(d, n)
+        );
         // All distinct, all sum to n.
         let mut sorted = all.clone();
         sorted.sort();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), all.len());
+        assert_eq!(sorted.len(), all.len());
         for l in &all {
-            prop_assert_eq!(l.iter().map(|&v| v as usize).sum::<usize>(), n);
+            assert_eq!(l.iter().map(|&v| v as usize).sum::<usize>(), n);
         }
         // subspace_rank is exactly the enumeration position.
         let spec = GridSpec::new(d, n + 1);
         let ix = GridIndexer::new(spec);
         for (k, l) in all.iter().enumerate() {
-            prop_assert_eq!(ix.subspace_rank(l), k as u64);
+            assert_eq!(ix.subspace_rank(l), k as u64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hierarchize_dehierarchize_roundtrip(grid in grid_strategy()) {
+#[test]
+fn point_enumeration_is_a_bijection() {
+    // The full point iterator built on the `next` successor (Alg. 4)
+    // visits exactly Σ_{s<L} C(d-1+s, d-1)·2^s points, in gp2idx order,
+    // with no collisions, and idx2gp∘gp2idx is the identity throughout.
+    run_cases("point_enumeration_is_a_bijection", 48, |rng| {
+        let d = rng.usize_in(1..=5);
+        let levels = rng.usize_in(1..=5);
+        let spec = GridSpec::new(d, levels);
+        let ix = GridIndexer::new(spec);
+
+        let closed_form: u64 = (0..levels as u64)
+            .map(|s| sg_core::combinatorics::binomial(d as u64 - 1 + s, d as u64 - 1) * (1u64 << s))
+            .sum();
+        assert_eq!(spec.num_points(), closed_form);
+
+        let mut visited = 0u64;
+        for_each_point(&spec, |idx, l, i| {
+            // Enumeration order *is* the bijection order: indices arrive
+            // sequentially, so every index occurs exactly once.
+            assert_eq!(idx, visited, "enumeration out of order at {l:?}/{i:?}");
+            assert_eq!(ix.gp2idx(l, i), idx);
+            let (l2, i2) = ix.idx2gp_vec(idx);
+            assert_eq!((l2.as_slice(), i2.as_slice()), (l, i));
+            visited += 1;
+        });
+        assert_eq!(
+            visited, closed_form,
+            "iterator count mismatch for d={d}, L={levels}"
+        );
+    });
+}
+
+#[test]
+fn hierarchize_dehierarchize_roundtrip() {
+    run_cases("hierarchize_dehierarchize_roundtrip", 64, |rng| {
+        let grid = rand_grid(rng);
         let original = grid.clone();
         let mut g = grid;
         hierarchize(&mut g);
         dehierarchize(&mut g);
-        prop_assert!(g.max_abs_diff(&original) < 1e-9);
-    }
+        assert!(g.max_abs_diff(&original) < 1e-9);
+    });
+}
 
-    #[test]
-    fn parallel_hierarchization_is_bitwise_equal(grid in grid_strategy()) {
+#[test]
+fn parallel_hierarchization_is_bitwise_equal() {
+    run_cases("parallel_hierarchization_is_bitwise_equal", 64, |rng| {
+        let grid = rand_grid(rng);
         let mut a = grid.clone();
         let mut b = grid;
         hierarchize(&mut a);
         hierarchize_parallel(&mut b);
-        prop_assert_eq!(a.values(), b.values());
-    }
+        assert_eq!(a.values(), b.values());
+    });
+}
 
-    #[test]
-    fn hierarchization_is_linear(grid in grid_strategy(), alpha in -3.0f64..3.0) {
+#[test]
+fn hierarchization_is_linear() {
+    run_cases("hierarchization_is_linear", 64, |rng| {
         // H(αu + v) = αH(u) + H(v): the transform is linear.
-        let spec = *grid.spec();
-        let u = grid.clone();
+        let u = rand_grid(rng);
+        let alpha = rng.f64_in(-3.0, 3.0);
+        let spec = *u.spec();
         let v = CompactGrid::from_fn(spec, |x| x.iter().sum::<f64>().cos());
         let mut combined = CompactGrid::from_parts(
             spec,
-            u.values().iter().zip(v.values()).map(|(&a, &b)| alpha * a + b).collect(),
+            u.values()
+                .iter()
+                .zip(v.values())
+                .map(|(&a, &b)| alpha * a + b)
+                .collect(),
         );
         hierarchize(&mut combined);
         let mut hu = u;
         let mut hv = v;
         hierarchize(&mut hu);
         hierarchize(&mut hv);
-        for (c, (a, b)) in combined.values().iter().zip(hu.values().iter().zip(hv.values())) {
-            prop_assert!((c - (alpha * a + b)).abs() < 1e-8, "{c} vs {}", alpha * a + b);
+        for (c, (a, b)) in combined
+            .values()
+            .iter()
+            .zip(hu.values().iter().zip(hv.values()))
+        {
+            assert!(
+                (c - (alpha * a + b)).abs() < 1e-8,
+                "{c} vs {}",
+                alpha * a + b
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn evaluation_is_linear_in_coefficients(grid in grid_strategy(), seed in any::<u64>()) {
-        let spec = *grid.spec();
-        let d = spec.dim();
-        let x: Vec<f64> = (0..d)
-            .map(|t| ((seed >> (8 * (t % 8))) & 0xFF) as f64 / 255.0)
-            .collect();
+#[test]
+fn evaluation_is_linear_in_coefficients() {
+    run_cases("evaluation_is_linear_in_coefficients", 64, |rng| {
+        let grid = rand_grid(rng);
+        let d = grid.spec().dim();
+        let x: Vec<f64> = (0..d).map(|_| rng.f64_unit()).collect();
         let doubled = CompactGrid::from_parts(
-            spec,
+            *grid.spec(),
             grid.values().iter().map(|&v| 2.0 * v).collect(),
         );
         let a = evaluate(&grid, &x);
         let b = evaluate(&doubled, &x);
-        prop_assert!((b - 2.0 * a).abs() < 1e-9);
-    }
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn interpolation_exact_at_grid_points(spec in spec_strategy(), seed in any::<u64>()) {
+#[test]
+fn interpolation_exact_at_grid_points() {
+    run_cases("interpolation_exact_at_grid_points", 64, |rng| {
         // For an arbitrary nodal value assignment, hierarchization +
         // evaluation reproduce the nodal value at every grid point.
+        let spec = rand_spec(rng);
         let n = spec.num_points();
         let mut g = CompactGrid::<f64>::new(spec);
-        for (k, v) in g.values_mut().iter_mut().enumerate() {
-            *v = (((seed ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15)) >> 16) & 0xFFFF) as f64
-                / 655.36 - 50.0;
+        for v in g.values_mut() {
+            *v = rng.f64_in(-50.0, 50.0);
         }
         let nodal = g.clone();
         hierarchize(&mut g);
         let ix = g.indexer().clone();
-        let idx = seed % n;
+        let idx = rng.u64_in(0..=n - 1);
         let (l, i) = ix.idx2gp_vec(idx);
-        let x: Vec<f64> = l.iter().zip(&i).map(|(&lt, &it)| coordinate(lt, it)).collect();
+        let x: Vec<f64> = l
+            .iter()
+            .zip(&i)
+            .map(|(&lt, &it)| coordinate(lt, it))
+            .collect();
         let got = evaluate(&g, &x);
         let expect = nodal.values()[idx as usize];
-        prop_assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
-    }
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    });
+}
 
-    #[test]
-    fn parent_child_navigation(l in 0u8..8, seed in any::<u64>(), side_bit in any::<bool>()) {
+#[test]
+fn parent_child_navigation() {
+    run_cases("parent_child_navigation", 128, |rng| {
+        let l = rng.u8_in(0..=7);
         let count = 1u32 << l;
-        let i = 2 * (seed as u32 % count) + 1;
-        let side = if side_bit { Side::Left } else { Side::Right };
+        let i = 2 * rng.u32_in(0..=count - 1) + 1;
+        let side = if rng.bool() { Side::Left } else { Side::Right };
         // child's opposite-side parent is the original point
         let (cl, ci) = hierarchical_child(l, i, side);
         let back = match side {
             Side::Left => hierarchical_parent(cl, ci, Side::Right),
             Side::Right => hierarchical_parent(cl, ci, Side::Left),
         };
-        prop_assert_eq!(back, Some((l, i)));
+        assert_eq!(back, Some((l, i)));
         // parents are strictly coarser and bound the support
         if let Some((pl, pi)) = hierarchical_parent(l, i, side) {
-            prop_assert!(pl < l);
+            assert!(pl < l);
             let h = 1.0 / (1u64 << (l as u32 + 1)) as f64;
             let expect = match side {
                 Side::Left => coordinate(l, i) - h,
                 Side::Right => coordinate(l, i) + h,
             };
-            prop_assert_eq!(coordinate(pl, pi), expect);
+            assert_eq!(coordinate(pl, pi), expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn boundary_bijection_roundtrip(d in 1usize..=4, levels in 1usize..=4, seed in any::<u64>()) {
+#[test]
+fn boundary_bijection_roundtrip() {
+    run_cases("boundary_bijection_roundtrip", 64, |rng| {
+        let d = rng.usize_in(1..=4);
+        let levels = rng.usize_in(1..=4);
         let ix = BoundaryIndexer::new(d, levels);
-        let idx = seed % ix.num_points();
+        let idx = rng.u64_in(0..=ix.num_points() - 1);
         let p = ix.idx2gp(idx);
-        prop_assert_eq!(ix.gp2idx(&p), idx);
-    }
+        assert_eq!(ix.gp2idx(&p), idx);
+    });
+}
 
-    #[test]
-    fn boundary_hierarchize_roundtrip_on_arbitrary_values(
-        d in 1usize..=3,
-        levels in 1usize..=4,
-        seed in any::<u64>(),
-    ) {
-        use sg_core::boundary::BoundaryGrid;
-        let mut g: BoundaryGrid<f64> = BoundaryGrid::new(d, levels);
-        let mut state = seed | 1;
-        for v in g.values_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            *v = ((state >> 20) & 0xFFFF) as f64 / 327.68 - 100.0;
-        }
-        let original = g.clone();
-        g.hierarchize();
-        g.dehierarchize();
-        prop_assert!(g.max_abs_diff(&original) < 1e-9);
-    }
+#[test]
+fn boundary_hierarchize_roundtrip_on_arbitrary_values() {
+    run_cases(
+        "boundary_hierarchize_roundtrip_on_arbitrary_values",
+        48,
+        |rng| {
+            let d = rng.usize_in(1..=3);
+            let levels = rng.usize_in(1..=4);
+            let mut g: BoundaryGrid<f64> = BoundaryGrid::new(d, levels);
+            for v in g.values_mut() {
+                *v = rng.f64_in(-100.0, 100.0);
+            }
+            let original = g.clone();
+            g.hierarchize();
+            g.dehierarchize();
+            assert!(g.max_abs_diff(&original) < 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn binary_codec_roundtrip(grid in grid_strategy()) {
+#[test]
+fn binary_codec_roundtrip() {
+    run_cases("binary_codec_roundtrip", 64, |rng| {
+        let grid = rand_grid(rng);
         let blob = sg_io::encode(&grid);
         let back: CompactGrid<f64> = sg_io::decode(&blob).unwrap();
-        prop_assert_eq!(back.spec(), grid.spec());
-        prop_assert_eq!(back.values(), grid.values());
-    }
+        assert_eq!(back.spec(), grid.spec());
+        assert_eq!(back.values(), grid.values());
+    });
+}
 
-    #[test]
-    fn truncated_prefix_matches_directly_built_grid(
-        d in 1usize..=4,
-        levels in 2usize..=5,
-        keep in 1usize..=5,
-        seed in any::<u64>(),
-    ) {
-        let keep = keep.min(levels);
+#[test]
+fn truncated_prefix_matches_directly_built_grid() {
+    run_cases("truncated_prefix_matches_directly_built_grid", 48, |rng| {
+        let d = rng.usize_in(1..=4);
+        let levels = rng.usize_in(2..=5);
+        let keep = rng.usize_in(1..=levels);
+        let weights: Vec<f64> = (0..d).map(|_| rng.f64_in(0.0, 15.0)).collect();
         let spec = GridSpec::new(d, levels);
         let f = move |x: &[f64]| {
             x.iter()
-                .enumerate()
-                .map(|(t, &v)| ((seed >> (t % 8)) & 0xF) as f64 * v * (1.0 - v))
+                .zip(&weights)
+                .map(|(&v, &w)| w * v * (1.0 - v))
                 .sum::<f64>()
         };
-        let mut fine = CompactGrid::<f64>::from_fn(spec, f);
+        let mut fine = CompactGrid::<f64>::from_fn(spec, &f);
         hierarchize(&mut fine);
-        let mut coarse = CompactGrid::<f64>::from_fn(GridSpec::new(d, keep), f);
+        let mut coarse = CompactGrid::<f64>::from_fn(GridSpec::new(d, keep), &f);
         hierarchize(&mut coarse);
         let prefix = fine.truncated(keep);
-        prop_assert_eq!(prefix.values(), coarse.values());
-    }
+        assert_eq!(prefix.values(), coarse.values());
+    });
+}
 
-    #[test]
-    fn serde_roundtrip_preserves_everything(grid in grid_strategy()) {
-        let blob = serde_json::to_vec(&grid).unwrap();
-        let back: CompactGrid<f64> = serde_json::from_slice(&blob).unwrap();
-        prop_assert_eq!(back.spec(), grid.spec());
-        prop_assert_eq!(back.values(), grid.values());
-    }
+#[test]
+fn json_codec_roundtrip_preserves_everything() {
+    run_cases("json_codec_roundtrip_preserves_everything", 48, |rng| {
+        let grid = rand_grid(rng);
+        let text = sg_io::encode_json(&grid);
+        let back: CompactGrid<f64> = sg_io::decode_json(&text).unwrap();
+        assert_eq!(back.spec(), grid.spec());
+        assert_eq!(back.values(), grid.values());
+    });
 }
