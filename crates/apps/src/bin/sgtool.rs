@@ -6,6 +6,7 @@
 //! sgtool eval grid.sgc 0.5,0.5,0.5,0.5 0.25,0.75,0.1,0.9
 //! sgtool integrate grid.sgc
 //! sgtool slice grid.sgc --axes 0,1 --at 0.5,0.5,0.5,0.5 [--width 64]
+//! sgtool profile --dims 10 --level 7 --out trace.json
 //! ```
 
 use sg_core::prelude::*;
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "integrate" => cmd_integrate(rest),
         "slice" => cmd_slice(rest),
         "render" => cmd_render(rest),
+        "profile" => cmd_profile(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -37,7 +39,10 @@ fn main() -> ExitCode {
         let Some(path) = metrics_path else {
             return Ok(());
         };
-        let report = sg_telemetry::snapshot().to_json();
+        let mut report = sg_telemetry::snapshot().to_json();
+        report["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+        let regions = sg_telemetry::regions::report();
+        report["regions"] = sg_telemetry::regions::to_json(&regions);
         std::fs::write(&path, format!("{}\n", report.to_string_pretty()))
             .map_err(|e| format!("cannot write metrics to {path}: {e}"))
     });
@@ -58,11 +63,18 @@ const USAGE: &str = "usage:
   sgtool integrate FILE
   sgtool slice FILE --axes A,B --at X1,...,XD [--width N]
   sgtool render FILE --out IMG.ppm [--axes A,B] [--at X1,...,XD] [--width N]
+  sgtool profile [--dims D] [--level L] [--function NAME] [--reps R]
+                 [--points K] [--out TRACE.json] [--top N]
+                  (defaults: d=10 level 7, 1 rep, 4096 eval points; runs
+                  sample -> hierarchize -> evaluate -> dehierarchize with
+                  tracing on, writes a Chrome Trace Event JSON loadable in
+                  Perfetto, and prints span/histogram/imbalance summaries)
 
 global flags:
   --metrics-json PATH   after a successful command, write the telemetry
-                        snapshot (span timings, call counters, bytes
-                        moved) to PATH as JSON";
+                        snapshot (span timings, call counters, histogram
+                        percentiles, bytes moved, region imbalance,
+                        provenance) to PATH as JSON";
 
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -263,6 +275,144 @@ fn colormap(v: f64) -> [u8; 3] {
         rgb[c] = (STOPS[k][c] + w * (STOPS[k + 1][c] - STOPS[k][c])).round() as u8;
     }
     rgb
+}
+
+/// Profile a hierarchize/evaluate workload with tracing enabled: emit a
+/// Chrome Trace Event JSON (loadable in `chrome://tracing` / Perfetto)
+/// and print a human-readable summary — top-k spans by total time,
+/// histogram percentiles, and the per-level-group load-imbalance report
+/// that diagnoses the paper's Fig. 11 speedup flattening.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let parse_flag = |key: &str, default: usize| -> Result<usize, String> {
+        flag(args, key)
+            .map(|s| s.parse().map_err(|e| format!("bad {key}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let d = parse_flag("--dims", 10)?;
+    let level = parse_flag("--level", 7)?;
+    let reps = parse_flag("--reps", 1)?.max(1);
+    let n_points = parse_flag("--points", 4096)?;
+    let top = parse_flag("--top", 10)?.max(1);
+    let out = flag(args, "--out").unwrap_or_else(|| "profile_trace.json".into());
+    let fname = flag(args, "--function").unwrap_or_else(|| "gaussian".into());
+    let f = TestFunction::ALL
+        .iter()
+        .find(|f| f.name() == fname)
+        .ok_or_else(|| format!("unknown function {fname:?}"))?;
+    let spec = GridSpec::try_new(d, level).map_err(|e| e.to_string())?;
+
+    // Deterministic quasi-random evaluation points (Weyl sequence).
+    let mut xs = Vec::with_capacity(n_points * d);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    for _ in 0..n_points * d {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        xs.push((state >> 11) as f64 / (1u64 << 53) as f64);
+    }
+
+    // Everything inside this window lands in the trace.
+    sg_telemetry::trace::enable();
+    let t_all = std::time::Instant::now();
+    let mut grid = CompactGrid::from_fn_parallel(spec, |x| f.eval(x));
+    for _ in 0..reps {
+        hierarchize_parallel(&mut grid);
+        let _values = evaluate_batch_parallel(&grid, &xs, 64);
+        dehierarchize_parallel(&mut grid);
+    }
+    hierarchize_parallel(&mut grid);
+    let wall = t_all.elapsed();
+    sg_telemetry::trace::disable();
+
+    let events = sg_telemetry::trace::take_events();
+    let dropped = sg_telemetry::trace::dropped();
+    let regions = sg_telemetry::regions::report();
+    let report = sg_telemetry::snapshot();
+
+    // Trace file: standard traceEvents plus an "sg" metadata key that
+    // viewers ignore but tooling can read back.
+    let mut doc = sg_telemetry::trace::chrome_trace(&events);
+    let mut sg = sg_json::json!({ "dropped_events": dropped as f64 });
+    sg["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+    sg["regions"] = sg_telemetry::regions::to_json(&regions);
+    sg["workload"] = sg_json::json!({
+        "dims": d as f64, "level": level as f64, "points": grid.len() as f64,
+        "function": f.name(), "reps": reps as f64, "eval_points": n_points as f64
+    });
+    doc["sg"] = sg;
+    std::fs::write(&out, format!("{doc}\n"))
+        .map_err(|e| format!("cannot write trace to {out}: {e}"))?;
+
+    println!(
+        "profiled d={d} level={level} ({} points, {} reps) in {:.1} ms on {} threads",
+        grid.len(),
+        reps,
+        wall.as_secs_f64() * 1e3,
+        sg_par::num_threads()
+    );
+    println!(
+        "trace: {out} ({} events{}) — open in chrome://tracing or ui.perfetto.dev",
+        events.len(),
+        if dropped > 0 {
+            format!(", {dropped} dropped")
+        } else {
+            String::new()
+        }
+    );
+
+    println!("\ntop {top} spans by total time:");
+    let mut spans = report.spans.clone();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    println!(
+        "  {:<38} {:>8} {:>12} {:>12}",
+        "span", "count", "total_ms", "mean_us"
+    );
+    for s in spans.iter().take(top) {
+        println!(
+            "  {:<38} {:>8} {:>12.3} {:>12.2}",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.total_ns as f64 / s.count.max(1) as f64 / 1e3
+        );
+    }
+
+    println!("\nlatency histograms (ns):");
+    println!(
+        "  {:<38} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    );
+    for h in &report.hists {
+        println!(
+            "  {:<38} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            h.name,
+            h.count,
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max
+        );
+    }
+
+    println!("\nper-region load imbalance (busy/wait per worker, ms):");
+    for r in &regions {
+        let fmt_ms = |ns: &[u64]| -> String {
+            ns.iter()
+                .map(|&v| format!("{:.2}", v as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        println!(
+            "  {:<38} x{:<5} busy [{}] wait [{}] imbalance {:.2}",
+            r.key(),
+            r.count,
+            fmt_ms(&r.busy_ns),
+            fmt_ms(&r.wait_ns),
+            r.imbalance()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_render(args: &[String]) -> Result<(), String> {

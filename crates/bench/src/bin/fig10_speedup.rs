@@ -85,6 +85,7 @@ fn main() {
         ],
     );
     let mut raw = Vec::new();
+    let mut traj: Vec<(String, f64)> = Vec::new();
 
     for d in 1..=dmax {
         let spec = GridSpec::new(d, level);
@@ -162,6 +163,10 @@ fn main() {
             "seq_model_hier_s": t_seq_hier, "seq_model_eval_s": t_seq_eval,
             "seq_host_hier_s": t_host_hier, "seq_host_eval_s": t_host_eval,
         }));
+        traj.push((format!("d{d}/gpu_hier_s"), hier_report.time.total));
+        traj.push((format!("d{d}/gpu_eval_s"), eval_report.time.total));
+        traj.push((format!("d{d}/seq_host_hier_s"), t_host_hier));
+        traj.push((format!("d{d}/seq_host_eval_s"), t_host_eval));
         eprintln!("d={d} done");
     }
 
@@ -236,5 +241,8 @@ fn main() {
     match report::save_json("fig10_speedup", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),
+    }
+    if let Err(e) = sg_bench::trajectory::record_run_scalars("fig10_speedup", &traj) {
+        eprintln!("could not update trajectory: {e}");
     }
 }

@@ -49,6 +49,7 @@ fn main() {
         ],
     );
     let mut raw = Vec::new();
+    let mut traj: Vec<(String, f64)> = Vec::new();
 
     for d in dmin..=dmax {
         let spec = GridSpec::new(d, level);
@@ -102,6 +103,8 @@ fn main() {
                 "d": d, "kind": kind.label(),
                 "hierarchize_s": t_hier_only, "eval_per_point_s": t_eval,
             }));
+            traj.push((format!("d{d}/{}/hierarchize_s", kind.label()), t_hier_only));
+            traj.push((format!("d{d}/{}/eval_per_point_s", kind.label()), t_eval));
         }
         hier.add_row(hier_cells);
         eval.add_row(eval_cells);
@@ -126,5 +129,8 @@ fn main() {
     match report::save_json("fig9_sequential", &json) {
         Ok(p) => println!("saved {}", p.display()),
         Err(e) => eprintln!("could not save JSON record: {e}"),
+    }
+    if let Err(e) = sg_bench::trajectory::record_run_scalars("fig9_sequential", &traj) {
+        eprintln!("could not update trajectory: {e}");
     }
 }

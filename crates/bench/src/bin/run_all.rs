@@ -1,12 +1,21 @@
 //! Run every experiment binary in sequence with (optionally quick)
-//! settings, regenerating all paper tables and figures.
+//! settings, regenerating all paper tables and figures. Each experiment
+//! appends to its `results/BENCH_<name>.json` trajectory record, so a
+//! second invocation prints per-metric deltas against the first.
 //!
 //! Usage: `run_all [--quick]`
+//!
+//! Debug builds (`cargo run -p sg-bench` without `--release`) always use
+//! the quick settings: unoptimized full experiments take hours and their
+//! numbers are meaningless anyway.
 
 use std::process::Command;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = std::env::args().any(|a| a == "--quick") || cfg!(debug_assertions);
+    if quick && !std::env::args().any(|a| a == "--quick") {
+        eprintln!("debug build: forcing --quick settings (use --release for real numbers)");
+    }
     let me = std::env::current_exe().expect("cannot locate current executable");
     let dir = me.parent().expect("executable has no parent directory");
 

@@ -39,6 +39,13 @@ struct Record {
     min_s: f64,
     /// Elements processed per invocation, for throughput reporting.
     elements: Option<u64>,
+    /// Every timed sample, for trajectory percentiles.
+    times_s: Vec<f64>,
+    /// Instrument delta attributable to this benchmark's reps alone
+    /// (`snapshot_delta` against a baseline captured before the timed
+    /// loop), so repetitions don't smear into whole-process totals.
+    /// `None` when the measured crates were built without telemetry.
+    telemetry_delta: Option<Value>,
 }
 
 /// Collects benchmark results for one bench target.
@@ -126,7 +133,7 @@ impl Harness {
                 crate::fmt_secs(r.min_s),
                 thr,
             ]);
-            raw.push(json!({
+            let mut entry = json!({
                 "group": r.group.clone(),
                 "id": r.id.clone(),
                 "samples": r.samples,
@@ -136,7 +143,11 @@ impl Harness {
                     Some(n) => Value::from(n),
                     None => Value::Null,
                 },
-            }));
+            });
+            if let Some(delta) = &r.telemetry_delta {
+                entry["telemetry_delta"] = delta.clone();
+            }
+            raw.push(entry);
         }
         table.print();
         let record = json!({
@@ -148,6 +159,18 @@ impl Harness {
         match save_json(&format!("bench_{}", self.name), &record) {
             Ok(p) => println!("saved {}", p.display()),
             Err(e) => eprintln!("could not save JSON record: {e}"),
+        }
+        let metrics: Vec<(String, crate::trajectory::MetricStats)> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                crate::trajectory::MetricStats::from_samples(&r.times_s)
+                    .map(|s| (format!("{}/{}", r.group, r.id), s))
+            })
+            .collect();
+        match crate::trajectory::record_run(&format!("bench_{}", self.name), &metrics) {
+            Ok(p) => println!("trajectory updated: {}", p.display()),
+            Err(e) => eprintln!("could not update trajectory: {e}"),
         }
     }
 }
@@ -192,6 +215,7 @@ impl Group<'_> {
         }
         let samples = self.harness.effective_samples(self.samples);
         black_box(run(setup())); // warmup
+        let baseline = sg_telemetry::snapshot();
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let input = setup();
@@ -199,6 +223,10 @@ impl Group<'_> {
             black_box(run(input));
             times.push(t0.elapsed().as_secs_f64());
         }
+        let delta = sg_telemetry::snapshot_delta(&baseline);
+        let telemetry_delta =
+            (!delta.counters.is_empty() || !delta.spans.is_empty() || !delta.hists.is_empty())
+                .then(|| delta.to_json());
         times.sort_by(f64::total_cmp);
         let median_s = times[times.len() / 2];
         let record = Record {
@@ -208,6 +236,8 @@ impl Group<'_> {
             median_s,
             min_s: times[0],
             elements: self.elements,
+            times_s: times,
+            telemetry_delta,
         };
         eprintln!(
             "{}/{}: median {} (min {})",

@@ -11,6 +11,7 @@ pub mod args;
 pub mod harness;
 pub mod report;
 pub mod runner;
+pub mod trajectory;
 
 pub use args::Args;
 pub use report::Table;
@@ -23,14 +24,13 @@ use std::time::Instant;
 /// object when the `telemetry` feature is enabled; identity otherwise.
 pub fn attach_telemetry(report: sg_json::Value) -> sg_json::Value {
     #[cfg(feature = "telemetry")]
-    {
+    let report = {
         let mut report = report;
         if let sg_json::Value::Object(fields) = &mut report {
             fields.push(("telemetry".to_string(), sg_telemetry::snapshot().to_json()));
         }
-        return report;
-    }
-    #[cfg(not(feature = "telemetry"))]
+        report
+    };
     report
 }
 

@@ -88,13 +88,19 @@ impl Table {
 }
 
 /// Write a JSON experiment record to `results/<name>.json` (directory
-/// created on demand). Returns the path written.
+/// created on demand), stamping run provenance (git SHA, UTC timestamp,
+/// thread count, features, machine model) into the record so every
+/// figure output is attributable. Returns the path written.
 pub fn save_json(name: &str, value: &Value) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
+    let mut record = value.clone();
+    if let Value::Object(_) = &record {
+        record["provenance"] = sg_telemetry::provenance(&crate::trajectory::enabled_features());
+    }
     let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{}", value.to_string_pretty())?;
+    writeln!(f, "{}", record.to_string_pretty())?;
     Ok(path)
 }
 

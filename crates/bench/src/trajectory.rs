@@ -1,0 +1,246 @@
+//! Bench trajectory records: `results/BENCH_<name>.json`.
+//!
+//! Every experiment run appends one entry to a per-experiment trajectory
+//! file so perf regressions show up as a diff between consecutive runs
+//! rather than requiring an external database. Each entry carries run
+//! provenance (git SHA, UTC timestamp, thread count, machine model — see
+//! `sg_telemetry::provenance`), per-metric latency stats (p50/p90/p99 and
+//! extrema over the harness samples), and — when the consuming crates were
+//! built with their `telemetry` features — the process-wide histogram
+//! snapshot. [`record_run`] prints the p50 delta against the previous
+//! entry before saving, and the file keeps the most recent [`MAX_RUNS`]
+//! entries.
+
+use sg_json::{json, Value};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// How many runs a trajectory file retains (oldest dropped first).
+pub const MAX_RUNS: usize = 50;
+
+/// Latency statistics for one metric, derived from wall-clock samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Number of samples the stats summarize.
+    pub count: usize,
+    /// Median sample, seconds.
+    pub p50: f64,
+    /// 90th-percentile sample, seconds.
+    pub p90: f64,
+    /// 99th-percentile sample, seconds.
+    pub p99: f64,
+    /// Smallest sample, seconds.
+    pub min: f64,
+    /// Largest sample, seconds.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Stats over a sample vector (nearest-rank percentiles). Returns
+    /// `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let idx = ((q / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Some(Self {
+            count: sorted.len(),
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    fn to_json(self) -> Value {
+        json!({
+            "count": self.count,
+            "p50_s": self.p50,
+            "p90_s": self.p90,
+            "p99_s": self.p99,
+            "min_s": self.min,
+            "max_s": self.max,
+        })
+    }
+}
+
+/// Features compiled into this bench build, for provenance.
+pub(crate) fn enabled_features() -> Vec<&'static str> {
+    let mut f = Vec::new();
+    if cfg!(feature = "telemetry") {
+        f.push("telemetry");
+    }
+    f
+}
+
+/// Build one trajectory entry from named metric stats.
+fn run_entry(metrics: &[(String, MetricStats)]) -> Value {
+    let mut metric_obj = json!({});
+    for (name, stats) in metrics {
+        metric_obj.set(name, stats.to_json());
+    }
+    let mut entry = json!({});
+    entry["provenance"] = sg_telemetry::provenance(&enabled_features());
+    entry["metrics"] = metric_obj;
+    // Histogram instruments fire only when the measured crates were built
+    // with telemetry; an empty snapshot is omitted rather than recorded.
+    let report = sg_telemetry::snapshot();
+    if !report.hists.is_empty() {
+        let mut hists = json!({});
+        for h in &report.hists {
+            hists.set(
+                h.name,
+                json!({
+                    "count": h.count,
+                    "p50_ns": h.percentile(50.0),
+                    "p90_ns": h.percentile(90.0),
+                    "p99_ns": h.percentile(99.0),
+                    "max_ns": h.max,
+                }),
+            );
+        }
+        entry["histograms"] = hists;
+    }
+    entry
+}
+
+/// Load the previous trajectory runs for `name`, tolerating a missing or
+/// unparseable file (the trajectory restarts in that case).
+fn previous_runs(path: &std::path::Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = sg_json::parse(&text) else {
+        eprintln!(
+            "warning: {} is not valid JSON; restarting trajectory",
+            path.display()
+        );
+        return Vec::new();
+    };
+    match doc.get("runs").and_then(|r| r.as_array()) {
+        Some(runs) => runs.clone(),
+        None => Vec::new(),
+    }
+}
+
+/// Print the p50 delta of each metric against the previous run entry.
+fn print_deltas(name: &str, prev: &Value, metrics: &[(String, MetricStats)]) {
+    let prev_ts = prev
+        .get("provenance")
+        .and_then(|p| p.get("timestamp_utc"))
+        .and_then(|t| t.as_str())
+        .unwrap_or("unknown time");
+    println!("trajectory {name}: p50 deltas vs previous run ({prev_ts})");
+    let mut any = false;
+    for (metric, stats) in metrics {
+        let Some(old) = prev
+            .get("metrics")
+            .and_then(|m| m.get(metric))
+            .and_then(|m| m.get("p50_s"))
+            .and_then(|v| v.as_f64())
+        else {
+            continue;
+        };
+        any = true;
+        let pct = if old > 0.0 {
+            format!("{:+.1}%", (stats.p50 - old) / old * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        println!(
+            "  {metric}: {} -> {} ({pct})",
+            crate::fmt_secs(old),
+            crate::fmt_secs(stats.p50),
+        );
+    }
+    if !any {
+        println!("  (no overlapping metrics with the previous run)");
+    }
+}
+
+/// Append one run to `results/BENCH_<name>.json`, printing p50 deltas
+/// against the previous entry first. Returns the path written.
+pub fn record_run(name: &str, metrics: &[(String, MetricStats)]) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+
+    let mut runs = previous_runs(&path);
+    if let Some(prev) = runs.last() {
+        print_deltas(name, prev, metrics);
+    } else {
+        println!("trajectory {name}: first recorded run");
+    }
+    runs.push(run_entry(metrics));
+    if runs.len() > MAX_RUNS {
+        let excess = runs.len() - MAX_RUNS;
+        runs.drain(..excess);
+    }
+
+    let mut doc = json!({ "experiment": name });
+    doc["runs"] = Value::Array(runs);
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{}", doc.to_string_pretty())?;
+    Ok(path)
+}
+
+/// [`record_run`] convenience for single-sample scalar metrics (figure
+/// binaries report one median per cell; p50 = p99 = the value).
+pub fn record_run_scalars(name: &str, scalars: &[(String, f64)]) -> std::io::Result<PathBuf> {
+    let metrics: Vec<(String, MetricStats)> = scalars
+        .iter()
+        .filter_map(|(n, v)| MetricStats::from_samples(&[*v]).map(|s| (n.clone(), s)))
+        .collect();
+    record_run(name, &metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        assert_eq!(MetricStats::from_samples(&[]), None);
+        let one = MetricStats::from_samples(&[0.5]).unwrap();
+        assert_eq!(
+            (one.count, one.p50, one.p99, one.min, one.max),
+            (1, 0.5, 0.5, 0.5, 0.5)
+        );
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = MetricStats::from_samples(&samples).unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn entry_has_provenance_and_metrics() {
+        let m = vec![(
+            "g/b".to_string(),
+            MetricStats::from_samples(&[0.25]).unwrap(),
+        )];
+        let entry = run_entry(&m);
+        assert!(entry["provenance"]["timestamp_utc"].as_str().is_some());
+        assert_eq!(entry["metrics"]["g/b"]["p50_s"], 0.25);
+        assert_eq!(entry["metrics"]["g/b"]["count"], 1u64);
+    }
+
+    #[test]
+    fn trajectory_caps_runs() {
+        let mut runs: Vec<Value> = (0..MAX_RUNS + 7).map(|i| json!({ "i": i })).collect();
+        if runs.len() > MAX_RUNS {
+            let excess = runs.len() - MAX_RUNS;
+            runs.drain(..excess);
+        }
+        assert_eq!(runs.len(), MAX_RUNS);
+        assert_eq!(runs[0]["i"], 7u64);
+    }
+}

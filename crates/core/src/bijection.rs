@@ -25,6 +25,13 @@ tel! {
         sg_telemetry::Counter::new("core.bijection.gp2idx_calls");
     static IDX2GP_CALLS: sg_telemetry::Counter =
         sg_telemetry::Counter::new("core.bijection.idx2gp_calls");
+    /// Sampled `gp2idx` latency: one call in [`GP2IDX_SAMPLE`] is timed,
+    /// so the distribution (Table 1's per-access cost) is visible without
+    /// putting two clock reads on every O(d) lookup.
+    static GP2IDX_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("core.bijection.gp2idx_ns");
+    /// Sampling period for [`GP2IDX_NS`].
+    const GP2IDX_SAMPLE: u64 = 1024;
 }
 
 /// Precomputed tables realizing `gp2idx` / `idx2gp` for one [`GridSpec`].
@@ -153,12 +160,26 @@ impl GridIndexer {
     #[inline]
     pub fn gp2idx(&self, l: &[Level], i: &[Index]) -> u64 {
         debug_assert!(self.spec.contains(l, i), "point not in grid");
-        tel! { GP2IDX_CALLS.add(1); }
+        tel! {
+            GP2IDX_CALLS.add(1);
+            let sample_t0 = {
+                static TICK: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let t = TICK.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                (t % GP2IDX_SAMPLE == 0).then(std::time::Instant::now)
+            };
+        }
         let index1 = encode_subspace_rank(l, i);
         let n: usize = l.iter().map(|&v| v as usize).sum();
         let index2 = self.subspace_rank(l) << n;
         let index3 = self.group_offsets[n];
-        index1 + index2 + index3
+        let idx = index1 + index2 + index3;
+        tel! {
+            if let Some(t0) = sample_t0 {
+                GP2IDX_NS.record(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        idx
     }
 
     /// The inverse bijection `idx2gp`: decode a linear index into `(l, i)`.

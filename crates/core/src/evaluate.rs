@@ -28,6 +28,10 @@ tel! {
         sg_telemetry::Counter::new("core.evaluate.bytes_moved");
     static BATCH_SPAN: sg_telemetry::Span =
         sg_telemetry::Span::new("core.evaluate.batch");
+    /// Latency distribution over individual blocked batches — the tail
+    /// (p99) is what a visualization frame budget actually sees.
+    static BATCH_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("core.evaluate.batch_ns");
 }
 
 /// Per-dimension contribution at `x`: the in-subspace cell index and the
@@ -173,7 +177,9 @@ pub fn evaluate_batch_blocked<T: Real>(grid: &CompactGrid<T>, xs: &[f64], block:
         blk_start = blk.end;
     }
     tel! {
-        BATCH_SPAN.record(batch_t0.elapsed().as_nanos() as u64);
+        let batch_ns = batch_t0.elapsed().as_nanos() as u64;
+        BATCH_SPAN.record(batch_ns);
+        BATCH_NS.record(batch_ns);
         EVAL_POINTS.add(k as u64);
         SUBSPACE_WALKS.add(walks);
         COEFF_BYTES.add(reads * T::size_bytes() as u64);
@@ -189,7 +195,7 @@ pub fn evaluate_batch_parallel<T: Real>(grid: &CompactGrid<T>, xs: &[f64], block
     assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
     let chunk = block.max(1) * d;
     let n_chunks = xs.len().div_ceil(chunk);
-    sg_par::par_map_indexed(n_chunks, |k| {
+    sg_par::par_map_indexed_labeled(n_chunks, "core.evaluate.batch", None, |k| {
         let sub = &xs[k * chunk..((k + 1) * chunk).min(xs.len())];
         evaluate_batch_blocked(grid, sub, block)
     })

@@ -56,19 +56,25 @@ impl<T: Real> CompactGrid<T> {
         let mut grid = Self::new(spec);
         let d = spec.dim();
         let indexer = grid.indexer.clone();
-        sg_par::par_chunks_mut(&mut grid.values, CHUNK, |ci, chunk| {
-            let mut l = vec![0 as Level; d];
-            let mut i = vec![0 as Index; d];
-            let mut coords = vec![0.0f64; d];
-            let base = ci * CHUNK;
-            for (k, v) in chunk.iter_mut().enumerate() {
-                indexer.idx2gp((base + k) as u64, &mut l, &mut i);
-                for t in 0..d {
-                    coords[t] = coordinate(l[t], i[t]);
+        sg_par::par_chunks_mut_labeled(
+            &mut grid.values,
+            CHUNK,
+            "core.grid.sample",
+            None,
+            |ci, chunk| {
+                let mut l = vec![0 as Level; d];
+                let mut i = vec![0 as Index; d];
+                let mut coords = vec![0.0f64; d];
+                let base = ci * CHUNK;
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    indexer.idx2gp((base + k) as u64, &mut l, &mut i);
+                    for t in 0..d {
+                        coords[t] = coordinate(l[t], i[t]);
+                    }
+                    *v = f(&coords);
                 }
-                *v = f(&coords);
-            }
-        });
+            },
+        );
         grid
     }
 

@@ -14,11 +14,15 @@
 //! parallel with one barrier per group (paper §5.3).
 //!
 //! With the `telemetry` feature, every level-group sweep is timed into the
-//! spans `core.hierarchize.group_<n>` (n = level sum of the group), and
-//! the counter `core.hierarchize.bytes_moved` accumulates modeled traffic:
-//! per updated point, one read-modify-write of the coefficient plus up to
-//! two ancestor reads — `4 · sizeof(T)` bytes. Barrier wait time of the
-//! parallel variants is accounted by `sg-par` under `par.barrier_wait_ns`.
+//! spans `core.hierarchize.group_<n>` (n = level sum of the group) and the
+//! `core.hierarchize.sweep_ns` latency histogram (p50/p99 across sweeps),
+//! and the counter `core.hierarchize.bytes_moved` accumulates modeled
+//! traffic: per updated point, one read-modify-write of the coefficient
+//! plus up to two ancestor reads — `4 · sizeof(T)` bytes. The parallel
+//! variants run as `sg-par` regions labeled `core.hierarchize.sweep`
+//! `[group=n]`, so barrier wait (`par.barrier_wait_ns`), the per-worker
+//! busy/wait imbalance table, and — under `sgtool profile` — trace events
+//! are all attributed per level group.
 
 use crate::grid::CompactGrid;
 use crate::level::{hierarchical_parent, Index, Level, Side};
@@ -44,6 +48,13 @@ tel! {
         sg_telemetry::Span::new("core.dehierarchize.group_sweep");
     static BYTES_MOVED: sg_telemetry::Counter =
         sg_telemetry::Counter::new("core.hierarchize.bytes_moved");
+    /// Distribution of individual sweep latencies across all level
+    /// groups — the per-group spans give totals, this gives the tail
+    /// (p99 sweeps are the coarse groups that stop scaling, Fig. 11).
+    static SWEEP_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("core.hierarchize.sweep_ns");
+    static DEHIER_SWEEP_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("core.dehierarchize.sweep_ns");
 }
 
 /// Surplus update for one point in dimension `t`: `v − (left + right)/2`
@@ -108,7 +119,9 @@ pub fn hierarchize<T: Real>(grid: &mut CompactGrid<T>) {
                 }
             }
             tel! {
-                GROUP_SWEEP[n].record(sweep_t0.elapsed().as_nanos() as u64);
+                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                GROUP_SWEEP[n].record(sweep_ns);
+                SWEEP_NS.record(sweep_ns);
                 BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
             }
         }
@@ -162,21 +175,29 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
             let indexer = &indexer;
-            sg_par::par_chunks_mut(group, sub_len, |k, chunk| {
-                let l0 = &levels[k];
-                if l0[t] == 0 {
-                    return;
-                }
-                let mut l = l0.clone();
-                let mut i = vec![0 as Index; d];
-                for (rank, v) in chunk.iter_mut().enumerate() {
-                    crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                    let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
-                    *v -= h;
-                }
-            });
+            sg_par::par_chunks_mut_labeled(
+                group,
+                sub_len,
+                "core.hierarchize.sweep",
+                Some(("group", n as u64)),
+                |k, chunk| {
+                    let l0 = &levels[k];
+                    if l0[t] == 0 {
+                        return;
+                    }
+                    let mut l = l0.clone();
+                    let mut i = vec![0 as Index; d];
+                    for (rank, v) in chunk.iter_mut().enumerate() {
+                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
+                        let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
+                        *v -= h;
+                    }
+                },
+            );
             tel! {
-                GROUP_SWEEP[n].record(sweep_t0.elapsed().as_nanos() as u64);
+                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                GROUP_SWEEP[n].record(sweep_ns);
+                SWEEP_NS.record(sweep_ns);
                 let touched: u64 = levels.iter().filter(|l0| l0[t] != 0).count() as u64
                     * sub_len as u64;
                 BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
@@ -214,7 +235,11 @@ pub fn dehierarchize<T: Real>(grid: &mut CompactGrid<T>) {
                     break;
                 }
             }
-            tel! { DEHIER_SWEEP.record(sweep_t0.elapsed().as_nanos() as u64); }
+            tel! {
+                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                DEHIER_SWEEP.record(sweep_ns);
+                DEHIER_SWEEP_NS.record(sweep_ns);
+            }
         }
     }
 }
@@ -240,20 +265,30 @@ pub fn dehierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
             let indexer = &indexer;
-            sg_par::par_chunks_mut(group, sub_len, |k, chunk| {
-                let l0 = &levels[k];
-                if l0[t] == 0 {
-                    return;
-                }
-                let mut l = l0.clone();
-                let mut i = vec![0 as Index; d];
-                for (rank, v) in chunk.iter_mut().enumerate() {
-                    crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                    let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
-                    *v += h;
-                }
-            });
-            tel! { DEHIER_SWEEP.record(sweep_t0.elapsed().as_nanos() as u64); }
+            sg_par::par_chunks_mut_labeled(
+                group,
+                sub_len,
+                "core.dehierarchize.sweep",
+                Some(("group", n as u64)),
+                |k, chunk| {
+                    let l0 = &levels[k];
+                    if l0[t] == 0 {
+                        return;
+                    }
+                    let mut l = l0.clone();
+                    let mut i = vec![0 as Index; d];
+                    for (rank, v) in chunk.iter_mut().enumerate() {
+                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
+                        let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
+                        *v += h;
+                    }
+                },
+            );
+            tel! {
+                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                DEHIER_SWEEP.record(sweep_ns);
+                DEHIER_SWEEP_NS.record(sweep_ns);
+            }
         }
     }
 }

@@ -47,6 +47,13 @@ tel! {
         sg_telemetry::Counter::new("io.encode_bytes");
     static DECODE_BYTES: sg_telemetry::Counter =
         sg_telemetry::Counter::new("io.decode_bytes");
+    /// Per-call codec latency distributions (binary and JSON paths
+    /// share one instrument each; the byte counters above separate the
+    /// volumes).
+    static ENCODE_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("io.encode_ns");
+    static DECODE_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("io.decode_ns");
 }
 
 /// Format magic.
@@ -170,6 +177,7 @@ impl<'a> Cursor<'a> {
 
 /// Encode a grid into the compact binary format.
 pub fn encode<T: Real>(grid: &CompactGrid<T>) -> Vec<u8> {
+    tel! { let codec_t0 = std::time::Instant::now(); }
     let n = grid.len();
     let mut buf = Vec::with_capacity(HEADER_LEN + n * T::size_bytes() + CHECKSUM_LEN);
     buf.extend_from_slice(&MAGIC);
@@ -186,12 +194,16 @@ pub fn encode<T: Real>(grid: &CompactGrid<T>) -> Vec<u8> {
     }
     let checksum = fnv1a(&buf);
     buf.extend_from_slice(&checksum.to_le_bytes());
-    tel! { ENCODE_BYTES.add(buf.len() as u64); }
+    tel! {
+        ENCODE_BYTES.add(buf.len() as u64);
+        ENCODE_NS.record(codec_t0.elapsed().as_nanos() as u64);
+    }
     buf
 }
 
 /// Decode a grid from the compact binary format.
 pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
+    tel! { let codec_t0 = std::time::Instant::now(); }
     if blob.len() < HEADER_LEN + CHECKSUM_LEN {
         return Err(DecodeError::Truncated);
     }
@@ -240,13 +252,17 @@ pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
         };
         values.push(v);
     }
-    tel! { DECODE_BYTES.add(blob.len() as u64); }
+    tel! {
+        DECODE_BYTES.add(blob.len() as u64);
+        DECODE_NS.record(codec_t0.elapsed().as_nanos() as u64);
+    }
     Ok(CompactGrid::from_parts(spec, values))
 }
 
 /// Encode a grid as a JSON document:
 /// `{"format": "sg-grid", "dim": d, "levels": L, "values": [...]}`.
 pub fn encode_json<T: Real>(grid: &CompactGrid<T>) -> String {
+    tel! { let codec_t0 = std::time::Instant::now(); }
     let values: Vec<Value> = grid
         .values()
         .iter()
@@ -259,7 +275,10 @@ pub fn encode_json<T: Real>(grid: &CompactGrid<T>) -> String {
         ("values".into(), Value::Array(values)),
     ]);
     let out = doc.to_string();
-    tel! { ENCODE_BYTES.add(out.len() as u64); }
+    tel! {
+        ENCODE_BYTES.add(out.len() as u64);
+        ENCODE_NS.record(codec_t0.elapsed().as_nanos() as u64);
+    }
     out
 }
 
@@ -269,6 +288,7 @@ pub fn encode_json<T: Real>(grid: &CompactGrid<T>) -> String {
 /// outside 1..=31), and value arrays whose length does not match the
 /// shape — the same guarantees the binary decoder gives.
 pub fn decode_json<T: Real>(text: &str) -> Result<CompactGrid<T>, DecodeError> {
+    tel! { let codec_t0 = std::time::Instant::now(); }
     let doc = sg_json::parse(text).map_err(|e| DecodeError::BadJson(e.to_string()))?;
     let field = |name: &str| -> Result<&Value, DecodeError> {
         doc.get(name)
@@ -306,7 +326,10 @@ pub fn decode_json<T: Real>(text: &str) -> Result<CompactGrid<T>, DecodeError> {
             _ => return Err(DecodeError::BadJson("non-numeric value entry".into())),
         }
     }
-    tel! { DECODE_BYTES.add(text.len() as u64); }
+    tel! {
+        DECODE_BYTES.add(text.len() as u64);
+        DECODE_NS.record(codec_t0.elapsed().as_nanos() as u64);
+    }
     Ok(CompactGrid::from_parts(spec, values))
 }
 

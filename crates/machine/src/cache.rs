@@ -12,6 +12,12 @@ crate::tel! {
         sg_telemetry::Counter::new("machine.cache.accesses");
     static DRAM_BYTES: sg_telemetry::Counter =
         sg_telemetry::Counter::new("machine.cache.dram_bytes");
+    /// Distribution of DRAM lines fetched per simulated access: bucket 0
+    /// is a full cache hit, bucket 1 the paper's "one miss per access"
+    /// ideal for the contiguous layout, higher buckets the multi-line
+    /// misses of the pointer-chasing baselines (Table 1).
+    static DRAM_LINES_PER_ACCESS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("machine.cache.dram_lines_per_access");
 }
 
 /// Geometry of one cache level.
@@ -246,6 +252,7 @@ impl CacheSim {
         crate::tel! {
             ACCESSES.add(1);
             DRAM_BYTES.add((self.dram_lines - dram0) * self.line_bytes() as u64);
+            DRAM_LINES_PER_ACCESS.record(self.dram_lines - dram0);
         }
     }
 

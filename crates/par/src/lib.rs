@@ -14,15 +14,36 @@
 //! With the `telemetry` cargo feature enabled, every parallel region
 //! accounts its barrier wait time — the sum over workers of how long each
 //! finished worker waited for the slowest one — under the
-//! `par.barrier_wait_ns` counter, which is what makes load imbalance in
-//! the per-group hierarchization sweeps visible (paper Fig. 11 territory).
+//! `par.barrier_wait_ns` counter, and feeds the per-region load-imbalance
+//! table in [`sg_telemetry::regions`] with each worker slot's busy and
+//! wait nanoseconds. The `*_labeled` variants let callers name the region
+//! (e.g. `core.hierarchize.sweep` with `("group", 5)`) so each
+//! hierarchization level group shows up as its own line — the direct
+//! diagnostic for the paper's Fig. 11 speedup flattening.
+//!
+//! When tracing is additionally enabled ([`sg_telemetry::trace::enable`],
+//! done by `sgtool profile`), each region also emits Chrome Trace Event
+//! intervals: one `par.region` event on the coordinator lane (tid 0), one
+//! `par.worker` event per worker slot (tid `slot + 1`, recorded by the
+//! worker thread itself into its lock-free ring), and one
+//! `par.barrier_wait` event per non-slowest worker covering its idle gap
+//! at the implicit barrier.
 
 use std::sync::OnceLock;
+
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
 
 #[cfg(feature = "telemetry")]
 static BARRIER_WAIT_NS: sg_telemetry::Counter = sg_telemetry::Counter::new("par.barrier_wait_ns");
 #[cfg(feature = "telemetry")]
 static REGIONS: sg_telemetry::Counter = sg_telemetry::Counter::new("par.regions");
+
+/// A region label plus its optional distinguishing argument, e.g.
+/// `("core.hierarchize.sweep", Some(("group", 5)))`. The argument keeps
+/// per-level-group regions separate in the imbalance report instead of
+/// blurring them into one total.
+pub type RegionArg = Option<(&'static str, u64)>;
 
 /// Number of worker threads parallel regions will use: the
 /// `SG_PAR_THREADS` environment variable if set, otherwise
@@ -56,18 +77,72 @@ fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Record barrier wait: the sum over workers of (latest finish − own
-/// finish), i.e. total thread-time spent idle at the implicit barrier.
+/// Close the books on one parallel region: `times[slot]` is worker
+/// `slot`'s `(start, end)`. Accumulates the barrier-wait counter, feeds
+/// the per-region imbalance table, and — when tracing — emits the
+/// coordinator-side events (`par.region` on lane 0, one
+/// `par.barrier_wait` per idle worker). Worker `par.worker` events were
+/// already recorded by the workers themselves.
 #[cfg(feature = "telemetry")]
-fn record_barrier_wait(finishes: &[std::time::Instant]) {
-    if let Some(&last) = finishes.iter().max() {
-        let wait: u128 = finishes
-            .iter()
-            .map(|&t| last.duration_since(t).as_nanos())
-            .sum();
-        BARRIER_WAIT_NS.add(wait as u64);
-        REGIONS.add(1);
+fn finish_region(
+    label: &'static str,
+    arg: RegionArg,
+    region_start: Instant,
+    times: &[(Instant, Instant)],
+) {
+    let Some(last) = times.iter().map(|&(_, end)| end).max() else {
+        return;
+    };
+    let busy: Vec<u64> = times
+        .iter()
+        .map(|&(start, end)| end.duration_since(start).as_nanos() as u64)
+        .collect();
+    let wait: Vec<u64> = times
+        .iter()
+        .map(|&(_, end)| last.duration_since(end).as_nanos() as u64)
+        .collect();
+    BARRIER_WAIT_NS.add(wait.iter().sum());
+    REGIONS.add(1);
+    sg_telemetry::regions::record_region(label, arg, &busy, &wait);
+    if sg_telemetry::trace::is_enabled() {
+        for (slot, &(_, end)) in times.iter().enumerate() {
+            if end < last {
+                sg_telemetry::trace::record("par.barrier_wait", slot as u64 + 1, end, last, arg);
+            }
+        }
+        sg_telemetry::trace::record("par.region", 0, region_start, Instant::now(), arg);
     }
+}
+
+/// Sequential-fallback accounting: the whole region ran inline on the
+/// calling thread, which counts as a single worker slot (so small level
+/// groups still appear in the imbalance report, with a trivially
+/// balanced breakdown).
+#[cfg(feature = "telemetry")]
+fn finish_sequential(label: &'static str, arg: RegionArg, start: Instant) {
+    let end = Instant::now();
+    let busy = [end.duration_since(start).as_nanos() as u64];
+    REGIONS.add(1);
+    sg_telemetry::regions::record_region(label, arg, &busy, &[0]);
+    if sg_telemetry::trace::is_enabled() {
+        sg_telemetry::trace::record("par.worker", 1, start, end, arg);
+        sg_telemetry::trace::record("par.region", 0, start, end, arg);
+    }
+}
+
+/// Worker-side epilogue, called on the worker thread right before its
+/// closure returns: emit the `par.worker` trace event for this slot and
+/// flush the thread's ring into the global pool (thread-exit TLS
+/// destructors are not ordered before the scope join, so the explicit
+/// flush is what guarantees the coordinator sees the events).
+#[cfg(feature = "telemetry")]
+fn finish_worker(slot: usize, arg: RegionArg, start: Instant) -> (Instant, Instant) {
+    let end = Instant::now();
+    if sg_telemetry::trace::is_enabled() {
+        sg_telemetry::trace::record("par.worker", slot as u64 + 1, start, end, arg);
+        sg_telemetry::trace::flush_thread();
+    }
+    (start, end)
 }
 
 /// Run `f(chunk_index, chunk)` for every consecutive `chunk_len`-sized
@@ -77,41 +152,73 @@ fn record_barrier_wait(finishes: &[std::time::Instant]) {
 ///
 /// Panics if `chunk_len == 0`. Falls back to a sequential loop when the
 /// data is small or one thread is available.
+///
+/// Telemetry attributes the region to the generic `par.chunks_mut`
+/// label; use [`par_chunks_mut_labeled`] to name the region.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_labeled(data, chunk_len, "par.chunks_mut", None, f)
+}
+
+/// [`par_chunks_mut`] with a named region: telemetry accounts the
+/// barrier wait, per-worker busy/wait breakdown, and trace events under
+/// `label` (plus the optional distinguishing `arg`, e.g.
+/// `("group", 5)`). In a build without the `telemetry` feature the label
+/// is ignored and this is exactly [`par_chunks_mut`].
+pub fn par_chunks_mut_labeled<T, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    label: &'static str,
+    arg: RegionArg,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (label, arg);
     assert!(chunk_len > 0, "chunk length must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
     let k = num_threads().min(n_chunks);
     if k <= 1 {
+        #[cfg(feature = "telemetry")]
+        let t0 = Instant::now();
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(ci, chunk);
         }
+        #[cfg(feature = "telemetry")]
+        finish_sequential(label, arg, t0);
         return;
     }
     let spans = ranges(n_chunks, k);
     let f = &f;
     // Split the data into one contiguous sub-slice per thread along the
     // chunk-range boundaries.
-    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(k);
+    let mut parts: Vec<(usize, usize, &mut [T])> = Vec::with_capacity(k);
     let mut rest = data;
-    for span in &spans {
-        let bytes = ((span.end - span.start) * chunk_len).min(rest.len());
-        let (head, tail) = rest.split_at_mut(bytes);
-        parts.push((span.start, head));
+    for (slot, span) in spans.iter().enumerate() {
+        let items = ((span.end - span.start) * chunk_len).min(rest.len());
+        let (head, tail) = rest.split_at_mut(items);
+        parts.push((slot, span.start, head));
         rest = tail;
     }
+    #[cfg(feature = "telemetry")]
+    let region_start = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(parts.len());
-        for (first_chunk, part) in parts {
+        for (slot, first_chunk, part) in parts {
+            let _ = slot;
             handles.push(scope.spawn(move || {
+                #[cfg(feature = "telemetry")]
+                let t_start = Instant::now();
                 for (off, chunk) in part.chunks_mut(chunk_len).enumerate() {
                     f(first_chunk + off, chunk);
                 }
                 #[cfg(feature = "telemetry")]
-                return std::time::Instant::now();
+                return finish_worker(slot, arg, t_start);
                 #[cfg(not(feature = "telemetry"))]
                 #[allow(unreachable_code)]
                 ()
@@ -119,9 +226,9 @@ where
         }
         #[cfg(feature = "telemetry")]
         {
-            let finishes: Vec<std::time::Instant> =
+            let times: Vec<(Instant, Instant)> =
                 handles.into_iter().map(|h| h.join().unwrap()).collect();
-            record_barrier_wait(&finishes);
+            finish_region(label, arg, region_start, &times);
         }
         #[cfg(not(feature = "telemetry"))]
         for h in handles {
@@ -132,31 +239,56 @@ where
 
 /// Ordered parallel map over `0..n`: returns `vec![f(0), f(1), …]` with
 /// work distributed in contiguous index ranges.
+///
+/// Telemetry attributes the region to the generic `par.map` label; use
+/// [`par_map_indexed_labeled`] to name the region.
 pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_indexed_labeled(n, "par.map", None, f)
+}
+
+/// [`par_map_indexed`] with a named region — see
+/// [`par_chunks_mut_labeled`] for what the label buys.
+pub fn par_map_indexed_labeled<R, F>(n: usize, label: &'static str, arg: RegionArg, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (label, arg);
     let k = num_threads().min(n);
     if k <= 1 {
-        return (0..n).map(f).collect();
+        #[cfg(feature = "telemetry")]
+        let t0 = Instant::now();
+        let out = (0..n).map(f).collect();
+        #[cfg(feature = "telemetry")]
+        finish_sequential(label, arg, t0);
+        return out;
     }
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let spans = ranges(n, k);
     let f = &f;
+    #[cfg(feature = "telemetry")]
+    let region_start = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
         let mut rest = out.as_mut_slice();
-        for span in &spans {
+        for (slot, span) in spans.iter().enumerate() {
+            let _ = slot;
             let (head, tail) = rest.split_at_mut(span.end - span.start);
             rest = tail;
             let start = span.start;
             handles.push(scope.spawn(move || {
-                for (off, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(f(start + off));
+                #[cfg(feature = "telemetry")]
+                let t_start = Instant::now();
+                for (off, item) in head.iter_mut().enumerate() {
+                    *item = Some(f(start + off));
                 }
                 #[cfg(feature = "telemetry")]
-                return std::time::Instant::now();
+                return finish_worker(slot, arg, t_start);
                 #[cfg(not(feature = "telemetry"))]
                 #[allow(unreachable_code)]
                 ()
@@ -164,9 +296,9 @@ where
         }
         #[cfg(feature = "telemetry")]
         {
-            let finishes: Vec<std::time::Instant> =
+            let times: Vec<(Instant, Instant)> =
                 handles.into_iter().map(|h| h.join().unwrap()).collect();
-            record_barrier_wait(&finishes);
+            finish_region(label, arg, region_start, &times);
         }
         #[cfg(not(feature = "telemetry"))]
         for h in handles {
@@ -252,5 +384,57 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn labeled_variants_compute_the_same_results() {
+        let mut data: Vec<u64> = vec![0; 777];
+        par_chunks_mut_labeled(
+            &mut data,
+            8,
+            "test.par.labeled_sweep",
+            Some(("g", 3)),
+            |ci, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = (ci * 8 + k) as u64;
+                }
+            },
+        );
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u64);
+        }
+        let out = par_map_indexed_labeled(123, "test.par.labeled_map", None, |k| 3 * k);
+        assert_eq!(out, (0..123).map(|k| 3 * k).collect::<Vec<_>>());
+    }
+
+    /// Labeled regions land in the telemetry imbalance table, with one
+    /// busy/wait slot per worker (or one slot for the sequential
+    /// fallback) and the counters bumped.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn labeled_region_is_accounted() {
+        let mut data: Vec<u64> = vec![0; 4096];
+        par_chunks_mut_labeled(
+            &mut data,
+            16,
+            "test.par.accounted",
+            Some(("group", 7)),
+            |_, c| {
+                for v in c.iter_mut() {
+                    *v = std::hint::black_box(*v + 1);
+                }
+            },
+        );
+        let stats = sg_telemetry::regions::report();
+        let stat = stats
+            .iter()
+            .find(|s| s.label == "test.par.accounted" && s.arg == Some(("group", 7)))
+            .expect("labeled region recorded");
+        assert_eq!(stat.count, 1);
+        let expected_workers = num_threads().clamp(1, 4096 / 16);
+        assert_eq!(stat.busy_ns.len(), expected_workers);
+        assert_eq!(stat.wait_ns.len(), expected_workers);
+        assert!(stat.imbalance() >= 1.0);
+        assert!(sg_telemetry::snapshot().counter("par.regions").unwrap_or(0) >= 1);
     }
 }

@@ -1,0 +1,65 @@
+//! Concurrent ring-buffer recording from real `sg-par` workers: with
+//! tracing enabled, a labeled parallel region must leave ≥ 1
+//! `par.worker` event per worker lane (each recorded by that worker
+//! thread into its own lock-free ring), a `par.region` event on the
+//! coordinator lane, and a per-worker imbalance entry.
+//!
+//! Own integration-test binary: it pins `SG_PAR_THREADS` before the
+//! first `num_threads()` call (the value is cached process-wide) and
+//! owns the process-global trace buffers.
+#![cfg(feature = "telemetry")]
+
+use sg_telemetry::{regions, trace};
+
+#[test]
+fn workers_record_into_their_rings() {
+    const THREADS: usize = 4;
+    // Must precede the first num_threads() call in this process.
+    std::env::set_var("SG_PAR_THREADS", THREADS.to_string());
+    assert_eq!(sg_par::num_threads(), THREADS);
+
+    trace::enable();
+    let mut data = vec![0u64; 64 * 1024];
+    sg_par::par_chunks_mut_labeled(
+        &mut data,
+        256,
+        "test.par.traced",
+        Some(("group", 2)),
+        |ci, c| {
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = std::hint::black_box((ci * 256 + k) as u64);
+            }
+        },
+    );
+    trace::disable();
+
+    let events = trace::take_events();
+    // One worker event per lane, recorded by the worker thread itself.
+    for slot in 0..THREADS as u64 {
+        let lane: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "par.worker" && e.tid == slot + 1)
+            .collect();
+        assert!(!lane.is_empty(), "no par.worker event on lane {}", slot + 1);
+        assert_eq!(lane[0].arg, Some(("group", 2)));
+    }
+    // The coordinator's region event spans every worker's interval.
+    let region = events
+        .iter()
+        .find(|e| e.name == "par.region")
+        .expect("coordinator region event");
+    assert_eq!(region.tid, 0);
+    for e in events.iter().filter(|e| e.name == "par.worker") {
+        assert!(region.ts_ns <= e.ts_ns);
+        assert!(e.ts_ns + e.dur_ns <= region.ts_ns + region.dur_ns);
+    }
+
+    // The imbalance table saw every slot.
+    let stats = regions::report();
+    let stat = stats
+        .iter()
+        .find(|s| s.label == "test.par.traced")
+        .expect("region accounted");
+    assert_eq!(stat.busy_ns.len(), THREADS);
+    assert!(stat.imbalance() >= 1.0);
+}

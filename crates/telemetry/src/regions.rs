@@ -1,0 +1,227 @@
+//! Per-parallel-region load-imbalance accounting.
+//!
+//! The paper's Fig. 11 speedup curves flatten exactly where the coarse
+//! level groups stop having enough points to feed every core — a
+//! *load-imbalance* effect that aggregate barrier-wait totals cannot
+//! localize. This module keeps, for every `(label, arg)` pair (e.g. the
+//! hierarchization sweep of level group 5), the accumulated busy and
+//! barrier-wait nanoseconds **per worker slot**, from which
+//! [`RegionStat::imbalance`] derives the max/mean busy ratio that
+//! diagnoses the flattening.
+//!
+//! Recording happens once per region execution, on the coordinating
+//! thread after the workers have joined — a single mutex acquisition
+//! outside the parallel section, so the hot loops are untouched.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use sg_json::{json, Value};
+
+/// Aggregated per-worker busy/wait breakdown for one parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionStat {
+    /// Region label, dotted like instrument names
+    /// (e.g. `core.hierarchize.sweep`).
+    pub label: &'static str,
+    /// Distinguishing argument, e.g. `("group", 5)` — one entry per
+    /// level group rather than one blurred total.
+    pub arg: Option<(&'static str, u64)>,
+    /// How many times this region executed.
+    pub count: u64,
+    /// Accumulated busy nanoseconds, indexed by worker slot.
+    pub busy_ns: Vec<u64>,
+    /// Accumulated barrier-wait nanoseconds, indexed by worker slot.
+    pub wait_ns: Vec<u64>,
+}
+
+impl RegionStat {
+    /// Load-imbalance ratio: `max(busy) / mean(busy)` across worker
+    /// slots. `1.0` is perfectly balanced; `n` (the worker count) means
+    /// one slot did all the work. Defined as `1.0` when no slot did any
+    /// measurable work.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.busy_ns.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.busy_ns.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.busy_ns.iter().max().unwrap();
+        max as f64 * n as f64 / total as f64
+    }
+
+    /// Busy nanoseconds summed over all worker slots.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+
+    /// Barrier-wait nanoseconds summed over all worker slots.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.wait_ns.iter().sum()
+    }
+
+    /// Display key: `label` alone, or `label[k=v]` when the region has a
+    /// distinguishing argument.
+    pub fn key(&self) -> String {
+        match self.arg {
+            Some((k, v)) => format!("{}[{}={}]", self.label, k, v),
+            None => self.label.to_string(),
+        }
+    }
+}
+
+type Key = (&'static str, Option<(&'static str, u64)>);
+
+fn table() -> &'static Mutex<BTreeMap<Key, RegionStat>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<Key, RegionStat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Merge one execution of a region: `busy[s]` and `wait[s]` are the busy
+/// and barrier-wait nanoseconds of worker slot `s`. Successive calls
+/// with the same `(label, arg)` accumulate; a call with more slots than
+/// seen before widens the record (shorter earlier runs count as zero for
+/// the new slots).
+pub fn record_region(
+    label: &'static str,
+    arg: Option<(&'static str, u64)>,
+    busy: &[u64],
+    wait: &[u64],
+) {
+    let mut table = table().lock().unwrap();
+    let stat = table.entry((label, arg)).or_insert_with(|| RegionStat {
+        label,
+        arg,
+        count: 0,
+        busy_ns: Vec::new(),
+        wait_ns: Vec::new(),
+    });
+    stat.count += 1;
+    if stat.busy_ns.len() < busy.len() {
+        stat.busy_ns.resize(busy.len(), 0);
+    }
+    if stat.wait_ns.len() < wait.len() {
+        stat.wait_ns.resize(wait.len(), 0);
+    }
+    for (acc, &ns) in stat.busy_ns.iter_mut().zip(busy) {
+        *acc += ns;
+    }
+    for (acc, &ns) in stat.wait_ns.iter_mut().zip(wait) {
+        *acc += ns;
+    }
+}
+
+/// Snapshot of every recorded region, in `(label, arg)` order.
+pub fn report() -> Vec<RegionStat> {
+    table().lock().unwrap().values().cloned().collect()
+}
+
+/// Forget all recorded regions.
+pub fn clear() {
+    table().lock().unwrap().clear();
+}
+
+/// JSON render used by `sgtool profile` and the metrics report:
+///
+/// ```json
+/// { "core.hierarchize.sweep[group=5]": {
+///     "count": 10, "workers": 4,
+///     "busy_ns": [..], "wait_ns": [..],
+///     "total_busy_ns": 1000, "total_wait_ns": 40,
+///     "imbalance": 1.08 }, ... }
+/// ```
+pub fn to_json(stats: &[RegionStat]) -> Value {
+    let mut out = json!({});
+    for s in stats {
+        let mut entry = json!({
+            "count": s.count as f64,
+            "workers": s.busy_ns.len() as f64,
+            "total_busy_ns": s.total_busy_ns() as f64,
+            "total_wait_ns": s.total_wait_ns() as f64,
+            "imbalance": s.imbalance(),
+        });
+        entry["busy_ns"] = Value::Array(s.busy_ns.iter().map(|&n| Value::from(n as f64)).collect());
+        entry["wait_ns"] = Value::Array(s.wait_ns.iter().map(|&n| Value::from(n as f64)).collect());
+        out.set(&s.key(), entry);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests never call `clear()` and use labels unique to this
+    // module, so they are safe against the process-global table being
+    // shared with other tests.
+
+    #[test]
+    fn imbalance_ratio() {
+        let balanced = RegionStat {
+            label: "test.regions.balanced",
+            arg: None,
+            count: 1,
+            busy_ns: vec![100, 100, 100, 100],
+            wait_ns: vec![0, 0, 0, 0],
+        };
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+
+        let skewed = RegionStat {
+            label: "test.regions.skewed",
+            arg: None,
+            count: 1,
+            busy_ns: vec![400, 0, 0, 0],
+            wait_ns: vec![0, 300, 300, 300],
+        };
+        assert!((skewed.imbalance() - 4.0).abs() < 1e-12);
+        assert_eq!(skewed.total_busy_ns(), 400);
+        assert_eq!(skewed.total_wait_ns(), 900);
+
+        let idle = RegionStat {
+            label: "test.regions.idle",
+            arg: None,
+            count: 1,
+            busy_ns: vec![0, 0],
+            wait_ns: vec![0, 0],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn record_accumulates_per_slot_and_widens() {
+        record_region("test.regions.accum", Some(("group", 3)), &[10, 20], &[1, 2]);
+        record_region(
+            "test.regions.accum",
+            Some(("group", 3)),
+            &[5, 5, 40],
+            &[0, 0, 9],
+        );
+        // A different arg is a different entry.
+        record_region("test.regions.accum", Some(("group", 4)), &[7], &[0]);
+
+        let all = report();
+        let g3 = all
+            .iter()
+            .find(|s| s.label == "test.regions.accum" && s.arg == Some(("group", 3)))
+            .expect("group 3 recorded");
+        assert_eq!(g3.count, 2);
+        assert_eq!(g3.busy_ns, vec![15, 25, 40]);
+        assert_eq!(g3.wait_ns, vec![1, 2, 9]);
+        let g4 = all
+            .iter()
+            .find(|s| s.label == "test.regions.accum" && s.arg == Some(("group", 4)))
+            .expect("group 4 recorded");
+        assert_eq!(g4.count, 1);
+        assert_eq!(g4.key(), "test.regions.accum[group=4]");
+
+        let json = to_json(&all);
+        let entry = &json["test.regions.accum[group=3]"];
+        assert_eq!(entry["count"], 2u64);
+        assert_eq!(entry["workers"], 3u64);
+        assert_eq!(entry["busy_ns"][2], 40u64);
+        assert!(entry["imbalance"].as_f64().unwrap() >= 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-thread trace-event ring buffers and Chrome Trace Event export.
+//!
+//! Tracing answers the question aggregate counters cannot: *when* did
+//! each worker run, and what was everyone else doing at that moment?
+//! The design keeps the record path free of locks so instrumenting the
+//! inner parallel loops of `sg-par` does not serialize them:
+//!
+//! - [`record`] appends a completed interval to a **thread-local ring
+//!   buffer** (a `RefCell<Vec>` — no atomics, no mutexes, no allocation
+//!   after the ring fills). When the ring reaches its capacity the
+//!   oldest events are overwritten and counted in [`dropped`].
+//! - [`flush_thread`] drains the calling thread's ring into a global
+//!   pool under a mutex — once per worker closure, not per event.
+//!   `sg-par` workers call it right before returning (thread-exit
+//!   destructors also flush, but only as a backstop: scope joins can
+//!   observe a thread as finished before its TLS destructors run).
+//! - [`take_events`] drains the pool plus the calling thread's own ring
+//!   and returns the events sorted by start time; [`chrome_trace`]
+//!   renders them as a Chrome Trace Event Format document that loads in
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Tracing is **off by default** even in telemetry builds: until
+//! [`enable`] is called, [`record`] is a single relaxed load and a
+//! branch. `sgtool profile` and the trace tests are the intended
+//! enablers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use sg_json::{json, Value};
+
+/// One completed interval on some thread's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name, dotted like instrument names (e.g. `par.worker`).
+    pub name: &'static str,
+    /// Logical lane the event renders on: `sg-par` uses 0 for the
+    /// coordinating thread and `slot + 1` for worker slot `slot`.
+    pub tid: u64,
+    /// Start time in nanoseconds since the trace epoch (pinned by
+    /// [`enable`]).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Optional single key/value argument distinguishing instances of
+    /// the same region, e.g. `("group", 5)` for a level-group sweep.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static Mutex<Vec<TraceEvent>> {
+    static POOL: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct LocalRing {
+    events: Vec<TraceEvent>,
+    /// Overwrite cursor once the ring is full.
+    next: usize,
+}
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            if let Ok(mut pool) = pool().lock() {
+                pool.append(&mut self.events);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static RING: RefCell<LocalRing> = const {
+        RefCell::new(LocalRing {
+            events: Vec::new(),
+            next: 0,
+        })
+    };
+}
+
+/// Turn tracing on. The first call pins the trace epoch that all
+/// [`TraceEvent::ts_ns`] values are relative to.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn tracing off. Buffered events are kept until [`take_events`] or
+/// [`clear`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether [`record`] currently buffers events. Instrumentation sites
+/// should check this before calling `Instant::now()` so a non-profiled
+/// run pays one load per region, not per-event clock reads.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Set the per-thread ring capacity (minimum 1). Applies to subsequent
+/// recording; rings that already hold more events keep them.
+pub fn set_capacity(capacity: usize) {
+    CAPACITY.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// Number of events overwritten because a thread's ring was full, since
+/// the last [`clear`]. A nonzero value means the trace shows the most
+/// recent window of each thread, not the whole run.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Record a completed `[start, end]` interval on the calling thread's
+/// ring buffer. No-op unless tracing is [`enable`]d. Lock-free: the only
+/// shared-state touch is a relaxed load of the enabled flag (plus one
+/// relaxed increment if the ring overflows).
+#[inline]
+pub fn record(
+    name: &'static str,
+    tid: u64,
+    start: Instant,
+    end: Instant,
+    arg: Option<(&'static str, u64)>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    let ep = epoch();
+    let ev = TraceEvent {
+        name,
+        tid,
+        ts_ns: start.duration_since(ep).as_nanos() as u64,
+        dur_ns: end.duration_since(start).as_nanos() as u64,
+        arg,
+    };
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        let cap = CAPACITY.load(Ordering::Relaxed).max(1);
+        if r.events.len() < cap {
+            r.events.push(ev);
+        } else {
+            let at = r.next % cap.min(r.events.len());
+            r.events[at] = ev;
+            r.next = at + 1;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Drain the calling thread's ring into the global pool. Worker threads
+/// must call this as the last thing in their closure: thread-local
+/// destructors are **not** guaranteed to have run by the time
+/// `std::thread::scope` observes the thread as finished, so relying on
+/// the exit-time flush alone can lose a ring to that race. The `Drop`
+/// flush still exists as a backstop for threads that never get the
+/// explicit call.
+pub fn flush_thread() {
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if !r.events.is_empty() {
+            pool().lock().unwrap().append(&mut r.events);
+        }
+        r.next = 0;
+    });
+}
+
+/// Drain every flushed ring plus the calling thread's own, returning the
+/// events sorted by start time (ties broken by lane). Events belonging
+/// to threads that are still running and have not called
+/// [`flush_thread`] are **not** included.
+pub fn take_events() -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = std::mem::take(&mut *pool().lock().unwrap());
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        events.append(&mut r.events);
+        r.next = 0;
+    });
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    events
+}
+
+/// Discard all buffered events (global pool and the calling thread's
+/// ring) and zero the [`dropped`] counter.
+pub fn clear() {
+    pool().lock().unwrap().clear();
+    RING.with(|r| {
+        let mut r = r.borrow_mut();
+        r.events.clear();
+        r.next = 0;
+    });
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Render events as a Chrome Trace Event Format document:
+///
+/// ```json
+/// { "traceEvents": [ { "name": "par.worker", "ph": "X", "cat": "sg",
+///                      "pid": 1, "tid": 2, "ts": 12.5, "dur": 3.75,
+///                      "args": { "group": 5 } }, ... ],
+///   "displayTimeUnit": "ms" }
+/// ```
+///
+/// Every event is a complete (`"ph": "X"`) event; `ts` and `dur` are
+/// microseconds with fractional nanosecond precision, per the format
+/// spec. Viewers ignore unknown top-level keys, so callers may attach
+/// extra metadata (provenance, region reports) beside `traceEvents`.
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let rendered: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut ev = json!({
+                "name": e.name,
+                "ph": "X",
+                "cat": "sg",
+                "pid": 1,
+                "tid": e.tid as f64,
+                "ts": e.ts_ns as f64 / 1000.0,
+                "dur": e.dur_ns as f64 / 1000.0,
+            });
+            let mut args = json!({});
+            if let Some((k, v)) = e.arg {
+                args[k] = Value::from(v as f64);
+            }
+            ev["args"] = args;
+            ev
+        })
+        .collect();
+    let mut doc = json!({ "displayTimeUnit": "ms" });
+    doc["traceEvents"] = Value::Array(rendered);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests that enable/clear the global trace state live in the
+    // `tests/trace.rs` integration test (its own process); here we only
+    // exercise the pure rendering path.
+
+    #[test]
+    fn chrome_trace_document_shape() {
+        let events = vec![
+            TraceEvent {
+                name: "par.worker",
+                tid: 1,
+                ts_ns: 2500,
+                dur_ns: 1000,
+                arg: Some(("group", 5)),
+            },
+            TraceEvent {
+                name: "par.region",
+                tid: 0,
+                ts_ns: 2000,
+                dur_ns: 4000,
+                arg: None,
+            },
+        ];
+        let doc = chrome_trace(&events);
+        let evs = doc["traceEvents"].as_array().expect("array");
+        assert_eq!(evs.len(), 2);
+        for ev in evs {
+            assert_eq!(ev["ph"], "X");
+            assert_eq!(ev["cat"], "sg");
+            assert!(ev["ts"].as_f64().is_some());
+            assert!(ev["dur"].as_f64().is_some());
+            assert!(ev["tid"].as_u64().is_some());
+        }
+        assert_eq!(evs[0]["ts"], 2.5);
+        assert_eq!(evs[0]["dur"], 1.0);
+        assert_eq!(evs[0]["args"]["group"], 5u64);
+        // Must survive the round-trip to disk.
+        let reparsed = sg_json::parse(&doc.to_string()).unwrap();
+        assert_eq!(reparsed["traceEvents"][1]["name"], "par.region");
+    }
+}

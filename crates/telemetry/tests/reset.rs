@@ -1,0 +1,61 @@
+//! `reset()` contract: every instrument kind — counters, spans,
+//! histograms — is zeroed (but stays registered), and the trace ring
+//! buffers and region table are cleared too.
+//!
+//! Lives in its own integration-test binary because `reset()` wipes the
+//! process-global registry, which would race the library's unit tests.
+
+use std::time::Instant;
+
+use sg_telemetry::{regions, reset, snapshot, trace, Counter, Histogram, Span};
+
+static C: Counter = Counter::new("test.reset.counter");
+static S: Span = Span::new("test.reset.span");
+static H: Histogram = Histogram::new("test.reset.hist");
+
+#[test]
+fn reset_clears_every_instrument_kind() {
+    C.add(5);
+    S.record(1000);
+    H.record(64);
+    H.record(4096);
+    trace::enable();
+    let t0 = Instant::now();
+    trace::record("test.reset.event", 1, t0, t0, None);
+    trace::disable();
+    regions::record_region("test.reset.region", None, &[10, 20], &[1, 2]);
+
+    let before = snapshot();
+    assert_eq!(before.counter("test.reset.counter"), Some(5));
+    assert_eq!(before.hist("test.reset.hist").unwrap().count, 2);
+
+    reset();
+
+    // Counters, spans, and histograms are zeroed but stay registered.
+    let after = snapshot();
+    assert_eq!(after.counter("test.reset.counter"), Some(0));
+    let span = after
+        .span("test.reset.span")
+        .expect("span still registered");
+    assert_eq!((span.count, span.total_ns), (0, 0));
+    let hist = after
+        .hist("test.reset.hist")
+        .expect("hist still registered");
+    assert_eq!(hist.count, 0);
+    assert_eq!(hist.sum, 0);
+    assert_eq!(hist.max, 0);
+    assert!(hist.buckets.iter().all(|&b| b == 0));
+    assert_eq!(hist.percentile(99.0), 0);
+
+    // Trace buffers and the region table are gone too.
+    assert!(trace::take_events().is_empty());
+    assert_eq!(trace::dropped(), 0);
+    assert!(regions::report().is_empty());
+
+    // The instruments still work after a reset.
+    C.add(2);
+    H.record(8);
+    let again = snapshot();
+    assert_eq!(again.counter("test.reset.counter"), Some(2));
+    assert_eq!(again.hist("test.reset.hist").unwrap().max, 8);
+}

@@ -1,0 +1,146 @@
+//! Trace ring-buffer behavior: enable/record/take, concurrent recording
+//! from scoped worker threads, and capacity-bounded dropping.
+//!
+//! These tests manipulate the process-global trace state (enable, clear,
+//! take_events), so they live in their own integration-test binary —
+//! the unit tests in the library share one process and must not race
+//! with this.
+
+use std::time::{Duration, Instant};
+
+use sg_telemetry::trace;
+
+/// Each test drains its own events; they run in one process, so take a
+/// lock to serialize them instead of asserting on global emptiness.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn record_is_noop_when_disabled() {
+    let _guard = serial();
+    trace::clear();
+    trace::disable();
+    assert!(!trace::is_enabled());
+    let t0 = Instant::now();
+    trace::record("test.disabled", 0, t0, t0, None);
+    assert!(trace::take_events().is_empty());
+}
+
+#[test]
+fn records_and_takes_sorted_events() {
+    let _guard = serial();
+    trace::clear();
+    trace::enable();
+    let t0 = Instant::now();
+    let t1 = t0 + Duration::from_micros(10);
+    let t2 = t0 + Duration::from_micros(20);
+    trace::record("test.second", 0, t1, t2, None);
+    trace::record("test.first", 1, t0, t1, Some(("group", 2)));
+    trace::disable();
+    let events = trace::take_events();
+    assert_eq!(events.len(), 2);
+    // Sorted by start time regardless of record order.
+    assert_eq!(events[0].name, "test.first");
+    assert_eq!(events[0].arg, Some(("group", 2)));
+    assert_eq!(events[1].name, "test.second");
+    assert!(events[0].ts_ns <= events[1].ts_ns);
+    assert_eq!(events[1].dur_ns, 10_000);
+    // Taking drains.
+    assert!(trace::take_events().is_empty());
+}
+
+#[test]
+fn concurrent_workers_flush_on_exit() {
+    let _guard = serial();
+    trace::clear();
+    trace::enable();
+    const WORKERS: u64 = 4;
+    const PER_WORKER: usize = 250;
+    std::thread::scope(|scope| {
+        for slot in 0..WORKERS {
+            scope.spawn(move || {
+                for _ in 0..PER_WORKER {
+                    let t0 = Instant::now();
+                    trace::record("test.worker", slot + 1, t0, t0, None);
+                }
+                // Scope joins can fire before TLS destructors; the
+                // explicit flush is the reliable hand-off.
+                trace::flush_thread();
+            });
+        }
+    });
+    trace::disable();
+    // Scoped threads have exited, so every ring has flushed to the pool.
+    let events = trace::take_events();
+    assert_eq!(events.len(), WORKERS as usize * PER_WORKER);
+    for slot in 0..WORKERS {
+        let lane = events.iter().filter(|e| e.tid == slot + 1).count();
+        assert_eq!(lane, PER_WORKER, "worker {slot} events all present");
+    }
+    assert_eq!(trace::dropped(), 0);
+}
+
+#[test]
+fn ring_wraps_at_capacity_and_counts_dropped() {
+    let _guard = serial();
+    trace::clear();
+    trace::set_capacity(8);
+    trace::enable();
+    // Record on a dedicated thread so this test's ring fills in
+    // isolation from the other tests' main-thread ring.
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..20u64 {
+                let t0 = Instant::now();
+                trace::record("test.wrap", 7, t0, t0, Some(("i", i)));
+            }
+            trace::flush_thread();
+        });
+    });
+    trace::disable();
+    let events: Vec<_> = trace::take_events()
+        .into_iter()
+        .filter(|e| e.name == "test.wrap")
+        .collect();
+    assert_eq!(events.len(), 8, "ring keeps exactly its capacity");
+    assert_eq!(trace::dropped(), 12, "overwritten events are counted");
+    // The survivors are the most recent records.
+    let mut kept: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.arg.map(|(_, v)| v))
+        .collect();
+    kept.sort_unstable();
+    assert_eq!(kept, (12..20).collect::<Vec<u64>>());
+    trace::set_capacity(trace::DEFAULT_CAPACITY);
+    trace::clear();
+}
+
+#[test]
+fn chrome_trace_roundtrip_from_recorded_events() {
+    let _guard = serial();
+    trace::clear();
+    trace::enable();
+    let t0 = Instant::now();
+    trace::record(
+        "test.chrome",
+        3,
+        t0,
+        t0 + Duration::from_nanos(1500),
+        Some(("group", 9)),
+    );
+    trace::disable();
+    let events = trace::take_events();
+    let doc = trace::chrome_trace(&events);
+    let reparsed = sg_json::parse(&doc.to_string()).unwrap();
+    let evs = reparsed["traceEvents"].as_array().unwrap();
+    let ev = evs
+        .iter()
+        .find(|e| e["name"] == "test.chrome")
+        .expect("event rendered");
+    assert_eq!(ev["ph"], "X");
+    assert_eq!(ev["tid"], 3u64);
+    assert_eq!(ev["dur"], 1.5);
+    assert_eq!(ev["args"]["group"], 9u64);
+}

@@ -306,6 +306,17 @@ fn metrics_json_flag_writes_a_telemetry_report() {
         "compressing a grid must exercise the bijection"
     );
     assert!(report.get("spans").is_some(), "report has a spans section");
+    assert!(
+        report.get("histograms").is_some(),
+        "report has a histograms section"
+    );
+    let prov = report.get("provenance").expect("report carries provenance");
+    assert!(prov.get("timestamp_utc").and_then(|v| v.as_str()).is_some());
+    assert!(prov.get("threads").and_then(|v| v.as_f64()).is_some());
+    assert!(
+        report.get("regions").is_some(),
+        "report has a regions section"
+    );
 
     // Commands that fail must not write a metrics file.
     let bogus = temp_path("metrics-bogus.json");
@@ -320,6 +331,84 @@ fn metrics_json_flag_writes_a_telemetry_report() {
 
     std::fs::remove_file(&file).ok();
     std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn profile_emits_valid_trace_and_summary() {
+    let trace = temp_path("profile-trace.json");
+    let t = trace.to_str().unwrap();
+    let workers = 2u64;
+
+    let o = Command::new(env!("CARGO_BIN_EXE_sgtool"))
+        .args([
+            "profile", "--dims", "3", "--level", "4", "--points", "256", "--out", t,
+        ])
+        .env("SG_PAR_THREADS", workers.to_string())
+        .output()
+        .expect("failed to run sgtool");
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Summary must expose the load-imbalance diagnosis.
+    let s = stdout(&o);
+    assert!(s.contains("imbalance"), "{s}");
+    assert!(s.contains("latency histograms"), "{s}");
+
+    // The trace file is valid Trace Event Format: complete events with
+    // ph/ts/dur/tid, at least one per worker thread and the coordinator.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = sg_json::parse(&text).expect("trace file must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("trace has a traceEvents array");
+    assert!(!events.is_empty());
+    let mut tids_seen = std::collections::BTreeSet::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"), "{ev:?}");
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("ts present");
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("dur present");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).expect("tid present") as u64;
+        assert!(tid <= workers, "tid {tid} out of range");
+        tids_seen.insert(tid);
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+    }
+    for tid in 0..=workers {
+        assert!(tids_seen.contains(&tid), "no events for thread {tid}");
+    }
+
+    // The sg metadata key carries regions and provenance.
+    let sg = doc.get("sg").expect("sg metadata present");
+    assert!(sg.get("provenance").is_some());
+    let regions = sg.get("regions").and_then(|r| r.as_object()).unwrap();
+    assert!(!regions.is_empty(), "regions report must not be empty");
+    for (key, stat) in regions {
+        assert!(
+            stat.get("imbalance").and_then(|v| v.as_f64()).is_some(),
+            "region {key} lacks an imbalance ratio"
+        );
+    }
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn profile_failure_writes_no_trace() {
+    let trace = temp_path("profile-bad.json");
+    let o = sgtool(&[
+        "profile",
+        "--dims",
+        "3",
+        "--level",
+        "4",
+        "--function",
+        "nope",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown function"));
+    assert!(!trace.exists(), "no trace on failure");
 }
 
 #[test]
