@@ -395,7 +395,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         );
     }
 
-    println!("\nper-region load imbalance (busy/wait per worker, ms):");
+    println!("\nper-region load imbalance (busy/wait per worker, ms; chunks claimed per worker):");
     for r in &regions {
         let fmt_ms = |ns: &[u64]| -> String {
             ns.iter()
@@ -403,12 +403,19 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join("/")
         };
+        let fmt_n = |ns: &[u64]| -> String {
+            ns.iter()
+                .map(|&v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        };
         println!(
-            "  {:<38} x{:<5} busy [{}] wait [{}] imbalance {:.2}",
+            "  {:<38} x{:<5} busy [{}] wait [{}] chunks [{}] imbalance {:.2}",
             r.key(),
             r.count,
             fmt_ms(&r.busy_ns),
             fmt_ms(&r.wait_ns),
+            fmt_n(&r.chunks),
             r.imbalance()
         );
     }

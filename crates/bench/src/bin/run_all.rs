@@ -26,6 +26,19 @@ fn main() {
             ("fig9_sequential", vec!["--level", "5", "--repeats", "1"]),
             ("fig10_speedup", vec!["--level", "5", "--points", "2000"]),
             ("fig11_scalability", vec!["--level", "5", "--evals", "300"]),
+            (
+                "fig11_threads",
+                vec![
+                    "--level",
+                    "4",
+                    "--evals",
+                    "300",
+                    "--repeats",
+                    "2",
+                    "--max-threads",
+                    "4",
+                ],
+            ),
         ]
     } else {
         vec![
@@ -34,6 +47,7 @@ fn main() {
             ("fig9_sequential", vec![]),
             ("fig10_speedup", vec!["--ablations"]),
             ("fig11_scalability", vec![]),
+            ("fig11_threads", vec![]),
         ]
     };
 

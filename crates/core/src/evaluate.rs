@@ -195,7 +195,9 @@ pub fn evaluate_batch_parallel<T: Real>(grid: &CompactGrid<T>, xs: &[f64], block
     assert_eq!(xs.len() % d, 0, "flat point array length must be k·d");
     let chunk = block.max(1) * d;
     let n_chunks = xs.len().div_ceil(chunk);
-    sg_par::par_map_indexed_labeled(n_chunks, "core.evaluate.batch", None, |k| {
+    // Per-point cost varies with the basis-function path length, so
+    // claim one block at a time and let the pool balance dynamically.
+    sg_par::par_map_indexed_grained(n_chunks, 1, "core.evaluate.batch", None, |k| {
         let sub = &xs[k * chunk..((k + 1) * chunk).min(xs.len())];
         evaluate_batch_blocked(grid, sub, block)
     })

@@ -56,9 +56,10 @@ impl<T: Real> CompactGrid<T> {
         let mut grid = Self::new(spec);
         let d = spec.dim();
         let indexer = grid.indexer.clone();
-        sg_par::par_chunks_mut_labeled(
+        sg_par::par_chunks_mut_grained(
             &mut grid.values,
             CHUNK,
+            4,
             "core.grid.sample",
             None,
             |ci, chunk| {

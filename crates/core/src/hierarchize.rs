@@ -175,9 +175,13 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
             let indexer = &indexer;
-            sg_par::par_chunks_mut_labeled(
+            // Subspaces of fine groups are tiny (2^n points): hand the
+            // pool ~4096 points per claim so the shared-index atomic is
+            // amortized, while coarse groups still claim subspace-wise.
+            sg_par::par_chunks_mut_grained(
                 group,
                 sub_len,
+                (4096usize >> n).max(1),
                 "core.hierarchize.sweep",
                 Some(("group", n as u64)),
                 |k, chunk| {
@@ -265,9 +269,11 @@ pub fn dehierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             let sub_len = 1usize << n;
             let levels = &group_levels[n];
             let indexer = &indexer;
-            sg_par::par_chunks_mut_labeled(
+            // Same claim granularity rationale as the forward sweep.
+            sg_par::par_chunks_mut_grained(
                 group,
                 sub_len,
+                (4096usize >> n).max(1),
                 "core.dehierarchize.sweep",
                 Some(("group", n as u64)),
                 |k, chunk| {

@@ -1,25 +1,58 @@
 #![warn(missing_docs)]
 
-//! # sg-par — scoped-thread data parallelism
+//! # sg-par — persistent-pool data parallelism with dynamic chunk claiming
 //!
 //! The paper's parallel algorithms need exactly two primitives: a
 //! *chunked mutable sweep* (subspaces of one level group distributed over
 //! threads, with a barrier per group — paper §5.3) and an *ordered
 //! parallel map* (batch evaluation, one thread per block of query
-//! points). This crate provides both on `std::thread::scope` with
-//! deterministic static partitioning: thread `j` always receives the same
-//! contiguous range of work items, so parallel results are bitwise
-//! reproducible run to run regardless of scheduling.
+//! points). This crate provides both on a **persistent worker pool**
+//! (see [`pool`](self) internals): workers are spawned lazily on the
+//! first parallel region, park between regions, and claim work
+//! dynamically from a shared atomic index — a worker that finishes its
+//! claim steals the next one, so a descheduled or slow worker no longer
+//! stretches the closing barrier the way the old static contiguous
+//! partitioning did.
+//!
+//! ## Determinism
+//!
+//! Results are **bitwise identical** to the sequential path for every
+//! thread count and claim granularity: each work item (chunk or index)
+//! is claimed by exactly one worker, workers write disjoint output
+//! slices, and no reductions are reordered — which worker executes an
+//! item affects only timing, never values. The property tests in
+//! `tests/determinism.rs` pin this across thread counts {1, 2, 3, 8}.
+//!
+//! ## Thread count
+//!
+//! [`num_threads`] re-reads `SG_PAR_THREADS` on every call (it is *not*
+//! cached — an earlier revision latched it in a `OnceLock`, so changing
+//! the environment after the first region silently did nothing), and
+//! [`set_num_threads`] overrides it at runtime, growing or draining the
+//! pool. Pool worker slot ids are stable: slot `s` is always the same
+//! OS thread until a shrink retires it.
+//!
+//! ## Panics
+//!
+//! A panic inside a worker closure is caught on the worker, carried to
+//! the coordinator, and re-raised there with the **original payload**
+//! via [`std::panic::resume_unwind`] once every worker has finished —
+//! `#[should_panic(expected = "...")]` tests see the real message, and
+//! the pool stays usable afterwards.
+//!
+//! ## Telemetry
 //!
 //! With the `telemetry` cargo feature enabled, every parallel region
 //! accounts its barrier wait time — the sum over workers of how long each
 //! finished worker waited for the slowest one — under the
 //! `par.barrier_wait_ns` counter, and feeds the per-region load-imbalance
-//! table in [`sg_telemetry::regions`] with each worker slot's busy and
-//! wait nanoseconds. The `*_labeled` variants let callers name the region
-//! (e.g. `core.hierarchize.sweep` with `("group", 5)`) so each
-//! hierarchization level group shows up as its own line — the direct
-//! diagnostic for the paper's Fig. 11 speedup flattening.
+//! table in [`sg_telemetry::regions`] with each worker slot's busy/wait
+//! nanoseconds and claimed work-item count. The `*_labeled` variants let
+//! callers name the region (e.g. `core.hierarchize.sweep` with
+//! `("group", 5)`) so each hierarchization level group shows up as its
+//! own line — the direct diagnostic for the paper's Fig. 11 speedup
+//! flattening. Regions with **no work items** are skipped entirely: an
+//! empty input records neither a region nor a busy worker slot.
 //!
 //! When tracing is additionally enabled ([`sg_telemetry::trace::enable`],
 //! done by `sgtool profile`), each region also emits Chrome Trace Event
@@ -29,7 +62,13 @@
 //! `par.barrier_wait` event per non-slowest worker covering its idle gap
 //! at the implicit barrier.
 
-use std::sync::OnceLock;
+mod pool;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use pool::lock_no_poison;
 
 #[cfg(feature = "telemetry")]
 use std::time::Instant;
@@ -45,50 +84,78 @@ static REGIONS: sg_telemetry::Counter = sg_telemetry::Counter::new("par.regions"
 /// blurring them into one total.
 pub type RegionArg = Option<(&'static str, u64)>;
 
-/// Number of worker threads parallel regions will use: the
-/// `SG_PAR_THREADS` environment variable if set, otherwise
-/// [`std::thread::available_parallelism`].
+/// Explicit thread-count override installed by [`set_num_threads`]
+/// (0 = none; fall back to the environment).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of threads parallel regions will use (including the calling
+/// thread, which participates as worker slot 0): the value last passed
+/// to [`set_num_threads`] if any, else the `SG_PAR_THREADS` environment
+/// variable — re-read on every call, so changing it between regions
+/// takes effect — else [`std::thread::available_parallelism`].
 pub fn num_threads() -> usize {
-    static CACHE: OnceLock<usize> = OnceLock::new();
-    *CACHE.get_or_init(|| {
-        if let Ok(v) = std::env::var("SG_PAR_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                return n.max(1);
-            }
+    let configured = CONFIGURED.load(Ordering::SeqCst);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("SG_PAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    })
+    }
+    static HARDWARE: OnceLock<usize> = OnceLock::new();
+    *HARDWARE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-/// Split `n` work items into at most `k` contiguous ranges of
-/// near-equal length (the first `n % k` ranges get one extra item).
-fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
-    let k = k.min(n).max(1);
-    let base = n / k;
-    let extra = n % k;
-    let mut out = Vec::with_capacity(k);
-    let mut start = 0;
-    for j in 0..k {
-        let len = base + usize::from(j < extra);
-        out.push(start..start + len);
-        start += len;
+/// Set the thread count for subsequent parallel regions at runtime,
+/// overriding `SG_PAR_THREADS`. Clamped to a minimum of 1;
+/// `set_num_threads(1)` drains the worker pool (parked workers exit).
+/// Growing is lazy: missing workers are spawned by the next region that
+/// needs them. Thread-safe; a region already in flight keeps the width
+/// it started with.
+pub fn set_num_threads(n: usize) {
+    let n = n.max(1);
+    CONFIGURED.store(n, Ordering::SeqCst);
+    pool::set_target_width(n);
+    #[cfg(feature = "telemetry")]
+    sg_telemetry::set_threads_hint(n);
+}
+
+/// Number of currently live pool worker threads (the calling-thread
+/// slot is not counted). Shrinks triggered by [`set_num_threads`] are
+/// asynchronous — workers exit as they wake — so this converges to
+/// `n - 1` rather than jumping.
+pub fn pool_workers() -> usize {
+    pool::live_workers()
+}
+
+/// How many consecutive work items one shared-index claim hands a
+/// worker: honours the caller's `hint` (0 = automatic) but never exceeds
+/// `n_items / (4k)`, so every worker can expect several claims — dynamic
+/// claiming only balances load while there is spare work to steal.
+fn effective_grain(hint: usize, n_items: usize, k: usize) -> usize {
+    let cap = n_items.div_ceil(4 * k).max(1);
+    if hint == 0 {
+        cap
+    } else {
+        hint.min(cap)
     }
-    debug_assert_eq!(start, n);
-    out
 }
 
 /// Close the books on one parallel region: `times[slot]` is worker
-/// `slot`'s `(start, end)`. Accumulates the barrier-wait counter, feeds
-/// the per-region imbalance table, and — when tracing — emits the
-/// coordinator-side events (`par.region` on lane 0, one
-/// `par.barrier_wait` per idle worker). Worker `par.worker` events were
-/// already recorded by the workers themselves.
+/// `slot`'s `(start, end)` and `chunks[slot]` its claimed work items.
+/// Accumulates the barrier-wait counter, feeds the per-region imbalance
+/// table, and — when tracing — emits the coordinator-side events
+/// (`par.region` on lane 0, one `par.barrier_wait` per idle worker).
+/// Worker `par.worker` events were already recorded by the workers
+/// themselves.
 #[cfg(feature = "telemetry")]
 fn finish_region(
     label: &'static str,
     arg: RegionArg,
     region_start: Instant,
     times: &[(Instant, Instant)],
+    chunks: &[u64],
 ) {
     let Some(last) = times.iter().map(|&(_, end)| end).max() else {
         return;
@@ -103,7 +170,7 @@ fn finish_region(
         .collect();
     BARRIER_WAIT_NS.add(wait.iter().sum());
     REGIONS.add(1);
-    sg_telemetry::regions::record_region(label, arg, &busy, &wait);
+    sg_telemetry::regions::record_region(label, arg, &busy, &wait, chunks);
     if sg_telemetry::trace::is_enabled() {
         for (slot, &(_, end)) in times.iter().enumerate() {
             if end < last {
@@ -117,13 +184,14 @@ fn finish_region(
 /// Sequential-fallback accounting: the whole region ran inline on the
 /// calling thread, which counts as a single worker slot (so small level
 /// groups still appear in the imbalance report, with a trivially
-/// balanced breakdown).
+/// balanced breakdown). Only called for regions with at least one work
+/// item — empty inputs skip accounting entirely.
 #[cfg(feature = "telemetry")]
-fn finish_sequential(label: &'static str, arg: RegionArg, start: Instant) {
+fn finish_sequential(label: &'static str, arg: RegionArg, start: Instant, items: u64) {
     let end = Instant::now();
     let busy = [end.duration_since(start).as_nanos() as u64];
     REGIONS.add(1);
-    sg_telemetry::regions::record_region(label, arg, &busy, &[0]);
+    sg_telemetry::regions::record_region(label, arg, &busy, &[0], &[items]);
     if sg_telemetry::trace::is_enabled() {
         sg_telemetry::trace::record("par.worker", 1, start, end, arg);
         sg_telemetry::trace::record("par.region", 0, start, end, arg);
@@ -132,9 +200,9 @@ fn finish_sequential(label: &'static str, arg: RegionArg, start: Instant) {
 
 /// Worker-side epilogue, called on the worker thread right before its
 /// closure returns: emit the `par.worker` trace event for this slot and
-/// flush the thread's ring into the global pool (thread-exit TLS
-/// destructors are not ordered before the scope join, so the explicit
-/// flush is what guarantees the coordinator sees the events).
+/// flush the thread's ring into the global pool (pool workers park
+/// between regions, so without the explicit flush their rings would sit
+/// unread until the thread eventually exits).
 #[cfg(feature = "telemetry")]
 fn finish_worker(slot: usize, arg: RegionArg, start: Instant) -> (Instant, Instant) {
     let end = Instant::now();
@@ -145,13 +213,92 @@ fn finish_worker(slot: usize, arg: RegionArg, start: Instant) -> (Instant, Insta
     (start, end)
 }
 
+/// A raw pointer that may cross threads: the claim loops hand each
+/// worker disjoint element ranges of the pointee, so no two threads
+/// ever alias the same element.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: disjointness is guaranteed by the single atomic claim index —
+// each item index is returned by `fetch_add` exactly once.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// One slot's telemetry record: its `(start, end)` span plus how many
+/// work items it claimed.
+#[cfg(feature = "telemetry")]
+type SlotRecord = Mutex<Option<((Instant, Instant), u64)>>;
+
+/// Run `work(slot)` on every slot in `0..k` (slot 0 inline, the rest on
+/// pool workers), catching worker panics and re-raising the first
+/// payload on the caller after the region completes. `work` returns the
+/// number of work items the slot claimed, for the telemetry table.
+fn run_pooled<W>(k: usize, label: &'static str, arg: RegionArg, work: &W)
+where
+    W: Fn(usize) -> u64 + Sync,
+{
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (label, arg);
+    #[cfg(feature = "telemetry")]
+    let region_start = Instant::now();
+    #[cfg(feature = "telemetry")]
+    let records: Vec<SlotRecord> = (0..k).map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let body = |slot: usize| {
+        let was_nested = pool::enter_region();
+        #[cfg(feature = "telemetry")]
+        let t_start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| work(slot)));
+        pool::exit_region(was_nested);
+        #[cfg(feature = "telemetry")]
+        {
+            let span = finish_worker(slot, arg, t_start);
+            let claimed = outcome.as_ref().map_or(0, |&c| c);
+            *lock_no_poison(&records[slot]) = Some((span, claimed));
+        }
+        if let Err(payload) = outcome {
+            let mut slot = lock_no_poison(&first_panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    };
+    pool::run_region(k, &body);
+
+    let panicked = lock_no_poison(&first_panic).take();
+    if let Some(payload) = panicked {
+        // Every worker has reached the barrier, so no reference into
+        // this stack frame survives the unwind.
+        resume_unwind(payload);
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        let mut times = Vec::with_capacity(k);
+        let mut chunks = Vec::with_capacity(k);
+        for record in &records {
+            let (span, claimed) = lock_no_poison(record).expect("pool slot left no record");
+            times.push(span);
+            chunks.push(claimed);
+        }
+        finish_region(label, arg, region_start, &times, &chunks);
+    }
+}
+
 /// Run `f(chunk_index, chunk)` for every consecutive `chunk_len`-sized
-/// chunk of `data` (the final chunk may be shorter), distributing
-/// contiguous runs of chunks over threads. Returns after all chunks are
-/// processed — the call is the barrier.
+/// chunk of `data` (the final chunk may be shorter), with chunks claimed
+/// dynamically by the worker pool. Returns after all chunks are
+/// processed — the call is the barrier. Results are bitwise identical
+/// to the sequential loop for every thread count.
 ///
-/// Panics if `chunk_len == 0`. Falls back to a sequential loop when the
-/// data is small or one thread is available.
+/// Panics if `chunk_len == 0`, and re-raises (with its original
+/// payload) any panic from `f`. Runs inline when the data is small, one
+/// thread is configured, or the caller is already inside a parallel
+/// region (nested regions do not wait on the pool they occupy).
 ///
 /// Telemetry attributes the region to the generic `par.chunks_mut`
 /// label; use [`par_chunks_mut_labeled`] to name the region.
@@ -164,10 +311,10 @@ where
 }
 
 /// [`par_chunks_mut`] with a named region: telemetry accounts the
-/// barrier wait, per-worker busy/wait breakdown, and trace events under
-/// `label` (plus the optional distinguishing `arg`, e.g.
+/// barrier wait, per-worker busy/wait/claims breakdown, and trace events
+/// under `label` (plus the optional distinguishing `arg`, e.g.
 /// `("group", 5)`). In a build without the `telemetry` feature the label
-/// is ignored and this is exactly [`par_chunks_mut`].
+/// is ignored.
 pub fn par_chunks_mut_labeled<T, F>(
     data: &mut [T],
     chunk_len: usize,
@@ -178,67 +325,85 @@ pub fn par_chunks_mut_labeled<T, F>(
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_grained(data, chunk_len, 0, label, arg, f);
+}
+
+/// [`par_chunks_mut_labeled`] with an explicit claim granularity hint:
+/// `grain` consecutive chunks are handed out per shared-index claim
+/// (0 = automatic). Callers whose chunks are tiny relative to their
+/// count (e.g. the fine level groups of a hierarchization sweep) pass a
+/// larger grain to amortize the atomic; the library caps the hint so
+/// several claims per worker always remain available to steal.
+pub fn par_chunks_mut_grained<T, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    grain: usize,
+    label: &'static str,
+    arg: RegionArg,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     #[cfg(not(feature = "telemetry"))]
     let _ = (label, arg);
     assert!(chunk_len > 0, "chunk length must be positive");
-    let n_chunks = data.len().div_ceil(chunk_len);
+    if data.is_empty() {
+        // No work items: no region, no accounting, no busy slot.
+        return;
+    }
+    let len = data.len();
+    let n_chunks = len.div_ceil(chunk_len);
     let k = num_threads().min(n_chunks);
-    if k <= 1 {
+    if k <= 1 || pool::in_region() {
         #[cfg(feature = "telemetry")]
         let t0 = Instant::now();
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(ci, chunk);
         }
         #[cfg(feature = "telemetry")]
-        finish_sequential(label, arg, t0);
+        finish_sequential(label, arg, t0, n_chunks as u64);
         return;
     }
-    let spans = ranges(n_chunks, k);
+    let grain = effective_grain(grain, n_chunks, k);
+    let n_claims = n_chunks.div_ceil(grain);
+    let next = AtomicUsize::new(0);
+    let base = SendPtr(data.as_mut_ptr());
     let f = &f;
-    // Split the data into one contiguous sub-slice per thread along the
-    // chunk-range boundaries.
-    let mut parts: Vec<(usize, usize, &mut [T])> = Vec::with_capacity(k);
-    let mut rest = data;
-    for (slot, span) in spans.iter().enumerate() {
-        let items = ((span.end - span.start) * chunk_len).min(rest.len());
-        let (head, tail) = rest.split_at_mut(items);
-        parts.push((slot, span.start, head));
-        rest = tail;
-    }
-    #[cfg(feature = "telemetry")]
-    let region_start = Instant::now();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(parts.len());
-        for (slot, first_chunk, part) in parts {
-            let _ = slot;
-            handles.push(scope.spawn(move || {
-                #[cfg(feature = "telemetry")]
-                let t_start = Instant::now();
-                for (off, chunk) in part.chunks_mut(chunk_len).enumerate() {
-                    f(first_chunk + off, chunk);
-                }
-                #[cfg(feature = "telemetry")]
-                return finish_worker(slot, arg, t_start);
-                #[cfg(not(feature = "telemetry"))]
-                #[allow(unreachable_code)]
-                ()
-            }));
+    run_pooled(k, label, arg, &move |_slot| {
+        // `move` + this rebind capture the `SendPtr` wrapper itself;
+        // disjoint capture would otherwise grab the bare `*mut T`,
+        // which is not `Send`.
+        let base = base;
+        let mut claimed = 0u64;
+        loop {
+            let claim = next.fetch_add(1, Ordering::Relaxed);
+            if claim >= n_claims {
+                break;
+            }
+            let first = claim * grain;
+            let last = (first + grain).min(n_chunks);
+            for ci in first..last {
+                let start = ci * chunk_len;
+                let end = (start + chunk_len).min(len);
+                // SAFETY: `fetch_add` hands out each claim exactly once
+                // and chunk ranges of distinct indices are disjoint, so
+                // this is the only live reference to these elements; the
+                // pointee outlives the region (the caller is blocked in
+                // `run_pooled` until every worker finishes).
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                f(ci, chunk);
+            }
+            claimed += (last - first) as u64;
         }
-        #[cfg(feature = "telemetry")]
-        {
-            let times: Vec<(Instant, Instant)> =
-                handles.into_iter().map(|h| h.join().unwrap()).collect();
-            finish_region(label, arg, region_start, &times);
-        }
-        #[cfg(not(feature = "telemetry"))]
-        for h in handles {
-            h.join().unwrap();
-        }
+        claimed
     });
 }
 
 /// Ordered parallel map over `0..n`: returns `vec![f(0), f(1), …]` with
-/// work distributed in contiguous index ranges.
+/// indices claimed dynamically by the worker pool. Output order — and
+/// every bit of the output — is independent of the thread count.
 ///
 /// Telemetry attributes the region to the generic `par.map` label; use
 /// [`par_map_indexed_labeled`] to name the region.
@@ -257,55 +422,67 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_indexed_grained(n, 0, label, arg, f)
+}
+
+/// [`par_map_indexed_labeled`] with an explicit claim granularity hint
+/// (`grain` consecutive indices per claim, 0 = automatic) — see
+/// [`par_chunks_mut_grained`].
+pub fn par_map_indexed_grained<R, F>(
+    n: usize,
+    grain: usize,
+    label: &'static str,
+    arg: RegionArg,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     #[cfg(not(feature = "telemetry"))]
     let _ = (label, arg);
+    if n == 0 {
+        // No work items: no region, no accounting, no busy slot.
+        return Vec::new();
+    }
     let k = num_threads().min(n);
-    if k <= 1 {
+    if k <= 1 || pool::in_region() {
         #[cfg(feature = "telemetry")]
         let t0 = Instant::now();
         let out = (0..n).map(f).collect();
         #[cfg(feature = "telemetry")]
-        finish_sequential(label, arg, t0);
+        finish_sequential(label, arg, t0, n as u64);
         return out;
     }
+    let grain = effective_grain(grain, n, k);
+    let n_claims = n.div_ceil(grain);
+    let next = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let spans = ranges(n, k);
+    let base = SendPtr(out.as_mut_ptr());
     let f = &f;
-    #[cfg(feature = "telemetry")]
-    let region_start = Instant::now();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(k);
-        let mut rest = out.as_mut_slice();
-        for (slot, span) in spans.iter().enumerate() {
-            let _ = slot;
-            let (head, tail) = rest.split_at_mut(span.end - span.start);
-            rest = tail;
-            let start = span.start;
-            handles.push(scope.spawn(move || {
-                #[cfg(feature = "telemetry")]
-                let t_start = Instant::now();
-                for (off, item) in head.iter_mut().enumerate() {
-                    *item = Some(f(start + off));
-                }
-                #[cfg(feature = "telemetry")]
-                return finish_worker(slot, arg, t_start);
-                #[cfg(not(feature = "telemetry"))]
-                #[allow(unreachable_code)]
-                ()
-            }));
+    run_pooled(k, label, arg, &move |_slot| {
+        let base = base; // capture the `SendPtr`, not the bare pointer
+        let mut claimed = 0u64;
+        loop {
+            let claim = next.fetch_add(1, Ordering::Relaxed);
+            if claim >= n_claims {
+                break;
+            }
+            let first = claim * grain;
+            let last = (first + grain).min(n);
+            for i in first..last {
+                // SAFETY: index `i` belongs to exactly one claim, so no
+                // other thread touches this element; the `Vec` outlives
+                // the region (the caller is blocked in `run_pooled`).
+                unsafe { *base.0.add(i) = Some(f(i)) };
+            }
+            claimed += (last - first) as u64;
         }
-        #[cfg(feature = "telemetry")]
-        {
-            let times: Vec<(Instant, Instant)> =
-                handles.into_iter().map(|h| h.join().unwrap()).collect();
-            finish_region(label, arg, region_start, &times);
-        }
-        #[cfg(not(feature = "telemetry"))]
-        for h in handles {
-            h.join().unwrap();
-        }
+        claimed
     });
-    out.into_iter().map(|r| r.unwrap()).collect()
+    out.into_iter()
+        .map(|r| r.expect("claim loop covered every index"))
+        .collect()
 }
 
 /// Ordered parallel map over a slice.
@@ -323,21 +500,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ranges_cover_exactly() {
-        for n in [0usize, 1, 5, 16, 17, 1000] {
-            for k in [1usize, 2, 3, 7, 64] {
-                let r = ranges(n, k);
-                let total: usize = r.iter().map(|s| s.end - s.start).sum();
-                assert_eq!(total, n, "n={n} k={k}");
-                for w in r.windows(2) {
-                    assert_eq!(w[0].end, w[1].start);
-                    // Balanced to within one item.
-                    let a = w[0].end - w[0].start;
-                    let b = w[1].end - w[1].start;
-                    assert!(a == b || a == b + 1);
-                }
-            }
-        }
+    fn effective_grain_caps_to_stealable_claims() {
+        // Auto grain: ~4 claims per worker.
+        assert_eq!(effective_grain(0, 1000, 4), 63);
+        // Hints are honoured below the cap, clamped above it.
+        assert_eq!(effective_grain(8, 1000, 4), 8);
+        assert_eq!(effective_grain(500, 1000, 4), 63);
+        // Degenerate shapes still claim at least one item at a time.
+        assert_eq!(effective_grain(0, 1, 8), 1);
+        assert_eq!(effective_grain(9999, 2, 2), 1);
     }
 
     #[test]
@@ -387,6 +558,49 @@ mod tests {
     }
 
     #[test]
+    fn nested_regions_run_inline_and_stay_correct() {
+        // sg-sim nests par_chunks_mut inside par_map; the inner region
+        // must not wait on the pool the outer region occupies.
+        let out = par_map_indexed(8, |outer| {
+            let mut inner: Vec<u64> = vec![0; 257];
+            par_chunks_mut(&mut inner, 16, |ci, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (outer * 10_000 + ci * 16 + k) as u64;
+                }
+            });
+            inner.iter().sum::<u64>()
+        });
+        for (outer, &sum) in out.iter().enumerate() {
+            let expect: u64 = (0..257u64).map(|j| outer as u64 * 10_000 + j).sum();
+            assert_eq!(sum, expect, "outer={outer}");
+        }
+    }
+
+    #[test]
+    fn grained_variants_compute_the_same_results() {
+        for grain in [0usize, 1, 3, 64] {
+            let mut data: Vec<u64> = vec![0; 777];
+            par_chunks_mut_grained(
+                &mut data,
+                8,
+                grain,
+                "test.par.grained_sweep",
+                None,
+                |ci, c| {
+                    for (k, v) in c.iter_mut().enumerate() {
+                        *v = (ci * 8 + k) as u64;
+                    }
+                },
+            );
+            for (k, &v) in data.iter().enumerate() {
+                assert_eq!(v, k as u64, "grain={grain}");
+            }
+            let out = par_map_indexed_grained(123, grain, "test.par.grained_map", None, |k| 3 * k);
+            assert_eq!(out, (0..123).map(|k| 3 * k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
     fn labeled_variants_compute_the_same_results() {
         let mut data: Vec<u64> = vec![0; 777];
         par_chunks_mut_labeled(
@@ -409,7 +623,8 @@ mod tests {
 
     /// Labeled regions land in the telemetry imbalance table, with one
     /// busy/wait slot per worker (or one slot for the sequential
-    /// fallback) and the counters bumped.
+    /// fallback), the claimed-chunk counts summing to the chunk count,
+    /// and the counters bumped.
     #[cfg(feature = "telemetry")]
     #[test]
     fn labeled_region_is_accounted() {
@@ -431,9 +646,11 @@ mod tests {
             .find(|s| s.label == "test.par.accounted" && s.arg == Some(("group", 7)))
             .expect("labeled region recorded");
         assert_eq!(stat.count, 1);
-        let expected_workers = num_threads().clamp(1, 4096 / 16);
-        assert_eq!(stat.busy_ns.len(), expected_workers);
-        assert_eq!(stat.wait_ns.len(), expected_workers);
+        assert!(!stat.busy_ns.is_empty());
+        assert_eq!(stat.busy_ns.len(), stat.wait_ns.len());
+        assert_eq!(stat.busy_ns.len(), stat.chunks.len());
+        let total_claimed: u64 = stat.chunks.iter().sum();
+        assert_eq!(total_claimed, 4096 / 16, "every chunk claimed exactly once");
         assert!(stat.imbalance() >= 1.0);
         assert!(sg_telemetry::snapshot().counter("par.regions").unwrap_or(0) >= 1);
     }

@@ -1,0 +1,248 @@
+//! The persistent worker pool behind every parallel region.
+//!
+//! One process-wide pool of OS threads replaces the spawn-per-region
+//! `std::thread::scope` of earlier revisions: hierarchization alone
+//! opens `d × n` regions per call, and on the small level groups the
+//! spawn/join cost dominated the actual sweep (visible as per-region
+//! gaps in the Chrome trace). Workers are created lazily on the first
+//! region that needs them, park on a condvar between regions, and keep
+//! **stable slot ids** — pool thread `s` always executes worker slot
+//! `s`, so sg-telemetry's per-slot imbalance table and trace lanes
+//! (`tid = slot + 1`) stay meaningful across regions.
+//!
+//! ## Protocol
+//!
+//! A region coordinator (the thread calling `par_chunks_mut` & co.)
+//! serializes on [`Pool::region_lock`], publishes one type-erased
+//! [`Job`] under the state mutex — spawning any missing workers in the
+//! same critical section, so a concurrent [`set_target_width`] shrink
+//! can never leave a published job without its participants — then runs
+//! slot 0 itself and blocks on `done_cv` until every pool participant
+//! has decremented `pending`. Workers run `job.run(ctx, slot)` exactly
+//! once per epoch; the closure behind that pointer lives on the
+//! coordinator's stack, which is safe because the coordinator cannot
+//! return (or unwind) past the `pending == 0` wait.
+//!
+//! ## Nesting
+//!
+//! A region entered from inside a worker (or from the coordinator's own
+//! slot-0 closure) must not wait on the pool it is already occupying:
+//! [`in_region`] flags those threads and the public entry points degrade
+//! to the inline sequential path — same results, no deadlock.
+//!
+//! ## Shutdown
+//!
+//! [`set_target_width`] stores the desired width and wakes the pool;
+//! parked workers whose slot exceeds the new width exit their loop
+//! (highest slots first, keeping live slots contiguous), so
+//! `set_num_threads(1)` drains the pool completely. Threads still
+//! parked at process exit are reaped by the OS; they hold no buffered
+//! state (trace rings are flushed at the end of every region).
+
+use std::cell::Cell;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// One published parallel region, type-erased so the pool can store it.
+///
+/// `ctx` points at a closure on the coordinator's stack; `run` is the
+/// monomorphized trampoline that downcasts and calls it. The closure is
+/// required (by `run_region`'s contract) to catch panics internally, so
+/// `run` never unwinds into the worker loop.
+#[derive(Copy, Clone)]
+struct Job {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    /// Participating slots are `0..width`; slot 0 is the coordinator.
+    width: usize,
+}
+
+// SAFETY: `ctx` is only dereferenced through `run` while the publishing
+// coordinator is blocked inside `run_region`, and the closure it points
+// to is `Sync` (enforced by the `B: Sync` bound on `run_region`).
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    /// Bumped once per published job so a worker can tell a fresh job
+    /// from one it already executed.
+    epoch: u64,
+    /// Pool participants of the current job that have not finished.
+    pending: usize,
+    /// Desired number of pool worker threads (region width − 1).
+    target_workers: usize,
+    /// Live pool threads; their slots are exactly `1..=live`.
+    live: usize,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The coordinator parks here until `pending == 0`.
+    done_cv: Condvar,
+    /// Serializes whole regions from concurrent coordinator threads.
+    region_lock: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(State {
+            job: None,
+            epoch: 0,
+            pending: 0,
+            target_workers: 0,
+            live: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        region_lock: Mutex::new(()),
+    })
+}
+
+/// Lock, treating poisoning as benign: the pool's invariants hold at
+/// every unlock point (a panicking region unwinds from `run_region`
+/// only after `pending == 0`), so a poisoned flag carries no
+/// information.
+pub(crate) fn lock_no_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// True while this thread is executing inside a parallel region —
+    /// set for the lifetime of pool workers and around the
+    /// coordinator's own slot-0 participation.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling thread is already inside a parallel region (in
+/// which case a nested region must run inline rather than wait on the
+/// pool it occupies).
+pub(crate) fn in_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+/// Mark the calling thread as inside a region; returns the previous
+/// flag for [`exit_region`] to restore (workers stay flagged for life).
+pub(crate) fn enter_region() -> bool {
+    IN_REGION.with(|c| c.replace(true))
+}
+
+/// Restore the flag saved by [`enter_region`].
+pub(crate) fn exit_region(prev: bool) {
+    IN_REGION.with(|c| c.set(prev));
+}
+
+/// Resize the pool: `total` is the desired region width including the
+/// coordinator slot, so `total - 1` pool workers are kept. Excess
+/// parked workers wake up and exit; missing ones are spawned lazily by
+/// the next region that needs them.
+pub(crate) fn set_target_width(total: usize) {
+    let p = pool();
+    let mut st = lock_no_poison(&p.state);
+    st.target_workers = total.saturating_sub(1);
+    drop(st);
+    p.work_cv.notify_all();
+}
+
+/// Number of currently live pool worker threads (excluding the
+/// coordinator slot). Exits triggered by [`set_target_width`] are
+/// asynchronous, so after a shrink this converges rather than jumps.
+pub(crate) fn live_workers() -> usize {
+    lock_no_poison(&pool().state).live
+}
+
+fn worker_loop(slot: usize) {
+    // Workers count as "inside a region" for their whole life: any
+    // region entered from worker code must take the inline path.
+    IN_REGION.with(|c| c.set(true));
+    let p = pool();
+    let mut seen_epoch = 0u64;
+    let mut st = lock_no_poison(&p.state);
+    loop {
+        if let Some(job) = st.job {
+            if st.epoch != seen_epoch {
+                // A fresh job: remember it either way; run it if this
+                // slot participates. The job check precedes the exit
+                // check, so a worker can never abandon a published job
+                // it is counted in.
+                seen_epoch = st.epoch;
+                if slot < job.width {
+                    drop(st);
+                    // SAFETY: the coordinator is blocked in
+                    // `run_region` until `pending` hits zero, keeping
+                    // `ctx` alive; `run` catches panics internally.
+                    unsafe { (job.run)(job.ctx, slot) };
+                    st = lock_no_poison(&p.state);
+                    st.pending -= 1;
+                    if st.pending == 0 {
+                        st.job = None;
+                        p.done_cv.notify_all();
+                    }
+                    continue;
+                }
+            }
+        }
+        if slot > st.target_workers && slot == st.live {
+            // Shrink: ONLY the highest live slot may exit, cascading
+            // top-down one worker per wakeup. Anything looser lets a
+            // mid-stack slot exit while a higher one is still running a
+            // job, leaving a hole that the `live` counter cannot see —
+            // the next spawn would then duplicate a live slot id and
+            // double-decrement `pending`.
+            st.live -= 1;
+            p.work_cv.notify_all();
+            return;
+        }
+        st = p.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+unsafe fn run_erased<B: Fn(usize) + Sync>(ctx: *const (), slot: usize) {
+    // SAFETY: `ctx` was created from a `&B` in `run_region` and is kept
+    // alive by the coordinator blocking there (see `Job`).
+    let body = unsafe { &*(ctx as *const B) };
+    body(slot);
+}
+
+/// Execute `body(slot)` for every slot in `0..width` — slot 0 on the
+/// calling thread, slots `1..width` on persistent pool workers — and
+/// return once all of them have finished (the call is the barrier).
+///
+/// Contract: `width >= 2`, and `body` must not unwind — the typed layer
+/// wraps user closures in `catch_unwind` and carries the payload out by
+/// value, which is also what keeps the worker loop alive across panics.
+pub(crate) fn run_region<B: Fn(usize) + Sync>(width: usize, body: &B) {
+    debug_assert!(width >= 2, "width-1 regions take the sequential path");
+    let p = pool();
+    let _region = lock_no_poison(&p.region_lock);
+    {
+        let mut st = lock_no_poison(&p.state);
+        // Never let a concurrent shrink drop below what this region
+        // needs: participants must survive until the job completes.
+        st.target_workers = st.target_workers.max(width - 1);
+        while st.live < width - 1 {
+            let slot = st.live + 1;
+            std::thread::Builder::new()
+                .name(format!("sg-par-{slot}"))
+                .spawn(move || worker_loop(slot))
+                .expect("spawning an sg-par pool worker failed");
+            st.live += 1;
+        }
+        st.epoch = st.epoch.wrapping_add(1);
+        st.pending = width - 1;
+        st.job = Some(Job {
+            run: run_erased::<B>,
+            ctx: body as *const B as *const (),
+            width,
+        });
+    }
+    p.work_cv.notify_all();
+
+    body(0);
+
+    let mut st = lock_no_poison(&p.state);
+    while st.pending > 0 {
+        st = p.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property: `par_chunks_mut` / `par_map_indexed` outputs are **bitwise
+//! identical** across thread counts {1, 2, 3, 8} and claim
+//! granularities, including non-divisible shapes — the tentpole
+//! guarantee of the persistent pool (ISSUE 3): which worker claims a
+//! chunk may change every run, what gets written never does.
+//!
+//! Own integration-test binary: `set_num_threads` is process-global, so
+//! these sweeps must not share a process with tests that pin their own
+//! width mid-flight.
+
+use sg_prop::{run_cases, Rng};
+
+/// A deliberately order-sensitive float: accumulates non-associatively
+/// from the global index, so any cross-chunk reordering or double-write
+/// changes bits.
+fn scramble(i: usize, salt: u64) -> f64 {
+    let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    let a = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (a + 1e-9 * i as f64) * (1.0 + a) - a.sqrt()
+}
+
+#[test]
+fn chunked_sweep_is_bitwise_identical_across_thread_counts() {
+    run_cases("par.determinism.chunks_mut", 40, |rng: &mut Rng| {
+        let n = rng.usize_in(0..=3000);
+        let chunk_len = rng.usize_in(1..=130); // often non-divisible
+        let grain = rng.usize_in(0..=9);
+        let salt = rng.next_u64();
+
+        sg_par::set_num_threads(1);
+        let mut reference: Vec<f64> = vec![0.0; n];
+        sg_par::par_chunks_mut_grained(
+            &mut reference,
+            chunk_len,
+            grain,
+            "test.par.determinism",
+            None,
+            |ci, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = scramble(ci * chunk_len + k, salt);
+                }
+            },
+        );
+
+        for p in [2usize, 3, 8] {
+            sg_par::set_num_threads(p);
+            let mut out: Vec<f64> = vec![0.0; n];
+            sg_par::par_chunks_mut_grained(
+                &mut out,
+                chunk_len,
+                grain,
+                "test.par.determinism",
+                None,
+                |ci, chunk| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = scramble(ci * chunk_len + k, salt);
+                    }
+                },
+            );
+            for (i, (&a, &b)) in reference.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "p={p} n={n} chunk_len={chunk_len} grain={grain} diverges at index {i}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn indexed_map_is_bitwise_identical_across_thread_counts() {
+    run_cases("par.determinism.map_indexed", 40, |rng: &mut Rng| {
+        let n = rng.usize_in(0..=2000);
+        let grain = rng.usize_in(0..=9);
+        let salt = rng.next_u64();
+
+        sg_par::set_num_threads(1);
+        let reference =
+            sg_par::par_map_indexed_grained(n, grain, "test.par.determinism", None, |i| {
+                scramble(i, salt)
+            });
+
+        for p in [2usize, 3, 8] {
+            sg_par::set_num_threads(p);
+            let out =
+                sg_par::par_map_indexed_grained(n, grain, "test.par.determinism", None, |i| {
+                    scramble(i, salt)
+                });
+            assert_eq!(reference.len(), out.len());
+            for (i, (&a, &b)) in reference.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "p={p} n={n} grain={grain} diverges at index {i}"
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,47 @@
+//! Regression test for the empty-input accounting bug (ISSUE 3): the
+//! telemetry sequential fallback used to record a region — and a busy
+//! worker slot — even when there was nothing to do, so
+//! `par_chunks_mut(&mut [], …)` polluted `par.regions` and the
+//! imbalance report with zero-work entries. Empty inputs must now skip
+//! accounting entirely.
+//!
+//! Own integration-test binary: pins the process-global `par.regions`
+//! counter, which any concurrently running region would disturb.
+#![cfg(feature = "telemetry")]
+
+#[test]
+fn empty_input_records_no_region() {
+    sg_par::set_num_threads(4);
+
+    let before = sg_telemetry::snapshot().counter("par.regions").unwrap_or(0);
+    sg_par::par_chunks_mut_labeled(
+        &mut [] as &mut [u64],
+        16,
+        "test.par.empty_chunks",
+        None,
+        |_, _| unreachable!("no chunks in an empty slice"),
+    );
+    let out = sg_par::par_map_indexed_labeled(0, "test.par.empty_map", None, |_| 0u8);
+    assert!(out.is_empty());
+    let after = sg_telemetry::snapshot().counter("par.regions").unwrap_or(0);
+    assert_eq!(after, before, "empty regions must not bump par.regions");
+    assert!(
+        !sg_telemetry::regions::report()
+            .iter()
+            .any(|s| s.label.starts_with("test.par.empty_")),
+        "empty regions must not enter the imbalance table"
+    );
+
+    // A non-empty region on the same labels still accounts normally.
+    let mut data = vec![0u64; 8];
+    sg_par::par_chunks_mut_labeled(&mut data, 4, "test.par.empty_chunks", None, |_, c| {
+        for v in c.iter_mut() {
+            *v = 1;
+        }
+    });
+    let counted = sg_telemetry::snapshot().counter("par.regions").unwrap_or(0);
+    assert_eq!(counted, before + 1);
+    assert!(sg_telemetry::regions::report()
+        .iter()
+        .any(|s| s.label == "test.par.empty_chunks"));
+}

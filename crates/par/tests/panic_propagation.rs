@@ -1,0 +1,52 @@
+//! Worker panics must reach the caller with their **original payload**
+//! (ISSUE 3 bugfix): the scoped-spawn implementation surfaced them as
+//! `h.join().unwrap()`, which aborted mid-join with a generic `Any`
+//! message. The pool catches the panic on the worker, carries it to the
+//! coordinator, and re-raises it there via `resume_unwind` — and stays
+//! usable afterwards.
+//!
+//! Own integration-test binary: pins the process-global thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+#[should_panic(expected = "boom from chunk 7")]
+fn worker_panic_payload_reaches_the_caller() {
+    sg_par::set_num_threads(4);
+    let mut data = vec![0u64; 1024];
+    // grain 1 so chunk 7 is its own claim and any slot may draw it.
+    sg_par::par_chunks_mut_grained(&mut data, 64, 1, "test.par.panic", None, |ci, chunk| {
+        if ci == 7 {
+            panic!("boom from chunk {ci}");
+        }
+        for v in chunk.iter_mut() {
+            *v = ci as u64;
+        }
+    });
+}
+
+#[test]
+fn pool_survives_a_panicked_region() {
+    sg_par::set_num_threads(4);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        sg_par::par_map_indexed(256, |i| {
+            if i == 40 {
+                panic!("interior failure at {i}");
+            }
+            i as u64
+        })
+    }));
+    let payload = caught.expect_err("the region must propagate the panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("payload survives as the original String");
+    assert_eq!(msg, "interior failure at 40");
+
+    // The same pool keeps serving regions correctly afterwards.
+    for _ in 0..10 {
+        let out = sg_par::par_map_indexed(999, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+}

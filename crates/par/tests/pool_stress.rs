@@ -1,0 +1,60 @@
+//! Pool stress: many tiny regions back-to-back, concurrent coordinator
+//! threads, interleaved resizes, and empty regions mixed in — the
+//! shutdown/flush race surface ISSUE 3's CI task asks to exercise. Any
+//! lost wakeup, duplicated slot, or claim-index race shows up here as a
+//! hang or a wrong value.
+//!
+//! Own integration-test binary: pins the process-global thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn many_tiny_regions_back_to_back() {
+    sg_par::set_num_threads(4);
+    let mut data = vec![0u64; 64];
+    for round in 0..2000u64 {
+        sg_par::par_chunks_mut(&mut data, 4, |ci, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = round * 1000 + (ci * 4 + k) as u64;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, round * 1000 + k as u64, "round {round}");
+        }
+        if round % 500 == 0 {
+            // Empty regions interleaved: must be free and unaccounted.
+            sg_par::par_chunks_mut(&mut [] as &mut [u64], 4, |_, _| unreachable!());
+        }
+    }
+}
+
+#[test]
+fn concurrent_coordinators_with_interleaved_resizes() {
+    sg_par::set_num_threads(3);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Several user threads all opening regions against one pool;
+        // the pool serializes them, results stay exact.
+        for who in 0..4u64 {
+            let total = &total;
+            s.spawn(move || {
+                for round in 0..50u64 {
+                    let out = sg_par::par_map_indexed(129, |i| i as u64 + who + round);
+                    let sum: u64 = out.iter().sum();
+                    let expect: u64 = (0..129u64).map(|i| i + who + round).sum();
+                    assert_eq!(sum, expect, "who={who} round={round}");
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // ...while another thread keeps resizing the pool under them.
+        s.spawn(|| {
+            for p in [1usize, 5, 2, 6, 3, 1, 4].iter().cycle().take(40) {
+                sg_par::set_num_threads(*p);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            sg_par::set_num_threads(3);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4 * 50);
+}

@@ -1,0 +1,63 @@
+//! Regression tests for the `num_threads` staleness bug (ISSUE 3): the
+//! old implementation latched `SG_PAR_THREADS` in a `OnceLock` on first
+//! use, so later environment changes — and any wish for p=4 after a p=1
+//! region had run — silently did nothing. The thread count must now
+//! re-read the environment on every call and honour runtime resizes.
+//!
+//! Own integration-test binary: both the environment and
+//! `set_num_threads` are process-global.
+
+#[test]
+fn thread_count_tracks_env_and_runtime_resizes() {
+    // The environment is re-read on every call, not cached forever.
+    std::env::set_var("SG_PAR_THREADS", "2");
+    assert_eq!(sg_par::num_threads(), 2);
+    std::env::set_var("SG_PAR_THREADS", "5");
+    assert_eq!(
+        sg_par::num_threads(),
+        5,
+        "env change after first use must take effect (OnceLock staleness regression)"
+    );
+
+    // A runtime resize overrides the environment...
+    sg_par::set_num_threads(3);
+    assert_eq!(sg_par::num_threads(), 3);
+    std::env::set_var("SG_PAR_THREADS", "7");
+    assert_eq!(sg_par::num_threads(), 3, "explicit override outranks env");
+
+    // ...is clamped to at least one thread...
+    sg_par::set_num_threads(0);
+    assert_eq!(sg_par::num_threads(), 1);
+
+    // ...and regions stay correct across a resize sequence, growing and
+    // draining the pool as they go.
+    for p in [1usize, 4, 2, 8, 3] {
+        sg_par::set_num_threads(p);
+        let mut data = vec![0u64; 1537];
+        sg_par::par_chunks_mut(&mut data, 32, |ci, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 32 + k) as u64 + 1;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u64 + 1, "p={p}");
+        }
+        let out = sg_par::par_map_indexed(611, |i| 3 * i as u64);
+        assert_eq!(out, (0..611).map(|i| 3 * i).collect::<Vec<u64>>(), "p={p}");
+    }
+
+    // After draining, the pool reports no live workers once the exits
+    // land; converge with a bounded spin (exits are asynchronous).
+    sg_par::set_num_threads(1);
+    for _ in 0..1000 {
+        if sg_par::pool_workers() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(
+        sg_par::pool_workers(),
+        0,
+        "set_num_threads(1) drains the pool"
+    );
+}

@@ -4,9 +4,8 @@
 //! thread into its own lock-free ring), a `par.region` event on the
 //! coordinator lane, and a per-worker imbalance entry.
 //!
-//! Own integration-test binary: it pins `SG_PAR_THREADS` before the
-//! first `num_threads()` call (the value is cached process-wide) and
-//! owns the process-global trace buffers.
+//! Own integration-test binary: it pins the process-global thread count
+//! via `set_num_threads` and owns the process-global trace buffers.
 #![cfg(feature = "telemetry")]
 
 use sg_telemetry::{regions, trace};
@@ -14,8 +13,7 @@ use sg_telemetry::{regions, trace};
 #[test]
 fn workers_record_into_their_rings() {
     const THREADS: usize = 4;
-    // Must precede the first num_threads() call in this process.
-    std::env::set_var("SG_PAR_THREADS", THREADS.to_string());
+    sg_par::set_num_threads(THREADS);
     assert_eq!(sg_par::num_threads(), THREADS);
 
     trace::enable();
@@ -62,4 +60,6 @@ fn workers_record_into_their_rings() {
         .expect("region accounted");
     assert_eq!(stat.busy_ns.len(), THREADS);
     assert!(stat.imbalance() >= 1.0);
+    // Dynamic claiming still covers every chunk exactly once.
+    assert_eq!(stat.chunks.iter().sum::<u64>(), 64 * 1024 / 256);
 }

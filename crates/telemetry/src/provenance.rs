@@ -7,6 +7,7 @@
 //! is indistinguishable from a hardware change.
 
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use sg_json::{json, Value};
@@ -92,10 +93,26 @@ fn iso8601_utc(secs: u64) -> String {
     format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
-/// The worker-thread count `sg-par` would use: `SG_PAR_THREADS` if set
-/// (mirroring `sg_par::num_threads`, which this crate cannot call
-/// without a dependency cycle), else available parallelism.
+/// Runtime override installed by [`set_threads_hint`] (0 = none).
+static THREADS_HINT: AtomicUsize = AtomicUsize::new(0);
+
+/// Tell provenance the thread count actually in use. Called by
+/// `sg_par::set_num_threads` (this crate cannot call sg-par without a
+/// dependency cycle, so the hint flows in the other direction); without
+/// it a runtime resize would leave provenance reporting the stale
+/// environment-derived count.
+pub fn set_threads_hint(n: usize) {
+    THREADS_HINT.store(n, Ordering::SeqCst);
+}
+
+/// The worker-thread count `sg-par` would use: the [`set_threads_hint`]
+/// override if one was installed, else `SG_PAR_THREADS` (mirroring
+/// `sg_par::num_threads`), else available parallelism.
 fn threads() -> usize {
+    let hint = THREADS_HINT.load(Ordering::SeqCst);
+    if hint >= 1 {
+        return hint;
+    }
     if let Ok(v) = std::env::var("SG_PAR_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {

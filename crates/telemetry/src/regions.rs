@@ -33,6 +33,11 @@ pub struct RegionStat {
     pub busy_ns: Vec<u64>,
     /// Accumulated barrier-wait nanoseconds, indexed by worker slot.
     pub wait_ns: Vec<u64>,
+    /// Accumulated work items (chunks / indices) claimed, indexed by
+    /// worker slot. Under dynamic chunk-claiming this shows *where* the
+    /// work went, which busy time alone cannot (a slot can be busy on
+    /// few large chunks or many small ones).
+    pub chunks: Vec<u64>,
 }
 
 impl RegionStat {
@@ -81,15 +86,17 @@ fn table() -> &'static Mutex<BTreeMap<Key, RegionStat>> {
 }
 
 /// Merge one execution of a region: `busy[s]` and `wait[s]` are the busy
-/// and barrier-wait nanoseconds of worker slot `s`. Successive calls
-/// with the same `(label, arg)` accumulate; a call with more slots than
-/// seen before widens the record (shorter earlier runs count as zero for
-/// the new slots).
+/// and barrier-wait nanoseconds of worker slot `s`, and `chunks[s]` the
+/// number of work items slot `s` claimed. Successive calls with the same
+/// `(label, arg)` accumulate; a call with more slots than seen before
+/// widens the record (shorter earlier runs count as zero for the new
+/// slots).
 pub fn record_region(
     label: &'static str,
     arg: Option<(&'static str, u64)>,
     busy: &[u64],
     wait: &[u64],
+    chunks: &[u64],
 ) {
     let mut table = table().lock().unwrap();
     let stat = table.entry((label, arg)).or_insert_with(|| RegionStat {
@@ -98,6 +105,7 @@ pub fn record_region(
         count: 0,
         busy_ns: Vec::new(),
         wait_ns: Vec::new(),
+        chunks: Vec::new(),
     });
     stat.count += 1;
     if stat.busy_ns.len() < busy.len() {
@@ -106,11 +114,17 @@ pub fn record_region(
     if stat.wait_ns.len() < wait.len() {
         stat.wait_ns.resize(wait.len(), 0);
     }
+    if stat.chunks.len() < chunks.len() {
+        stat.chunks.resize(chunks.len(), 0);
+    }
     for (acc, &ns) in stat.busy_ns.iter_mut().zip(busy) {
         *acc += ns;
     }
     for (acc, &ns) in stat.wait_ns.iter_mut().zip(wait) {
         *acc += ns;
+    }
+    for (acc, &n) in stat.chunks.iter_mut().zip(chunks) {
+        *acc += n;
     }
 }
 
@@ -129,7 +143,7 @@ pub fn clear() {
 /// ```json
 /// { "core.hierarchize.sweep[group=5]": {
 ///     "count": 10, "workers": 4,
-///     "busy_ns": [..], "wait_ns": [..],
+///     "busy_ns": [..], "wait_ns": [..], "chunks": [..],
 ///     "total_busy_ns": 1000, "total_wait_ns": 40,
 ///     "imbalance": 1.08 }, ... }
 /// ```
@@ -145,6 +159,7 @@ pub fn to_json(stats: &[RegionStat]) -> Value {
         });
         entry["busy_ns"] = Value::Array(s.busy_ns.iter().map(|&n| Value::from(n as f64)).collect());
         entry["wait_ns"] = Value::Array(s.wait_ns.iter().map(|&n| Value::from(n as f64)).collect());
+        entry["chunks"] = Value::Array(s.chunks.iter().map(|&n| Value::from(n as f64)).collect());
         out.set(&s.key(), entry);
     }
     out
@@ -166,6 +181,7 @@ mod tests {
             count: 1,
             busy_ns: vec![100, 100, 100, 100],
             wait_ns: vec![0, 0, 0, 0],
+            chunks: vec![8, 8, 8, 8],
         };
         assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
 
@@ -175,6 +191,7 @@ mod tests {
             count: 1,
             busy_ns: vec![400, 0, 0, 0],
             wait_ns: vec![0, 300, 300, 300],
+            chunks: vec![32, 0, 0, 0],
         };
         assert!((skewed.imbalance() - 4.0).abs() < 1e-12);
         assert_eq!(skewed.total_busy_ns(), 400);
@@ -186,21 +203,29 @@ mod tests {
             count: 1,
             busy_ns: vec![0, 0],
             wait_ns: vec![0, 0],
+            chunks: vec![0, 0],
         };
         assert_eq!(idle.imbalance(), 1.0);
     }
 
     #[test]
     fn record_accumulates_per_slot_and_widens() {
-        record_region("test.regions.accum", Some(("group", 3)), &[10, 20], &[1, 2]);
+        record_region(
+            "test.regions.accum",
+            Some(("group", 3)),
+            &[10, 20],
+            &[1, 2],
+            &[3, 4],
+        );
         record_region(
             "test.regions.accum",
             Some(("group", 3)),
             &[5, 5, 40],
             &[0, 0, 9],
+            &[1, 1, 6],
         );
         // A different arg is a different entry.
-        record_region("test.regions.accum", Some(("group", 4)), &[7], &[0]);
+        record_region("test.regions.accum", Some(("group", 4)), &[7], &[0], &[2]);
 
         let all = report();
         let g3 = all
@@ -210,6 +235,7 @@ mod tests {
         assert_eq!(g3.count, 2);
         assert_eq!(g3.busy_ns, vec![15, 25, 40]);
         assert_eq!(g3.wait_ns, vec![1, 2, 9]);
+        assert_eq!(g3.chunks, vec![4, 5, 6]);
         let g4 = all
             .iter()
             .find(|s| s.label == "test.regions.accum" && s.arg == Some(("group", 4)))
@@ -222,6 +248,7 @@ mod tests {
         assert_eq!(entry["count"], 2u64);
         assert_eq!(entry["workers"], 3u64);
         assert_eq!(entry["busy_ns"][2], 40u64);
+        assert_eq!(entry["chunks"][2], 6u64);
         assert!(entry["imbalance"].as_f64().unwrap() >= 1.0);
     }
 }

@@ -23,7 +23,7 @@ fn reset_clears_every_instrument_kind() {
     let t0 = Instant::now();
     trace::record("test.reset.event", 1, t0, t0, None);
     trace::disable();
-    regions::record_region("test.reset.region", None, &[10, 20], &[1, 2]);
+    regions::record_region("test.reset.region", None, &[10, 20], &[1, 2], &[3, 4]);
 
     let before = snapshot();
     assert_eq!(before.counter("test.reset.counter"), Some(5));
