@@ -178,8 +178,26 @@ impl AdaptiveSparseGrid {
     /// each new surplus to `f(x_p) − u(x_p)`. Ancestors are inserted
     /// first, so each surplus is final the moment it is written.
     pub fn insert_with_ancestors(&mut self, l: &[Level], i: &[Index], f: &impl Fn(&[f64]) -> f64) {
+        self.ensure_root(f);
         let key: Key = l.iter().zip(i).map(|(&a, &b)| pack(a, b)).collect();
         self.insert_key(key, f);
+    }
+
+    /// The root inserted by [`Self::new`] carries a placeholder surplus
+    /// of 0.0, and [`Self::insert_key`] treats present keys as final —
+    /// so before the first real insertion the root's surplus must be
+    /// computed, or every interpolant built by `bootstrap` /
+    /// `insert_with_ancestors` on a fresh grid is off by `f(centre)`.
+    /// (Found by the sg-fuzz differential oracle; `refine_by_surplus`
+    /// carried its own copy of this fix-up, which now lives here.)
+    fn ensure_root(&mut self, f: &impl Fn(&[f64]) -> f64) {
+        let root: Key = vec![pack(0, 1); self.dim].into_boxed_slice();
+        if self.surpluses.len() == 1 && self.surpluses[&root] == 0.0 {
+            let mut x = vec![0.0; self.dim];
+            Self::coords_of(&root, &mut x);
+            let s = f(&x);
+            self.surpluses.insert(root, s);
+        }
     }
 
     fn insert_key(&mut self, key: Key, f: &impl Fn(&[f64]) -> f64) {
@@ -206,6 +224,7 @@ impl AdaptiveSparseGrid {
     /// needs such a bootstrap: a feature invisible at the few coarse
     /// points would otherwise never trigger refinement.
     pub fn bootstrap(&mut self, levels: Level, f: &impl Fn(&[f64]) -> f64) {
+        self.ensure_root(f);
         let spec = sg_core::level::GridSpec::new(self.dim, levels as usize + 1);
         let mut points: Vec<(Vec<Level>, Vec<Index>)> = Vec::new();
         sg_core::iter::for_each_point(&spec, |_, l, i| {
@@ -235,13 +254,10 @@ impl AdaptiveSparseGrid {
         max_points: usize,
         max_level: Level,
     ) -> usize {
-        // Initialize the root surplus if the grid is fresh, then seed.
+        // Seed a fresh grid (placeholder root only) with the coarse
+        // regular grid; `bootstrap` computes the root surplus itself.
         let root: Key = vec![pack(0, 1); self.dim].into_boxed_slice();
         if self.surpluses.len() == 1 && self.surpluses[&root] == 0.0 {
-            let mut x = vec![0.0; self.dim];
-            Self::coords_of(&root, &mut x);
-            let s = f(&x);
-            self.surpluses.insert(root, s);
             self.bootstrap(max_level.min(2), f);
         }
 
@@ -363,6 +379,33 @@ mod tests {
         assert_eq!(tree_parent(2, 3), Some((1, 1)));
         assert_eq!(tree_parent(2, 5), Some((1, 3)));
         assert_eq!(tree_parent(2, 7), Some((1, 3)));
+    }
+
+    #[test]
+    fn bootstrap_on_a_fresh_grid_computes_the_root_surplus() {
+        // Regression (found by the sg-fuzz differential oracle): the
+        // placeholder root surplus from `new()` used to survive
+        // `bootstrap`/`insert_with_ancestors`, shifting every
+        // interpolant by f(centre). The bootstrap of a regular shape
+        // must now reproduce the compact grid's interpolant.
+        let f = |x: &[f64]| 0.3 + x.iter().map(|&v| 1.0 + v * v).product::<f64>();
+        let mut g = AdaptiveSparseGrid::new(2);
+        g.bootstrap(2, &f);
+        assert_eq!(g.surplus(&[0, 0], &[1, 1]), Some(f(&[0.5, 0.5])));
+
+        let spec = GridSpec::new(2, 3);
+        let mut reg = CompactGrid::<f64>::from_fn(spec, f);
+        hierarchize(&mut reg);
+        for x in halton_points(2, 50).chunks_exact(2) {
+            let a = g.evaluate(x);
+            let b = evaluate_regular(&reg, x);
+            assert!((a - b).abs() < 1e-12, "x={x:?}: {a} vs {b}");
+        }
+
+        // Same blind spot via direct insertion on a fresh grid.
+        let mut h = AdaptiveSparseGrid::new(1);
+        h.insert_with_ancestors(&[1], &[1], &f);
+        assert_eq!(h.surplus(&[0], &[1]), Some(f(&[0.5])));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "slice" => cmd_slice(rest),
         "render" => cmd_render(rest),
         "profile" => cmd_profile(rest),
+        "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,6 +70,16 @@ const USAGE: &str = "usage:
                   sample -> hierarchize -> evaluate -> dehierarchize with
                   tracing on, writes a Chrome Trace Event JSON loadable in
                   Perfetto, and prints span/histogram/imbalance summaries)
+  sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
+              [--op NAME] [--shape DxN] [--sched-interleavings K]
+              [--inject gp2idx-off-by-one] [--json PATH]
+                  (differential fuzzing: compact vs recursive vs dense
+                  oracle, plus the sg-par virtual-scheduler invariant
+                  sweep; SG_PROP_SEED overrides the seed base; any
+                  divergence is shrunk to a minimal seeded reproducer;
+                  --inject self-tests the harness and fails unless the
+                  fault is caught; defaults: 10000 cases, 200
+                  interleavings per pool config)
 
 global flags:
   --metrics-json PATH   after a successful command, write the telemetry
@@ -436,4 +447,183 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         "rendered {width}x{height} slice (axes x={a} y={b}, at {at:?}, range [{lo:.3e}, {hi:.3e}]) -> {out}"
     );
     Ok(())
+}
+
+fn parse_u64_flag(args: &[String], key: &str) -> Result<Option<u64>, String> {
+    let Some(raw) = flag(args, key) else {
+        return Ok(None);
+    };
+    parse_seed(&raw)
+        .map(Some)
+        .map_err(|e| format!("bad {key}: {e}"))
+}
+
+fn parse_seed(raw: &str) -> Result<u64, String> {
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.map_err(|e| format!("{raw:?}: {e}"))
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut cfg = sg_fuzz::FuzzConfig::default();
+    if let Ok(seed) = std::env::var("SG_PROP_SEED") {
+        cfg.seed_base = parse_seed(&seed).map_err(|e| format!("bad SG_PROP_SEED: {e}"))?;
+    }
+    if let Some(base) = parse_u64_flag(args, "--seed-base")? {
+        cfg.seed_base = base;
+    }
+    if let Some(cases) = parse_u64_flag(args, "--budget-cases")? {
+        cfg.budget_cases = Some(cases);
+    }
+    if let Some(secs) = flag(args, "--budget-secs") {
+        let s: f64 = secs
+            .parse()
+            .map_err(|e| format!("bad --budget-secs: {e}"))?;
+        cfg.budget_secs = Some(s);
+        if flag(args, "--budget-cases").is_none() {
+            cfg.budget_cases = None;
+        }
+    }
+    if let Some(op) = flag(args, "--op") {
+        cfg.op_filter =
+            Some(sg_fuzz::Op::parse(&op).ok_or_else(|| format!("unknown --op {op:?}"))?);
+    }
+    if let Some(shape) = flag(args, "--shape") {
+        let (d, n) = shape
+            .split_once('x')
+            .ok_or_else(|| format!("bad --shape {shape:?}: expected DxN"))?;
+        let d: usize = d.parse().map_err(|e| format!("bad --shape dims: {e}"))?;
+        let n: usize = n.parse().map_err(|e| format!("bad --shape level: {e}"))?;
+        cfg.shape = Some((d, n));
+    }
+    let inject = match flag(args, "--inject").as_deref() {
+        None => sg_fuzz::Injection::None,
+        Some("gp2idx-off-by-one") => sg_fuzz::Injection::Gp2idxOffByOne,
+        Some(other) => return Err(format!("unknown --inject {other:?}")),
+    };
+    cfg.inject = inject;
+    let interleavings: usize = match flag(args, "--sched-interleavings") {
+        Some(k) => k
+            .parse()
+            .map_err(|e| format!("bad --sched-interleavings: {e}"))?,
+        None => 200,
+    };
+
+    // Differential pass.
+    let report = sg_fuzz::run_fuzz(&cfg);
+    println!(
+        "fuzz: {} cases in {:.2}s (seed base {:#x}) — {} divergence(s)",
+        report.cases,
+        report.elapsed_secs,
+        report.seed_base,
+        report.divergences.len()
+    );
+    for (name, count) in &report.per_op {
+        if *count > 0 {
+            println!("  {name:<16} {count}");
+        }
+    }
+    for s in &report.divergences {
+        println!("\n{}", s.reproducer);
+    }
+
+    // Schedule-exploration pass over the pool protocol.
+    let sched_configs = sg_par::vsched::standard_configs();
+    let mut sched_total = 0usize;
+    let mut sched_steps = 0u64;
+    let mut sched_violations: Vec<String> = Vec::new();
+    if interleavings > 0 {
+        for c in &sched_configs {
+            let r = sg_par::vsched::explore(c, interleavings, cfg.seed_base);
+            sched_total += r.interleavings;
+            sched_steps += r.steps;
+            sched_violations.extend(r.violations);
+        }
+        println!(
+            "sched: {} interleavings over {} pool configs ({} virtual steps) — {} violation(s)",
+            sched_total,
+            sched_configs.len(),
+            sched_steps,
+            sched_violations.len()
+        );
+        for v in &sched_violations {
+            println!("  {v}");
+        }
+    }
+
+    // JSON summary (CI artifact, same provenance story as profile).
+    if let Some(path) = flag(args, "--json") {
+        let mut doc = sg_json::json!({
+            "cases": report.cases as f64,
+            "seed_base": format!("{:#x}", report.seed_base),
+            "elapsed_secs": report.elapsed_secs,
+            "inject": match inject {
+                sg_fuzz::Injection::None => "none",
+                sg_fuzz::Injection::Gp2idxOffByOne => "gp2idx-off-by-one",
+            },
+            "divergences": report
+                .divergences
+                .iter()
+                .map(|s| {
+                    let (d, n) = s.case.shape.unwrap_or((s.failure.d, s.failure.n));
+                    sg_json::json!({
+                        "op": s.case.op.name(),
+                        "seed": format!("{:#x}", s.case.seed),
+                        "d": d as f64,
+                        "n": n as f64,
+                        "detail": s.failure.detail.clone(),
+                        "reproducer": s.reproducer.clone()
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "sched": {
+                "configs": sched_configs.len() as f64,
+                "interleavings": sched_total as f64,
+                "steps": sched_steps as f64,
+                "violations": sched_violations.clone()
+            }
+        });
+        let mut per_op = sg_json::json!({});
+        for (name, count) in &report.per_op {
+            per_op[*name] = sg_json::Value::from(*count as f64);
+        }
+        doc["per_op"] = per_op;
+        doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+        std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| format!("cannot write fuzz summary to {path}: {e}"))?;
+        println!("summary: {path}");
+    }
+
+    match inject {
+        sg_fuzz::Injection::None => {
+            if !report.clean() {
+                return Err(format!(
+                    "{} divergence(s) found — see reproducers above",
+                    report.divergences.len()
+                ));
+            }
+            if !sched_violations.is_empty() {
+                return Err(format!(
+                    "{} schedule invariant violation(s)",
+                    sched_violations.len()
+                ));
+            }
+            Ok(())
+        }
+        // Self-test: the harness must catch and fully shrink the fault.
+        sg_fuzz::Injection::Gp2idxOffByOne => {
+            let caught = report
+                .divergences
+                .iter()
+                .any(|s| s.case.shape.is_some() && s.reproducer.lines().count() <= 3);
+            if caught {
+                println!("injection self-test passed: fault detected and shrunk");
+                Ok(())
+            } else {
+                Err("injected fault was NOT detected — harness self-test failed".into())
+            }
+        }
+    }
 }

@@ -1,0 +1,129 @@
+//! Property tests for the boundary-extended storage (paper §4.4).
+//!
+//! Two claims, each across the full d ∈ {1..4} × n ∈ {1..5} matrix:
+//!
+//! 1. **Size formula** — the boundary-extended store holds exactly
+//!    `Σ_{j=0}^{d} C(d,j) · 2^j · P(d−j, n)` values, where `P(k, n)` is
+//!    the interior sparse grid size and `P(0, ·) = 1`: every way of
+//!    fixing `j` dimensions to a side yields `2^j` faces carrying a
+//!    `(d−j)`-dimensional sparse grid each.
+//! 2. **Interior bit-identity** — for a function that vanishes on the
+//!    boundary, hierarchization with and without the boundary extension
+//!    produces *bit-identical* interior coefficients: every
+//!    boundary-crossing stencil term reads an exact 0.0, and adding
+//!    zero preserves the bit pattern of the interior arithmetic.
+
+use sg_core::boundary::{BoundaryGrid, BoundaryIndexer};
+use sg_core::combinatorics::{binomial, sparse_grid_points};
+use sg_core::grid::CompactGrid;
+use sg_core::hierarchize::hierarchize;
+use sg_core::level::GridSpec;
+use sg_prop::{run_cases, Rng};
+
+const MATRIX_D: std::ops::RangeInclusive<usize> = 1..=4;
+const MATRIX_N: std::ops::RangeInclusive<usize> = 1..=5;
+
+fn expected_size(d: usize, n: usize) -> u64 {
+    (0..=d as u64)
+        .map(|j| {
+            let per_face = if j == d as u64 {
+                1
+            } else {
+                sparse_grid_points(d - j as usize, n)
+            };
+            binomial(d as u64, j) * (1u64 << j) * per_face
+        })
+        .sum()
+}
+
+#[test]
+fn boundary_storage_size_matches_the_face_sum_formula() {
+    for d in MATRIX_D {
+        for n in MATRIX_N {
+            let indexer = BoundaryIndexer::new(d, n);
+            assert_eq!(
+                indexer.num_points(),
+                expected_size(d, n),
+                "d={d} n={n}: storage size vs Σ 2^j·C(d,j)·P(d−j,n)"
+            );
+            // 3^d faces: each dimension is Lo, Hi, or interior.
+            assert_eq!(indexer.num_faces(), 3usize.pow(d as u32), "d={d} n={n}");
+            // The interior face comes first, occupying the first P(d, n)
+            // slots: the second face's offset is exactly the interior size.
+            assert_eq!(indexer.faces()[0].offset, 0, "d={d} n={n}");
+            assert_eq!(
+                indexer.faces()[1].offset,
+                sparse_grid_points(d, n),
+                "d={d} n={n}: interior face first"
+            );
+        }
+    }
+}
+
+/// A zero-boundary product function: `Π_t 4·x_t·(1 − x_t)`.
+fn bump(x: &[f64]) -> f64 {
+    x.iter().map(|&v| 4.0 * v * (1.0 - v)).product()
+}
+
+#[test]
+fn interior_coefficients_bit_identical_with_and_without_boundary() {
+    for d in MATRIX_D {
+        for n in MATRIX_N {
+            let spec = GridSpec::new(d, n);
+            let mut interior = CompactGrid::<f64>::from_fn(spec, bump);
+            hierarchize(&mut interior);
+
+            let mut extended = BoundaryGrid::<f64>::from_fn(d, n, bump);
+            extended.hierarchize();
+
+            let p = spec.num_points() as usize;
+            for k in 0..p {
+                assert_eq!(
+                    interior.values()[k].to_bits(),
+                    extended.values()[k].to_bits(),
+                    "d={d} n={n} slot {k}: interior coefficient changed bits \
+                     under boundary extension"
+                );
+            }
+            // And every boundary-face surplus of a boundary-vanishing
+            // function is exactly zero.
+            for (k, v) in extended.values()[p..].iter().enumerate() {
+                assert_eq!(*v, 0.0, "d={d} n={n} boundary slot {}", p + k);
+            }
+        }
+    }
+}
+
+#[test]
+fn interior_bit_identity_holds_for_random_zero_boundary_functions() {
+    run_cases("boundary.interior_bit_identity", 40, |rng: &mut Rng| {
+        let d = rng.usize_in(1..=4);
+        let n = rng.usize_in(1..=4);
+        // Random polynomial times the boundary-vanishing bump.
+        let coeffs: Vec<[f64; 2]> = (0..d)
+            .map(|_| [rng.f64_in(-2.0, 2.0), rng.f64_in(-2.0, 2.0)])
+            .collect();
+        let f = |x: &[f64]| {
+            let poly: f64 = x
+                .iter()
+                .zip(&coeffs)
+                .map(|(&v, c)| c[0] + c[1] * v)
+                .product();
+            poly * bump(x)
+        };
+
+        let spec = GridSpec::new(d, n);
+        let mut interior = CompactGrid::<f64>::from_fn(spec, f);
+        hierarchize(&mut interior);
+        let mut extended = BoundaryGrid::<f64>::from_fn(d, n, f);
+        extended.hierarchize();
+
+        for k in 0..spec.num_points() as usize {
+            assert_eq!(
+                interior.values()[k].to_bits(),
+                extended.values()[k].to_bits(),
+                "d={d} n={n} slot {k}"
+            );
+        }
+    });
+}

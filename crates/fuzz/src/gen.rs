@@ -1,0 +1,154 @@
+//! Structure-aware generators: grid shapes, coefficient functions, and
+//! query-point sets, all derived deterministically from an [`sg_prop::Rng`].
+//!
+//! Everything a fuzz case needs is a pure function of its seed: the same
+//! seed always rebuilds the same shape, the same sampled function, and
+//! the same query points, which is what makes shrinking and `SG_PROP_SEED`
+//! replay exact rather than probabilistic.
+
+use sg_core::combinatorics::sparse_grid_points;
+use sg_core::full_grid::FullGrid;
+use sg_core::level::GridSpec;
+use sg_prop::Rng;
+
+/// Draw a `(d, n)` grid shape whose sparse point count stays below
+/// `max_points` (shrinking `n` first, then `d`, mirroring the paper's
+/// cost model where `n` dominates).
+pub fn shape(rng: &mut Rng, max_d: usize, max_n: usize, max_points: u64) -> (usize, usize) {
+    let mut d = rng.usize_in(1..=max_d);
+    let mut n = rng.usize_in(1..=max_n);
+    while sparse_grid_points(d, n) > max_points {
+        if n > 1 {
+            n -= 1;
+        } else if d > 1 {
+            d -= 1;
+        } else {
+            break;
+        }
+    }
+    (d, n)
+}
+
+/// Like [`shape`], additionally bounded so the dense full grid
+/// `(2^n - 1)^d` fits in `max_full_points` (the dense-oracle tiers pay
+/// full-grid cost).
+pub fn shape_with_full_grid(
+    rng: &mut Rng,
+    max_d: usize,
+    max_n: usize,
+    max_full_points: u64,
+) -> (usize, usize) {
+    let (mut d, mut n) = shape(rng, max_d, max_n, max_full_points);
+    while FullGrid::<f64>::total_points(d, n).is_none_or(|p| p > max_full_points) {
+        if n > 1 {
+            n -= 1;
+        } else if d > 1 {
+            d -= 1;
+        } else {
+            break;
+        }
+    }
+    (d, n)
+}
+
+/// A randomly sampled separable-plus-coupling test function.
+///
+/// `f(x) = Π_t (c0_t + c1_t·x_t + c2_t·x_t²) + w·Π_t x_t(1 - x_t)`
+///
+/// Polynomials exercise non-zero boundary values and sign changes; the
+/// coupling term is zero on the boundary and non-separable enough to
+/// populate every hierarchical subspace. All parameters come from the
+/// rng, so two tiers disagreeing on `f` can only mean a structural bug.
+#[derive(Debug, Clone)]
+pub struct SampledFn {
+    coeffs: Vec<[f64; 3]>,
+    coupling: f64,
+}
+
+impl SampledFn {
+    /// Sample a function of `d` variables.
+    pub fn sample(rng: &mut Rng, d: usize) -> Self {
+        let coeffs = (0..d)
+            .map(|_| {
+                [
+                    rng.f64_in(-1.0, 1.0),
+                    rng.f64_in(-2.0, 2.0),
+                    rng.f64_in(-2.0, 2.0),
+                ]
+            })
+            .collect();
+        SampledFn {
+            coeffs,
+            coupling: rng.f64_in(-4.0, 4.0),
+        }
+    }
+
+    /// Evaluate at `x` (each coordinate in `[0, 1]`).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut prod = 1.0;
+        let mut bump = self.coupling;
+        for (t, c) in self.coeffs.iter().enumerate() {
+            prod *= c[0] + c[1] * x[t] + c[2] * x[t] * x[t];
+            bump *= x[t] * (1.0 - x[t]);
+        }
+        prod + bump
+    }
+}
+
+/// Query points for evaluation differentials: random interior points
+/// plus the adversarial edges — exact grid nodes, dyadic cell
+/// boundaries, and the domain corners 0 and 1 where hat supports close.
+pub fn query_points(rng: &mut Rng, spec: &GridSpec, count: usize) -> Vec<f64> {
+    let d = spec.dim();
+    let mut xs = Vec::with_capacity(count * d);
+    for k in 0..count {
+        for _ in 0..d {
+            let x = match k % 4 {
+                // Plain interior points.
+                0 | 1 => rng.f64_unit(),
+                // Dyadic coordinates: land exactly on cell boundaries
+                // of some level, where `cell_and_basis` tie-breaks.
+                2 => {
+                    let l = rng.usize_in(0..=spec.levels());
+                    let denom = 1u64 << (l + 1);
+                    rng.u64_in(0..=denom) as f64 / denom as f64
+                }
+                // Domain corners and midpoint.
+                _ => *rng.pick(&[0.0, 0.5, 1.0]),
+            };
+            xs.push(x);
+        }
+    }
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_respect_the_point_budget() {
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let (d, n) = shape(&mut rng, 5, 6, 500);
+            assert!(sparse_grid_points(d, n) <= 500 || (d, n) == (1, 1));
+        }
+    }
+
+    #[test]
+    fn sampled_fn_is_deterministic_per_seed() {
+        let f1 = SampledFn::sample(&mut Rng::new(3), 3);
+        let f2 = SampledFn::sample(&mut Rng::new(3), 3);
+        let x = [0.3, 0.7, 0.1];
+        assert_eq!(f1.eval(&x).to_bits(), f2.eval(&x).to_bits());
+    }
+
+    #[test]
+    fn query_points_stay_in_the_unit_cube() {
+        let mut rng = Rng::new(11);
+        let spec = GridSpec::new(3, 4);
+        for &x in &query_points(&mut rng, &spec, 64) {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

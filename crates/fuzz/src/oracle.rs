@@ -1,0 +1,127 @@
+//! The slow, definitional oracles the fast tiers are checked against.
+//!
+//! The compact structure (paper Alg. 6) and the recursive baseline
+//! (Alg. 1) both compute hierarchical surpluses by clever traversals;
+//! a shared misunderstanding of the *definition* would slip past a
+//! two-way differential. This module computes surpluses straight from
+//! the defining property — the hierarchical interpolant matches `f` at
+//! every grid point — with no traversal cleverness at all, plus a
+//! brute-force basis-sum evaluator. Both are `O(N²·d)`-ish, so the
+//! executor only routes small shapes here.
+
+use sg_core::grid::CompactGrid;
+use sg_core::iter::for_each_point;
+use sg_core::level::{coordinate, hat, GridSpec, Index, Level};
+
+/// One grid point with its hierarchical surplus.
+#[derive(Debug, Clone)]
+pub struct OraclePoint {
+    /// Level vector.
+    pub l: Vec<Level>,
+    /// Index vector (odd indices per level).
+    pub i: Vec<Index>,
+    /// Cartesian coordinates of the point.
+    pub x: Vec<f64>,
+    /// Hierarchical surplus α.
+    pub surplus: f64,
+}
+
+/// The d-dimensional hat basis value `Π_t hat(l_t, i_t, x_t)`.
+pub fn basis(l: &[Level], i: &[Index], x: &[f64]) -> f64 {
+    let mut prod = 1.0;
+    for t in 0..l.len() {
+        prod *= hat(l[t], i[t], x[t]);
+        if prod == 0.0 {
+            return 0.0;
+        }
+    }
+    prod
+}
+
+/// Compute every surplus of the sparse grid interpolant of `f` directly
+/// from the definition.
+///
+/// Grid points are visited coarse-group-first (the same
+/// [`for_each_point`] order the compact layout uses). Because a hat
+/// function of level `l` vanishes at every grid node of a strictly
+/// coarser level in that dimension — and at the centers of its
+/// same-level siblings — each point's surplus is fully determined by
+/// the points already visited:
+///
+/// `α_p = f(x_p) − Σ_{q visited before p} α_q · φ_q(x_p)`
+///
+/// This is the interpolation property itself, not a rearrangement of
+/// the production stencil, which is what makes it a genuine oracle.
+pub fn definitional_surpluses(
+    spec: &GridSpec,
+    mut f: impl FnMut(&[f64]) -> f64,
+) -> Vec<OraclePoint> {
+    let mut points: Vec<OraclePoint> = Vec::with_capacity(spec.num_points() as usize);
+    for_each_point(spec, |_, l, i| {
+        let x: Vec<f64> = (0..spec.dim()).map(|t| coordinate(l[t], i[t])).collect();
+        let mut s = f(&x);
+        for q in &points {
+            s -= q.surplus * basis(&q.l, &q.i, &x);
+        }
+        points.push(OraclePoint {
+            l: l.to_vec(),
+            i: i.to_vec(),
+            x,
+            surplus: s,
+        });
+    });
+    points
+}
+
+/// Evaluate the oracle interpolant at `x` by summing every basis
+/// function — no cell walk, no subspace sweep.
+pub fn brute_evaluate(points: &[OraclePoint], x: &[f64]) -> f64 {
+    points
+        .iter()
+        .map(|p| p.surplus * basis(&p.l, &p.i, x))
+        .sum()
+}
+
+/// Pack the oracle surpluses into a [`CompactGrid`] (gp2idx order) so
+/// they can be compared slot-for-slot against the production tiers.
+pub fn to_compact(spec: &GridSpec, points: &[OraclePoint]) -> CompactGrid<f64> {
+    let mut grid = CompactGrid::new(*spec);
+    let indexer = grid.indexer().clone();
+    for p in points {
+        let idx = indexer.gp2idx(&p.l, &p.i) as usize;
+        grid.values_mut()[idx] = p.surplus;
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_interpolates_exactly_at_grid_points() {
+        let spec = GridSpec::new(2, 4);
+        let f = |x: &[f64]| 1.0 + x[0] * 3.0 - x[1] * x[0];
+        let pts = definitional_surpluses(&spec, f);
+        for p in &pts {
+            let u = brute_evaluate(&pts, &p.x);
+            assert!(
+                (u - f(&p.x)).abs() < 1e-12,
+                "interpolant misses f at {:?}: {u} vs {}",
+                p.x,
+                f(&p.x)
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_matches_production_hierarchize_on_a_known_shape() {
+        let spec = GridSpec::new(2, 3);
+        let f = |x: &[f64]| x[0] * (1.0 - x[0]) * x[1];
+        let pts = definitional_surpluses(&spec, f);
+        let oracle = to_compact(&spec, &pts);
+        let mut grid = CompactGrid::from_fn(spec, f);
+        sg_core::hierarchize::hierarchize(&mut grid);
+        assert!(grid.max_abs_diff(&oracle) < 1e-12);
+    }
+}

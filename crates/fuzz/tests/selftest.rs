@@ -1,0 +1,101 @@
+//! Harness self-tests: a real (if small) differential run must come back
+//! clean, an injected fault must be caught *and* shrunk to the known
+//! minimal shape, and the virtual scheduler must pass its invariant
+//! sweep — the same three gates CI's fuzz-smoke job enforces at larger
+//! budgets.
+
+use sg_fuzz::{run_fuzz, FuzzConfig, Injection, Op};
+use sg_par::vsched;
+
+#[test]
+fn a_thousand_differential_cases_run_clean() {
+    let cfg = FuzzConfig {
+        budget_cases: Some(1000),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    assert_eq!(report.cases, 1000);
+    assert!(
+        report.clean(),
+        "divergences:\n{}",
+        report
+            .divergences
+            .iter()
+            .map(|s| s.reproducer.as_str())
+            .collect::<Vec<_>>()
+            .join("\n---\n")
+    );
+    // Round-robin scheduling covered every operation.
+    for (name, count) in &report.per_op {
+        assert!(*count >= 100, "op {name} ran only {count} cases");
+    }
+}
+
+#[test]
+fn injected_gp2idx_fault_is_detected_and_shrunk() {
+    let cfg = FuzzConfig {
+        budget_cases: Some(50),
+        inject: Injection::Gp2idxOffByOne,
+        op_filter: Some(Op::SampleIdentity),
+        max_divergences: 1,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    assert!(!report.clean(), "injection must be detected");
+    let shrunk = &report.divergences[0];
+    // (1, 2) is the true minimum: the (1, 1) grid has one point, where
+    // a last-two-slots transposition is a no-op.
+    assert_eq!(shrunk.case.shape, Some((1, 2)), "{}", shrunk.reproducer);
+    let lines = shrunk.reproducer.lines().count();
+    assert!(
+        lines <= 3,
+        "reproducer has {lines} lines:\n{}",
+        shrunk.reproducer
+    );
+    assert!(shrunk.reproducer.contains("SG_PROP_SEED="));
+    assert!(shrunk.reproducer.contains("--shape 1x2"));
+}
+
+#[test]
+fn replaying_a_divergence_seed_reproduces_it() {
+    // Find a divergence, then re-run its minimal case standalone — the
+    // workflow the reproducer line tells a developer to follow.
+    let cfg = FuzzConfig {
+        budget_cases: Some(10),
+        inject: Injection::Gp2idxOffByOne,
+        op_filter: Some(Op::SampleIdentity),
+        max_divergences: 1,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    let shrunk = &report.divergences[0];
+    let replay = FuzzConfig {
+        seed_base: shrunk.case.seed,
+        budget_cases: Some(1),
+        inject: Injection::Gp2idxOffByOne,
+        op_filter: Some(Op::SampleIdentity),
+        shape: shrunk.case.shape,
+        max_divergences: 1,
+        ..FuzzConfig::default()
+    };
+    let again = run_fuzz(&replay);
+    assert!(!again.clean(), "replay must reproduce the divergence");
+    assert_eq!(
+        again.divergences[0].failure.detail, shrunk.failure.detail,
+        "replay must reproduce the identical failure"
+    );
+}
+
+#[test]
+fn schedule_explorer_passes_the_standard_matrix() {
+    for cfg in vsched::standard_configs() {
+        let report = vsched::explore(&cfg, 200, 0x5EED_5EED);
+        assert!(
+            report.passed(),
+            "{cfg:?} violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.interleavings, 200);
+        assert!(report.steps > 0);
+    }
+}

@@ -63,6 +63,7 @@
 //! at the implicit barrier.
 
 mod pool;
+pub mod vsched;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -7,6 +7,7 @@
 //!
 //! Own integration-test binary: pins the process-global thread count.
 
+use sg_par::vsched;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 #[test]
@@ -48,5 +49,28 @@ fn pool_survives_a_panicked_region() {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i * i);
         }
+    }
+}
+
+/// Deterministic counterpart: the panic protocol stepped under the
+/// virtual scheduler. Any schedule where the first panic payload is
+/// lost, `pending` never drains, or the pool is left unusable for the
+/// next region surfaces as a seed-replayable violation instead of a
+/// flaky real-thread hang.
+#[test]
+fn virtual_scheduler_explores_panic_interleavings() {
+    for (width, panic_item) in [(2, 0), (3, 5), (4, 11), (6, 2)] {
+        let cfg = vsched::Config {
+            panic_item: Some(panic_item),
+            // Several regions: the ones after the panicked region must
+            // still complete with exact outputs.
+            ..vsched::Config::basic(width, 12, 1, 3)
+        };
+        let report = vsched::explore(&cfg, 300, 0xDEAD_0000 + width as u64);
+        assert!(
+            report.passed(),
+            "width={width} panic_item={panic_item}: {:?}",
+            report.violations
+        );
     }
 }

@@ -6,6 +6,7 @@
 //!
 //! Own integration-test binary: pins the process-global thread count.
 
+use sg_par::vsched;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 #[test]
@@ -57,4 +58,39 @@ fn concurrent_coordinators_with_interleaved_resizes() {
         });
     });
     assert_eq!(total.load(Ordering::Relaxed), 4 * 50);
+}
+
+/// Deterministic counterpart of the real-thread stress above: the same
+/// protocol (publish/claim/park/resize) stepped under the virtual
+/// scheduler, where every interleaving is replayable from its seed and
+/// a lost wakeup is reported as a deadlock instead of a CI hang.
+#[test]
+fn virtual_scheduler_stress_many_regions_and_resizes() {
+    // Mirrors `many_tiny_regions_back_to_back`: small grains, several
+    // back-to-back regions, at a handful of widths.
+    for (width, grain) in [(2, 1), (4, 1), (4, 3), (6, 2)] {
+        let cfg = vsched::Config::basic(width, 16, grain, 4);
+        let report = vsched::explore(&cfg, 300, 0x57E5_5000 + width as u64);
+        assert!(
+            report.passed(),
+            "width={width} grain={grain}: {:?}",
+            report.violations
+        );
+    }
+
+    // Mirrors `concurrent_coordinators_with_interleaved_resizes`: a
+    // resize lands between regions; slots must stay contiguous and the
+    // pool must converge to the new target after the drain.
+    for resize_to in [1usize, 2, 6] {
+        let cfg = vsched::Config {
+            resize_to: Some(resize_to),
+            ..vsched::Config::basic(4, 12, 2, 3)
+        };
+        let report = vsched::explore(&cfg, 300, 0x57E5_5100 + resize_to as u64);
+        assert!(
+            report.passed(),
+            "resize_to={resize_to}: {:?}",
+            report.violations
+        );
+    }
 }
