@@ -13,16 +13,77 @@ use sg_core::prelude::*;
 use sg_core::quadrature::integrate;
 use std::process::ExitCode;
 
+/// Exit-code taxonomy, pinned by `tests/cli.rs`: scripts can distinguish
+/// "you called it wrong" from "your data is bad" from "the disk failed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrClass {
+    /// Bad invocation (missing/unknown flags, malformed arguments): 2.
+    Usage,
+    /// Corrupt or undecodable data (bad magic, checksum, lost sections): 3.
+    Corrupt,
+    /// The operating system failed us (read/write errors): 4.
+    Io,
+    /// Anything else: 1.
+    Other,
+}
+
+/// One-line diagnostic plus its exit class.
+#[derive(Debug)]
+struct CliError {
+    class: ErrClass,
+    msg: String,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            class: ErrClass::Usage,
+            msg: msg.into(),
+        }
+    }
+    fn corrupt(msg: impl Into<String>) -> Self {
+        CliError {
+            class: ErrClass::Corrupt,
+            msg: msg.into(),
+        }
+    }
+    fn io(msg: impl Into<String>) -> Self {
+        CliError {
+            class: ErrClass::Io,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError {
+            class: ErrClass::Other,
+            msg,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::from(msg.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
+        eprintln!("sgtool: missing command");
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let metrics_path = flag(&args, "--metrics-json");
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "compress" => cmd_compress(rest),
+        "checkpoint" => cmd_checkpoint(rest),
+        "restore" => cmd_restore(rest),
+        "verify" => cmd_verify(rest),
         "info" => cmd_info(rest),
         "eval" => cmd_eval(rest),
         "integrate" => cmd_integrate(rest),
@@ -34,7 +95,9 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command: {other}\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command: {other}\n{USAGE}"
+        ))),
     };
     let result = result.and_then(|()| {
         let Some(path) = metrics_path else {
@@ -45,13 +108,18 @@ fn main() -> ExitCode {
         let regions = sg_telemetry::regions::report();
         report["regions"] = sg_telemetry::regions::to_json(&regions);
         std::fs::write(&path, format!("{}\n", report.to_string_pretty()))
-            .map_err(|e| format!("cannot write metrics to {path}: {e}"))
+            .map_err(|e| CliError::io(format!("cannot write metrics to {path}: {e}")))
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("sgtool: {}", e.msg);
+            ExitCode::from(match e.class {
+                ErrClass::Usage => 2,
+                ErrClass::Corrupt => 3,
+                ErrClass::Io => 4,
+                ErrClass::Other => 1,
+            })
         }
     }
 }
@@ -59,6 +127,19 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   sgtool compress --dims D --level L --function NAME --out FILE
                   (functions: parabola sine-product gaussian)
+  sgtool checkpoint --out SNAP (--dims D --level L [--function NAME] | FILE)
+                  [--provenance TEXT]
+                  (write a crash-safe SGC2 sectioned snapshot: redundant
+                  header+footer, one CRC64 section per level group,
+                  atomic temp-file -> rename publish; FILE converts an
+                  existing .sgc grid instead of sampling a function)
+  sgtool restore SNAP --out FILE [--function NAME]
+                  (salvage every intact section of a damaged snapshot;
+                  lost level groups are listed and, with --function,
+                  rebuilt exactly by re-sampling + re-hierarchizing;
+                  without it a degraded snapshot exits 3)
+  sgtool verify SNAP
+                  (per-section integrity table; exit 0 intact, 3 damaged)
   sgtool info FILE
   sgtool eval FILE X1,...,XD [more points ...]
   sgtool integrate FILE
@@ -72,14 +153,22 @@ const USAGE: &str = "usage:
                   Perfetto, and prints span/histogram/imbalance summaries)
   sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
               [--op NAME] [--shape DxN] [--sched-interleavings K]
-              [--inject gp2idx-off-by-one] [--json PATH]
+              [--snapshot-faults N] [--inject gp2idx-off-by-one]
+              [--json PATH]
                   (differential fuzzing: compact vs recursive vs dense
                   oracle, plus the sg-par virtual-scheduler invariant
                   sweep; SG_PROP_SEED overrides the seed base; any
                   divergence is shrunk to a minimal seeded reproducer;
                   --inject self-tests the harness and fails unless the
                   fault is caught; defaults: 10000 cases, 200
-                  interleavings per pool config)
+                  interleavings per pool config, 0 snapshot faults;
+                  --snapshot-faults injects torn writes, truncation, bit
+                  flips, ENOSPC, and header/footer corruption into SGC2
+                  snapshots and asserts detect-or-recover on every one)
+
+exit codes:
+  0 success   2 usage error   3 corrupt or degraded data   4 I/O failure
+  1 anything else
 
 global flags:
   --metrics-json PATH   after a successful command, write the telemetry
@@ -126,45 +215,189 @@ fn parse_point(s: &str, d: usize) -> Result<Vec<f64>, String> {
     Ok(v)
 }
 
-fn load(args: &[String]) -> Result<CompactGrid<f64>, String> {
+/// Read a grid file, sniffing the format: `SGC2` snapshots decode
+/// through the strict sectioned reader (a damaged one is a corrupt-data
+/// error enumerating the lost groups), anything else through the legacy
+/// `SGC1` codec.
+fn load(args: &[String]) -> Result<CompactGrid<f64>, CliError> {
     let path = *positional(args)
         .first()
-        .ok_or("missing grid file argument")?;
-    let blob = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    sg_io::decode(&blob).map_err(|e| format!("cannot decode {path}: {e}"))
+        .ok_or_else(|| CliError::usage("missing grid file argument"))?;
+    let blob = std::fs::read(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    if blob.starts_with(&sg_io::SNAP_MAGIC) {
+        sg_io::read_snapshot(&blob)
+            .map_err(|e| CliError::corrupt(format!("cannot read snapshot {path}: {e}")))
+    } else {
+        sg_io::decode(&blob).map_err(|e| CliError::corrupt(format!("cannot decode {path}: {e}")))
+    }
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
+/// Shared by compress/checkpoint: build a hierarchized grid from
+/// `--dims/--level/--function`, with a preflight point-count check so an
+/// overflowing shape is a diagnostic, not a panic.
+fn build_grid(args: &[String]) -> Result<(CompactGrid<f64>, &'static TestFunction), CliError> {
     let d: usize = flag(args, "--dims")
-        .ok_or("missing --dims")?
+        .ok_or_else(|| CliError::usage("missing --dims"))?
         .parse()
-        .map_err(|e| format!("bad --dims: {e}"))?;
+        .map_err(|e| CliError::usage(format!("bad --dims: {e}")))?;
     let level: usize = flag(args, "--level")
-        .ok_or("missing --level")?
+        .ok_or_else(|| CliError::usage("missing --level"))?
         .parse()
-        .map_err(|e| format!("bad --level: {e}"))?;
+        .map_err(|e| CliError::usage(format!("bad --level: {e}")))?;
     let fname = flag(args, "--function").unwrap_or_else(|| "parabola".into());
-    let out = flag(args, "--out").ok_or("missing --out")?;
     let f = TestFunction::ALL
         .iter()
         .find(|f| f.name() == fname)
-        .ok_or_else(|| format!("unknown function {fname:?}"))?;
-
-    let spec = GridSpec::try_new(d, level).map_err(|e| e.to_string())?;
-    let mut grid = CompactGrid::from_fn_parallel(spec, |x| f.eval(x));
+        .ok_or_else(|| CliError::usage(format!("unknown function {fname:?}")))?;
+    let spec =
+        GridSpec::try_new(d, level).map_err(|e| CliError::usage(format!("bad grid shape: {e}")))?;
+    spec.try_num_points()
+        .map_err(|e| CliError::usage(format!("grid too large: {e}")))?;
+    let mut grid = CompactGrid::try_from_fn_parallel(spec, |x| f.eval(x))
+        .map_err(|e| CliError::usage(format!("cannot build grid: {e}")))?;
     hierarchize_parallel(&mut grid);
+    Ok((grid, f))
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), CliError> {
+    let out = flag(args, "--out").ok_or_else(|| CliError::usage("missing --out"))?;
+    let (grid, f) = build_grid(args)?;
     let blob = sg_io::encode(&grid);
-    std::fs::write(&out, &blob).map_err(|e| format!("cannot write {out}: {e}"))?;
+    std::fs::write(&out, &blob).map_err(|e| CliError::io(format!("cannot write {out}: {e}")))?;
     println!(
-        "compressed {} ({} points, d={d}, level {level}) -> {out} ({} bytes)",
+        "compressed {} ({} points, d={}, level {}) -> {out} ({} bytes)",
         f.name(),
         grid.len(),
+        grid.spec().dim(),
+        grid.spec().levels(),
         blob.len()
     );
     Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_checkpoint(args: &[String]) -> Result<(), CliError> {
+    let out = flag(args, "--out").ok_or_else(|| CliError::usage("missing --out"))?;
+    let provenance = flag(args, "--provenance")
+        .unwrap_or_else(|| format!("sgtool checkpoint v{}", env!("CARGO_PKG_VERSION")));
+    let (grid, origin) = if positional(args).is_empty() {
+        let (grid, f) = build_grid(args)?;
+        (grid, f.name().to_string())
+    } else {
+        let grid = load(args)?;
+        (grid, positional(args)[0].clone())
+    };
+    sg_io::write_snapshot_file(&grid, &out, &provenance).map_err(|e| match e {
+        SgError::Io(_) => CliError::io(format!("cannot write {out}: {e}")),
+        other => CliError::from(format!("cannot checkpoint: {other}")),
+    })?;
+    println!(
+        "checkpointed {origin} ({} points, d={}, level {}) -> {out} ({} sections)",
+        grid.len(),
+        grid.spec().dim(),
+        grid.spec().levels(),
+        grid.spec().levels(),
+    );
+    Ok(())
+}
+
+fn cmd_restore(args: &[String]) -> Result<(), CliError> {
+    let path = *positional(args)
+        .first()
+        .ok_or_else(|| CliError::usage("missing snapshot file argument"))?;
+    let out = flag(args, "--out").ok_or_else(|| CliError::usage("missing --out"))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    let recovery = sg_io::recover_snapshot::<f64>(&bytes)
+        .map_err(|e| CliError::corrupt(format!("cannot recover {path}: {e}")))?;
+    if recovery.used_footer {
+        println!("header corrupt; identity recovered from the footer copy");
+    }
+    let intact = recovery
+        .sections
+        .iter()
+        .filter(|s| s.status == sg_io::SectionStatus::Intact)
+        .count();
+    println!(
+        "{path}: {intact}/{} sections intact (written by {:?})",
+        recovery.sections.len(),
+        recovery.info.provenance
+    );
+    let grid = if recovery.grid.is_complete() {
+        recovery.grid.into_complete().expect("complete")
+    } else {
+        let lost = recovery.grid.lost_groups().to_vec();
+        let Some(fname) = flag(args, "--function") else {
+            return Err(CliError::corrupt(format!(
+                "level groups {lost:?} lost; pass --function NAME to rebuild them \
+                 by re-sampling, or accept the loss with `sgtool verify`"
+            )));
+        };
+        let f = TestFunction::ALL
+            .iter()
+            .find(|f| f.name() == fname)
+            .ok_or_else(|| CliError::usage(format!("unknown function {fname:?}")))?;
+        println!("rebuilding lost level groups {lost:?} from {fname}");
+        recovery.grid.repair_with(|x| f.eval(x))
+    };
+    let blob = sg_io::encode(&grid);
+    std::fs::write(&out, &blob).map_err(|e| CliError::io(format!("cannot write {out}: {e}")))?;
+    println!(
+        "restored {} points (d={}, level {}) -> {out}",
+        grid.len(),
+        grid.spec().dim(),
+        grid.spec().levels()
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
+    let path = *positional(args)
+        .first()
+        .ok_or_else(|| CliError::usage("missing snapshot file argument"))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    let (info, sections, used_footer) = sg_io::verify_snapshot(&bytes)
+        .map_err(|e| CliError::corrupt(format!("cannot verify {path}: {e}")))?;
+    println!(
+        "{path}: SGC2 v{} d={} level {} ({} points, {}, provenance {:?})",
+        info.version,
+        info.dim,
+        info.levels,
+        info.num_points,
+        if info.value_type == 0 { "f32" } else { "f64" },
+        info.provenance
+    );
+    if used_footer {
+        println!("warning: leading header corrupt, identity read from footer");
+    }
+    println!("{:>7} {:>12} {:>10}  status", "section", "offset", "points");
+    let mut lost = Vec::new();
+    for s in &sections {
+        let status = match s.status {
+            sg_io::SectionStatus::Intact => "intact",
+            sg_io::SectionStatus::Truncated => "TRUNCATED",
+            sg_io::SectionStatus::BadHeader => "BAD HEADER",
+            sg_io::SectionStatus::ChecksumMismatch => "CHECKSUM MISMATCH",
+        };
+        println!("{:>7} {:>12} {:>10}  {status}", s.group, s.offset, s.points);
+        if s.status != sg_io::SectionStatus::Intact {
+            lost.push(s.group);
+        }
+    }
+    if lost.is_empty() {
+        println!("all {} sections intact", sections.len());
+        Ok(())
+    } else {
+        Err(CliError::corrupt(format!(
+            "{}/{} sections damaged (level groups {lost:?}); \
+             `sgtool restore --function NAME` can rebuild them",
+            lost.len(),
+            sections.len()
+        )))
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), CliError> {
     let grid = load(args)?;
     let spec = grid.spec();
     println!("dimensionality : {}", spec.dim());
@@ -177,7 +410,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
+fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     let grid = load(args)?;
     let d = grid.spec().dim();
     // First positional argument is the grid file; the rest are points
@@ -193,7 +426,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_integrate(args: &[String]) -> Result<(), String> {
+fn cmd_integrate(args: &[String]) -> Result<(), CliError> {
     let grid = load(args)?;
     println!("{:.12}", integrate(&grid));
     Ok(())
@@ -205,7 +438,7 @@ fn cmd_integrate(args: &[String]) -> Result<(), String> {
 fn decompress_slice(
     args: &[String],
     aspect: f64,
-) -> Result<(Vec<f64>, usize, usize, (usize, usize), Vec<f64>, f64, f64), String> {
+) -> Result<(Vec<f64>, usize, usize, (usize, usize), Vec<f64>, f64, f64), CliError> {
     let grid = load(args)?;
     let d = grid.spec().dim();
     let axes = flag(args, "--axes").unwrap_or_else(|| "0,1".into());
@@ -217,7 +450,9 @@ fn decompress_slice(
         b.parse().map_err(|e| format!("bad axis: {e}"))?,
     );
     if a >= d || b >= d || a == b {
-        return Err(format!("axes {a},{b} invalid for a {d}-dimensional grid"));
+        return Err(CliError::usage(format!(
+            "axes {a},{b} invalid for a {d}-dimensional grid"
+        )));
     }
     let at = flag(args, "--at")
         .map(|s| parse_point(&s, d))
@@ -250,7 +485,7 @@ fn decompress_slice(
     Ok((values, width, height, (a, b), at, lo, hi))
 }
 
-fn cmd_slice(args: &[String]) -> Result<(), String> {
+fn cmd_slice(args: &[String]) -> Result<(), CliError> {
     let (values, width, height, (a, b), at, lo, hi) = decompress_slice(args, 0.5)?;
     let range = (hi - lo).max(1e-12);
     const SHADES: &[u8] = b" .:-=+*#%@";
@@ -293,7 +528,7 @@ fn colormap(v: f64) -> [u8; 3] {
 /// and print a human-readable summary — top-k spans by total time,
 /// histogram percentiles, and the per-level-group load-imbalance report
 /// that diagnoses the paper's Fig. 11 speedup flattening.
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let parse_flag = |key: &str, default: usize| -> Result<usize, String> {
         flag(args, key)
             .map(|s| s.parse().map_err(|e| format!("bad {key}: {e}")))
@@ -433,7 +668,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_render(args: &[String]) -> Result<(), String> {
+fn cmd_render(args: &[String]) -> Result<(), CliError> {
     let out = flag(args, "--out").ok_or("missing --out")?;
     let (values, width, height, (a, b), at, lo, hi) = decompress_slice(args, 1.0)?;
     let range = (hi - lo).max(1e-12);
@@ -466,7 +701,7 @@ fn parse_seed(raw: &str) -> Result<u64, String> {
     parsed.map_err(|e| format!("{raw:?}: {e}"))
 }
 
-fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
     let mut cfg = sg_fuzz::FuzzConfig::default();
     if let Ok(seed) = std::env::var("SG_PROP_SEED") {
         cfg.seed_base = parse_seed(&seed).map_err(|e| format!("bad SG_PROP_SEED: {e}"))?;
@@ -501,7 +736,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let inject = match flag(args, "--inject").as_deref() {
         None => sg_fuzz::Injection::None,
         Some("gp2idx-off-by-one") => sg_fuzz::Injection::Gp2idxOffByOne,
-        Some(other) => return Err(format!("unknown --inject {other:?}")),
+        Some(other) => return Err(CliError::usage(format!("unknown --inject {other:?}"))),
     };
     cfg.inject = inject;
     let interleavings: usize = match flag(args, "--sched-interleavings") {
@@ -509,6 +744,12 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|e| format!("bad --sched-interleavings: {e}"))?,
         None => 200,
+    };
+    let snapshot_faults: u64 = match flag(args, "--snapshot-faults") {
+        Some(n) => n
+            .parse()
+            .map_err(|e| format!("bad --snapshot-faults: {e}"))?,
+        None => 0,
     };
 
     // Differential pass.
@@ -553,6 +794,31 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Snapshot fault-injection pass: every injected fault must end in
+    // full recovery, enumerated partial recovery, or a typed error.
+    let snap_report = if snapshot_faults > 0 {
+        let r = sg_fuzz::run_snapshot_faults(cfg.seed_base, snapshot_faults);
+        println!(
+            "snapshot-faults: {} injected in {:.2}s — {} full, {} partial, {} clean-error, \
+             {} violation(s)",
+            r.cases,
+            r.elapsed_secs,
+            r.full_recoveries,
+            r.partial_recoveries,
+            r.clean_errors,
+            r.violations.len()
+        );
+        for (name, count) in &r.per_class {
+            println!("  {name:<24} {count}");
+        }
+        for v in &r.violations {
+            println!("\n{v}");
+        }
+        Some(r)
+    } else {
+        None
+    };
+
     // JSON summary (CI artifact, same provenance story as profile).
     if let Some(path) = flag(args, "--json") {
         let mut doc = sg_json::json!({
@@ -590,6 +856,22 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
             per_op[*name] = sg_json::Value::from(*count as f64);
         }
         doc["per_op"] = per_op;
+        if let Some(r) = &snap_report {
+            let mut per_class = sg_json::json!({});
+            for (name, count) in &r.per_class {
+                per_class[*name] = sg_json::Value::from(*count as f64);
+            }
+            let mut sf = sg_json::json!({
+                "cases": r.cases as f64,
+                "full_recoveries": r.full_recoveries as f64,
+                "partial_recoveries": r.partial_recoveries as f64,
+                "clean_errors": r.clean_errors as f64,
+                "violations": r.violations.clone(),
+                "elapsed_secs": r.elapsed_secs
+            });
+            sf["per_class"] = per_class;
+            doc["snapshot_faults"] = sf;
+        }
         doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
         std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
             .map_err(|e| format!("cannot write fuzz summary to {path}: {e}"))?;
@@ -599,16 +881,24 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     match inject {
         sg_fuzz::Injection::None => {
             if !report.clean() {
-                return Err(format!(
+                return Err(CliError::from(format!(
                     "{} divergence(s) found — see reproducers above",
                     report.divergences.len()
-                ));
+                )));
             }
             if !sched_violations.is_empty() {
-                return Err(format!(
+                return Err(CliError::from(format!(
                     "{} schedule invariant violation(s)",
                     sched_violations.len()
-                ));
+                )));
+            }
+            if let Some(r) = &snap_report {
+                if !r.clean() {
+                    return Err(CliError::from(format!(
+                        "{} snapshot fault-injection violation(s) — see reproducers above",
+                        r.violations.len()
+                    )));
+                }
             }
             Ok(())
         }

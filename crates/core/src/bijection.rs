@@ -51,26 +51,44 @@ pub struct GridIndexer {
 
 impl GridIndexer {
     /// Build the indexer for a grid specification.
+    ///
+    /// # Panics
+    /// If the grid's point count overflows `u64` (reachable only through
+    /// [`GridSpec::try_new`] shapes that skipped the count preflight);
+    /// use [`Self::try_new`] for untrusted shapes.
     pub fn new(spec: GridSpec) -> Self {
+        Self::try_new(spec).expect("grid point count overflows u64")
+    }
+
+    /// Fallible construction: `Err(SgError::CountOverflow)` instead of a
+    /// panic when the point count does not fit in a `u64`. This is the
+    /// checked-arithmetic replacement for the former overflow `expect()`.
+    pub fn try_new(spec: GridSpec) -> Result<Self, crate::error::SgError> {
+        // The binomial table itself can overflow for extreme d × level
+        // combinations; verify the total count first with fully checked
+        // arithmetic, which covers every partial sum and per-group product
+        // below (each is bounded by the total).
+        spec.try_num_points()?;
         let binmat = BinomialTable::new(spec.dim(), spec.max_sum());
         let mut group_offsets = Vec::with_capacity(spec.levels() + 1);
         let mut acc = 0u64;
         for n in 0..spec.levels() {
             group_offsets.push(acc);
-            // Checked: GridSpec::new validated the total via
-            // sparse_grid_points, but guard against direct misuse too.
             acc = binmat
                 .subspaces_on_level(n)
                 .checked_mul(1u64 << n)
                 .and_then(|g| acc.checked_add(g))
-                .expect("grid point count overflows u64");
+                .ok_or(crate::error::SgError::CountOverflow {
+                    dim: spec.dim(),
+                    levels: spec.levels(),
+                })?;
         }
         group_offsets.push(acc);
-        Self {
+        Ok(Self {
             spec,
             binmat,
             group_offsets,
-        }
+        })
     }
 
     /// The grid specification this indexer serves.
@@ -370,6 +388,25 @@ mod tests {
             "indexer too large: {}",
             ix.memory_bytes()
         );
+    }
+
+    #[test]
+    fn try_new_rejects_overflowing_point_count() {
+        // Regression: this (d, n) used to hit
+        // `expect("grid point count overflows u64")` inside the offset
+        // accumulation; the fallible path must return a typed error and
+        // the panicking wrapper must keep its message.
+        let spec = GridSpec::try_new(60, 31).expect("shape itself is valid");
+        assert_eq!(
+            GridIndexer::try_new(spec).err(),
+            Some(crate::error::SgError::CountOverflow {
+                dim: 60,
+                levels: 31
+            })
+        );
+        assert!(spec.try_num_points().is_err());
+        let caught = std::panic::catch_unwind(|| GridIndexer::new(spec));
+        assert!(caught.is_err(), "infallible constructor must still panic");
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl CappedGridSpec {
         &self.caps
     }
 
+    /// Checked total point count of this capped grid:
+    /// `Err(SgError::CountOverflow)` instead of a panic when the count
+    /// does not fit in a `u64`.
+    pub fn try_num_points(&self) -> Result<u64, crate::error::SgError> {
+        CappedIndexer::try_new(self.clone()).map(|ix| ix.num_points())
+    }
+
     /// True if `(l, i)` is a point of this grid.
     pub fn contains(&self, l: &[Level], i: &[Index]) -> bool {
         if l.len() != self.dim() || i.len() != self.dim() {
@@ -85,7 +92,23 @@ pub struct CappedIndexer {
 
 impl CappedIndexer {
     /// Build the DP tables for a spec; `O(d · L · max_cap)`.
+    ///
+    /// # Panics
+    /// If the capped point count overflows `u64`; use [`Self::try_new`]
+    /// for untrusted shapes.
     pub fn new(spec: CappedGridSpec) -> Self {
+        Self::try_new(spec).expect("capped grid point count overflows u64")
+    }
+
+    /// Fallible construction with fully checked arithmetic — the
+    /// replacement for the former overflow `expect()`: an anisotropic
+    /// shape whose bounded-composition counts exceed `u64` yields
+    /// `Err(SgError::CountOverflow)` instead of a panic.
+    pub fn try_new(spec: CappedGridSpec) -> Result<Self, crate::error::SgError> {
+        let overflow = || crate::error::SgError::CountOverflow {
+            dim: spec.dim(),
+            levels: spec.levels(),
+        };
         let d = spec.dim();
         let width = spec.levels(); // level sums 0..levels
         let mut prefix_count = vec![vec![0u64; width]; d + 1];
@@ -95,7 +118,9 @@ impl CappedIndexer {
             for m in 0..width {
                 let mut acc = 0u64;
                 for k in 0..=cap.min(m) {
-                    acc += prefix_count[t - 1][m - k];
+                    acc = acc
+                        .checked_add(prefix_count[t - 1][m - k])
+                        .ok_or_else(overflow)?;
                 }
                 prefix_count[t][m] = acc;
             }
@@ -107,14 +132,14 @@ impl CappedIndexer {
             acc = prefix_count[d][n]
                 .checked_mul(1u64 << n)
                 .and_then(|g| acc.checked_add(g))
-                .expect("capped grid point count overflows u64");
+                .ok_or_else(overflow)?;
         }
         group_offsets.push(acc);
-        Self {
+        Ok(Self {
             spec,
             prefix_count,
             group_offsets,
-        }
+        })
     }
 
     /// The grid shape.
@@ -238,6 +263,25 @@ impl<T: Real> CappedGrid<T> {
             values: vec![T::ZERO; n],
             indexer,
         }
+    }
+
+    /// Fallible zero-initialized grid: checked point count and a
+    /// preflight allocation check, so oversized shapes return
+    /// `Err(SgError)` instead of panicking or aborting.
+    pub fn try_new(spec: CappedGridSpec) -> Result<Self, crate::error::SgError> {
+        let indexer = CappedIndexer::try_new(spec)?;
+        let n = indexer.num_points();
+        if n > usize::MAX as u64 {
+            return Err(crate::error::SgError::TooLarge { points: n });
+        }
+        let mut values = Vec::new();
+        values.try_reserve_exact(n as usize).map_err(|_| {
+            crate::error::SgError::AllocationFailed {
+                bytes: n.saturating_mul(T::size_bytes() as u64),
+            }
+        })?;
+        values.resize(n as usize, T::ZERO);
+        Ok(Self { values, indexer })
     }
 
     /// Sample `f` at every grid point.
@@ -517,6 +561,26 @@ mod tests {
         for x in crate::functions::halton_points(2, 25).chunks_exact(2) {
             assert_eq!(capped.evaluate(x), eval_regular(&regular, x));
         }
+    }
+
+    #[test]
+    fn try_new_rejects_overflowing_point_count() {
+        // Regression: this shape used to hit
+        // `expect("capped grid point count overflows u64")`; both the DP
+        // accumulation and the group-offset sum must use checked
+        // arithmetic and surface a typed error.
+        let spec = CappedGridSpec::new(vec![30; 60], 31);
+        assert_eq!(
+            CappedIndexer::try_new(spec.clone()).err(),
+            Some(crate::error::SgError::CountOverflow {
+                dim: 60,
+                levels: 31
+            })
+        );
+        assert!(spec.try_num_points().is_err());
+        assert!(CappedGrid::<f64>::try_new(spec.clone()).is_err());
+        let caught = std::panic::catch_unwind(|| CappedIndexer::new(spec));
+        assert!(caught.is_err(), "infallible constructor must still panic");
     }
 
     #[test]

@@ -65,14 +65,47 @@ pub fn subspace_count(d: usize, n: usize) -> u64 {
 /// assert_eq!(sparse_grid_points(1, 11), 2_047);
 /// ```
 pub fn sparse_grid_points(d: usize, levels: usize) -> u64 {
-    (0..levels)
-        .map(|n| {
-            subspace_count(d, n)
-                .checked_mul(1u64 << n)
-                .expect("sparse grid point count overflows u64")
-        })
-        .try_fold(0u64, u64::checked_add)
-        .expect("sparse grid point count overflows u64")
+    try_sparse_grid_points(d, levels).expect("sparse grid point count overflows u64")
+}
+
+/// Checked variant of [`sparse_grid_points`]: returns
+/// [`SgError::CountOverflow`] instead of panicking when `N(d, L)` does not
+/// fit in a `u64`. Codecs and CLI front ends must use this for untrusted
+/// shapes.
+///
+/// ```
+/// use sg_core::combinatorics::try_sparse_grid_points;
+/// use sg_core::error::SgError;
+/// assert_eq!(try_sparse_grid_points(10, 11), Ok(127_574_017));
+/// assert_eq!(
+///     try_sparse_grid_points(60, 31),
+///     Err(SgError::CountOverflow { dim: 60, levels: 31 })
+/// );
+/// ```
+pub fn try_sparse_grid_points(d: usize, levels: usize) -> Result<u64, crate::error::SgError> {
+    let overflow = || crate::error::SgError::CountOverflow { dim: d, levels };
+    // The binomial itself can overflow before the shift does (large d), so
+    // the subspace count goes through a checked product too.
+    let checked_subspaces = |n: usize| -> Option<u64> {
+        let (n, k) = ((d - 1 + n) as u64, (d - 1) as u64);
+        let k = k.min(n - k);
+        let mut acc: u64 = 1;
+        for j in 1..=k {
+            acc = acc.checked_mul(n - k + j)? / j;
+        }
+        Some(acc)
+    };
+    let mut total = 0u64;
+    for n in 0..levels {
+        if n >= 64 {
+            return Err(overflow());
+        }
+        let group = checked_subspaces(n)
+            .and_then(|s| s.checked_mul(1u64 << n))
+            .ok_or_else(overflow)?;
+        total = total.checked_add(group).ok_or_else(overflow)?;
+    }
+    Ok(total)
 }
 
 /// Precomputed binomial lookup matrix — the paper's `binmat`.

@@ -1,0 +1,125 @@
+//! [`SgError`] — the panic-free error taxonomy for the sparse grid stack.
+//!
+//! Every failure a caller can provoke through public constructors, codecs,
+//! or the durability layer maps onto one of these variants, so `sgtool`
+//! and embedding services can translate outcomes into exit codes or HTTP
+//! statuses without string matching. Library-internal invariant violations
+//! remain `debug_assert!`s; `SgError` is reserved for conditions reachable
+//! from untrusted input (CLI flags, file headers, resource exhaustion).
+
+use crate::level::SpecError;
+
+/// Unified error type for fallible sparse grid operations.
+///
+/// The variants are deliberately coarse: they distinguish *what a caller
+/// should do* (fix the request, treat the data as corrupt, retry with more
+/// resources, accept a degraded result) rather than every internal detail,
+/// which lives in the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgError {
+    /// The requested grid shape is invalid (zero dimension, zero or
+    /// oversized refinement level).
+    Spec(SpecError),
+    /// The point count of the requested shape overflows `u64` — the
+    /// checked-arithmetic replacement for the former
+    /// `expect("grid point count overflows u64")` panics.
+    CountOverflow {
+        /// Dimensionality of the offending shape.
+        dim: usize,
+        /// Refinement level of the offending shape.
+        levels: usize,
+    },
+    /// The grid is representable but exceeds the address space of this
+    /// machine (`num_points > usize::MAX`).
+    TooLarge {
+        /// The point count that does not fit.
+        points: u64,
+    },
+    /// A preflight allocation check failed: the coefficient array cannot
+    /// be reserved without aborting the process.
+    AllocationFailed {
+        /// Bytes the allocation would have needed.
+        bytes: u64,
+    },
+    /// Serialized data is corrupt or structurally invalid beyond use.
+    Corrupt(String),
+    /// A sectioned snapshot was only partially recovered; the listed
+    /// level groups (`|l|₁ = n`) could not be salvaged.
+    Degraded {
+        /// Level-group indices whose sections failed verification.
+        lost_groups: Vec<usize>,
+    },
+    /// An underlying I/O operation failed (stringified so the error stays
+    /// `Clone + PartialEq` for tests and reports).
+    Io(String),
+}
+
+impl std::fmt::Display for SgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SgError::Spec(e) => write!(f, "invalid grid shape: {e}"),
+            SgError::CountOverflow { dim, levels } => write!(
+                f,
+                "grid point count overflows u64 (d={dim}, level {levels})"
+            ),
+            SgError::TooLarge { points } => {
+                write!(f, "grid exceeds addressable memory ({points} points)")
+            }
+            SgError::AllocationFailed { bytes } => {
+                write!(f, "cannot allocate {bytes} bytes for the coefficient array")
+            }
+            SgError::Corrupt(why) => write!(f, "corrupt data: {why}"),
+            SgError::Degraded { lost_groups } => {
+                write!(f, "snapshot degraded: lost level group(s) {lost_groups:?}")
+            }
+            SgError::Io(why) => write!(f, "i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SgError {}
+
+impl From<SpecError> for SgError {
+    fn from(e: SpecError) -> Self {
+        SgError::Spec(e)
+    }
+}
+
+impl From<std::io::Error> for SgError {
+    fn from(e: std::io::Error) -> Self {
+        SgError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SgError::CountOverflow {
+            dim: 60,
+            levels: 31
+        }
+        .to_string()
+        .contains("overflows u64"));
+        assert!(SgError::TooLarge { points: u64::MAX }
+            .to_string()
+            .contains("addressable"));
+        assert!(SgError::Degraded {
+            lost_groups: vec![3, 4]
+        }
+        .to_string()
+        .contains("[3, 4]"));
+        assert!(SgError::from(SpecError::ZeroDimension)
+            .to_string()
+            .contains("dimension"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e = std::io::Error::new(std::io::ErrorKind::StorageFull, "no space");
+        assert!(matches!(SgError::from(e), SgError::Io(ref m) if m.contains("no space")));
+    }
+}

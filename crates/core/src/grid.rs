@@ -23,17 +23,35 @@ pub struct CompactGrid<T> {
 
 impl<T: Real> CompactGrid<T> {
     /// Zero-initialized grid.
+    ///
+    /// # Panics
+    /// On point-count overflow or when the grid exceeds addressable
+    /// memory; use [`Self::try_new`] for untrusted shapes.
     pub fn new(spec: GridSpec) -> Self {
-        let indexer = GridIndexer::new(spec);
-        let n = indexer.num_points();
-        assert!(
-            n <= usize::MAX as u64,
-            "grid exceeds addressable memory ({n} points)"
-        );
-        Self {
-            values: vec![T::ZERO; n as usize],
-            indexer,
+        match Self::try_new(spec) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible zero-initialized grid: checked point count, address-space
+    /// check, and a preflight `try_reserve` of the coefficient array, so
+    /// an oversized shape from untrusted input returns `Err(SgError)`
+    /// instead of panicking or aborting the process mid-allocation.
+    pub fn try_new(spec: GridSpec) -> Result<Self, crate::error::SgError> {
+        let indexer = GridIndexer::try_new(spec)?;
+        let n = indexer.num_points();
+        if n > usize::MAX as u64 {
+            return Err(crate::error::SgError::TooLarge { points: n });
+        }
+        let mut values = Vec::new();
+        values.try_reserve_exact(n as usize).map_err(|_| {
+            crate::error::SgError::AllocationFailed {
+                bytes: n.saturating_mul(T::size_bytes() as u64),
+            }
+        })?;
+        values.resize(n as usize, T::ZERO);
+        Ok(Self { values, indexer })
     }
 
     /// Sample `f` at every grid point (nodal values), sequentially.
@@ -52,8 +70,21 @@ impl<T: Real> CompactGrid<T> {
     /// Sample `f` at every grid point in parallel over contiguous chunks
     /// of the coefficient array.
     pub fn from_fn_parallel(spec: GridSpec, f: impl Fn(&[f64]) -> T + Sync) -> Self {
+        match Self::try_from_fn_parallel(spec, f) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::from_fn_parallel`] with the preflight
+    /// checks of [`Self::try_new`] — the construction path `sgtool` uses
+    /// for shapes supplied on the command line.
+    pub fn try_from_fn_parallel(
+        spec: GridSpec,
+        f: impl Fn(&[f64]) -> T + Sync,
+    ) -> Result<Self, crate::error::SgError> {
         const CHUNK: usize = 1024;
-        let mut grid = Self::new(spec);
+        let mut grid = Self::try_new(spec)?;
         let d = spec.dim();
         let indexer = grid.indexer.clone();
         sg_par::par_chunks_mut_grained(
@@ -76,7 +107,7 @@ impl<T: Real> CompactGrid<T> {
                 }
             },
         );
-        grid
+        Ok(grid)
     }
 
     /// Grid specification.

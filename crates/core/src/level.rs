@@ -56,14 +56,24 @@ impl GridSpec {
     /// If `dim == 0`, `levels == 0`, or the grid would exceed `u64`
     /// addressable points. Use [`Self::try_new`] for a fallible variant.
     pub fn new(dim: usize, levels: usize) -> Self {
-        match Self::try_new(dim, levels) {
+        let spec = match Self::try_new(dim, levels) {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
-        }
+        };
+        // Force the point count to be computed; it panics on u64 overflow
+        // (only reachable for extreme d × level combinations).
+        let _ = sparse_grid_points(dim, levels);
+        spec
     }
 
     /// Fallible constructor for untrusted inputs (CLI flags, file
     /// headers).
+    ///
+    /// Validates the *shape* only. A valid shape may still describe more
+    /// points than `u64` can count (e.g. `d = 60` at level 31); callers
+    /// that go on to allocate or index must preflight with
+    /// [`Self::try_num_points`], which is how the codecs and `sgtool`
+    /// reject such shapes without panicking.
     pub fn try_new(dim: usize, levels: usize) -> Result<Self, SpecError> {
         if dim == 0 {
             return Err(SpecError::ZeroDimension);
@@ -74,9 +84,6 @@ impl GridSpec {
         if levels > 31 {
             return Err(SpecError::LevelTooLarge);
         }
-        // Force the point count to be computed; it panics on u64 overflow
-        // (only reachable for extreme d × level combinations).
-        let _ = sparse_grid_points(dim, levels);
         Ok(Self { dim, levels })
     }
 
@@ -99,8 +106,18 @@ impl GridSpec {
     }
 
     /// Total number of grid points.
+    ///
+    /// # Panics
+    /// If the count overflows `u64`; use [`Self::try_num_points`] for
+    /// shapes that came from untrusted input.
     pub fn num_points(&self) -> u64 {
         sparse_grid_points(self.dim, self.levels)
+    }
+
+    /// Checked total point count: `Err(SgError::CountOverflow)` instead
+    /// of a panic when `N(d, L)` does not fit in a `u64`.
+    pub fn try_num_points(&self) -> Result<u64, crate::error::SgError> {
+        crate::combinatorics::try_sparse_grid_points(self.dim, self.levels)
     }
 
     /// True if `(l, i)` denotes a valid point of this grid: component count
@@ -121,13 +138,11 @@ impl GridSpec {
 
 impl std::fmt::Display for GridSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "sparse grid d={}, level {} ({} points)",
-            self.dim,
-            self.levels,
-            self.num_points()
-        )
+        write!(f, "sparse grid d={}, level {} ", self.dim, self.levels)?;
+        match self.try_num_points() {
+            Ok(n) => write!(f, "({n} points)"),
+            Err(_) => write!(f, "(point count overflows u64)"),
+        }
     }
 }
 

@@ -59,6 +59,7 @@ pub mod bijection;
 pub mod boundary;
 pub mod capped;
 pub mod combinatorics;
+pub mod error;
 pub mod evaluate;
 pub mod full_grid;
 pub mod functions;
@@ -73,6 +74,7 @@ pub mod real;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::bijection::GridIndexer;
+    pub use crate::error::SgError;
     pub use crate::evaluate::{
         evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel,
     };

@@ -30,9 +30,11 @@ pub mod diff;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod snapfault;
 
 pub use diff::{Case, Failure, Injection, Op};
 pub use shrink::Shrunk;
+pub use snapfault::{run_snapshot_faults, FaultClass, FaultOutcome, SnapFaultReport};
 
 thread_local! {
     static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };

@@ -56,6 +56,15 @@ tel! {
         sg_telemetry::Histogram::new("io.decode_ns");
 }
 
+pub mod snapshot;
+
+pub use snapshot::{
+    crc64, encode_snapshot, read_snapshot, read_snapshot_file, recover_snapshot,
+    section_boundaries, verify_snapshot, write_snapshot, write_snapshot_file, DegradedGrid,
+    FaultSink, FileSink, MemorySink, Recovery, SectionReport, SectionStatus, SnapshotInfo,
+    SnapshotSink, WriteFault, SNAP_MAGIC, SNAP_VERSION,
+};
+
 /// Format magic.
 pub const MAGIC: [u8; 4] = *b"SGC1";
 /// Fixed header length in bytes.
@@ -231,14 +240,18 @@ pub fn decode<T: Real>(blob: &[u8]) -> Result<CompactGrid<T>, DecodeError> {
     let d = cur.get_u32_le() as usize;
     let levels = cur.get_u32_le() as usize;
     let n = cur.get_u64_le();
-    if d == 0 || levels == 0 || levels > 31 || d > 64 {
+    if d > 64 {
         return Err(DecodeError::BadShape);
     }
-    let spec = GridSpec::new(d, levels);
-    if spec.num_points() != n {
+    // `try_new` + `try_num_points`: a checksum-valid crafted header like
+    // (d = 60, L = 31) describes a point count that overflows u64 and
+    // must fail typed, not panic.
+    let spec = GridSpec::try_new(d, levels).map_err(|_| DecodeError::BadShape)?;
+    let expected = spec.try_num_points().map_err(|_| DecodeError::BadShape)?;
+    if expected != n {
         return Err(DecodeError::CountMismatch {
             header: n,
-            expected: spec.num_points(),
+            expected,
         });
     }
     if cur.remaining() != n as usize * T::size_bytes() {
@@ -304,10 +317,11 @@ pub fn decode_json<T: Real>(text: &str) -> Result<CompactGrid<T>, DecodeError> {
     };
     let d = as_dim("dim")?;
     let levels = as_dim("levels")?;
-    if d == 0 || levels == 0 || levels > 31 || d > 64 {
+    if d > 64 {
         return Err(DecodeError::BadShape);
     }
-    let spec = GridSpec::new(d, levels);
+    let spec = GridSpec::try_new(d, levels).map_err(|_| DecodeError::BadShape)?;
+    let expected = spec.try_num_points().map_err(|_| DecodeError::BadShape)?;
     let raw = match field("values")? {
         Value::Array(items) => items,
         _ => {
@@ -316,7 +330,7 @@ pub fn decode_json<T: Real>(text: &str) -> Result<CompactGrid<T>, DecodeError> {
             ))
         }
     };
-    if raw.len() as u64 != spec.num_points() {
+    if raw.len() as u64 != expected {
         return Err(DecodeError::LengthMismatch);
     }
     let mut values = Vec::with_capacity(raw.len());

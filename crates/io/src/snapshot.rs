@@ -1,0 +1,1123 @@
+//! `SGC2` — crash-safe sectioned snapshots of compact sparse grids.
+//!
+//! The legacy [`crate::encode`]/[`crate::decode`] format (`SGC1`) is
+//! all-or-nothing: one trailing checksum over the whole buffer, so a torn
+//! write or a single flipped bit discards the entire grid. The compact
+//! bijection makes partial durability natural — each level group
+//! `|l|₁ = n` is a *contiguous* range of the coefficient array
+//! ([`sg_core::bijection::GridIndexer::group_range`]) — so `SGC2` stores
+//! one independently checksummed section per level group and can salvage
+//! every intact section of a damaged file:
+//!
+//! ```text
+//! offset                      field
+//! 0                           header block (see below)
+//! H                           section 0   (level group 0)
+//! H + S₀                      section 1   (level group 1)
+//! …
+//! H + Σ Sₙ                    footer  = byte-for-byte copy of the header
+//! end − 12                    footer length (LE u64)
+//! end − 4                     trailer magic "2CGS"
+//!
+//! header block (little-endian):
+//!   +0   4   magic  "SGC2"
+//!   +4   4   format version (currently 1)
+//!   +8   1   value type tag: 0 = f32, 1 = f64
+//!   +9   3   reserved (zero)
+//!   +12  4   dimensionality d
+//!   +16  4   refinement level L   (= section count)
+//!   +20  8   coefficient count N
+//!   +28  4   provenance length P  (bytes, ≤ 4096)
+//!   +32  P   provenance stamp (UTF-8, free-form)
+//!   +32+P 8  CRC-64/XZ of the P+32 bytes above
+//!
+//! section n (one per level group, in ascending n):
+//!   +0   4   marker "SGSC"
+//!   +4   4   level group index n
+//!   +8   8   payload length  (= |group n| · sizeof(T))
+//!   +16  …   raw little-endian coefficients of group n
+//!   end  8   CRC-64/XZ of marker..payload
+//! ```
+//!
+//! Every section offset is *computable from the spec alone*, so a corrupt
+//! section never prevents locating the next one, and the duplicated
+//! header (footer) means a damaged prefix still yields the spec. Recovery
+//! ([`recover_snapshot`]) therefore ends in exactly one of three states:
+//! full recovery (bitwise-identical coefficients), a [`DegradedGrid`]
+//! that enumerates the lost level groups (coarse groups carry most of
+//! the interpolant mass, so degraded evaluation stays bounded), or a
+//! typed [`SgError`] — never a panic.
+//!
+//! Writing goes through a pluggable [`SnapshotSink`]; the file-backed
+//! [`FileSink`] is atomic (temp file → flush → rename), and tests inject
+//! ENOSPC, torn writes, truncation, and bit flips via [`FaultSink`].
+
+use sg_core::error::SgError;
+use sg_core::grid::CompactGrid;
+use sg_core::level::GridSpec;
+use sg_core::real::Real;
+
+tel! {
+    static SNAP_ENCODE_BYTES: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.encode_bytes");
+    static SNAP_SECTIONS_WRITTEN: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.sections_written");
+    static SNAP_SECTIONS_VERIFIED: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.sections_verified");
+    static SNAP_SECTIONS_CORRUPT: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.sections_corrupt");
+    static SNAP_RECOVER_FULL: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.recover_full");
+    static SNAP_RECOVER_DEGRADED: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.recover_degraded");
+    static SNAP_RECOVER_FAILED: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.recover_failed");
+    static SNAP_HEADER_FALLBACKS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("io.snapshot.footer_fallbacks");
+    /// Per-section verification latency (CRC + structural checks).
+    static SECTION_VERIFY_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("io.snapshot.section_verify_ns");
+    /// Whole-snapshot write latency through a sink.
+    static SNAP_WRITE_NS: sg_telemetry::Histogram =
+        sg_telemetry::Histogram::new("io.snapshot.write_ns");
+}
+
+/// Snapshot format magic.
+pub const SNAP_MAGIC: [u8; 4] = *b"SGC2";
+/// Trailer magic locating the footer from the end of the file.
+pub const TRAILER_MAGIC: [u8; 4] = *b"2CGS";
+/// Current format version.
+pub const SNAP_VERSION: u32 = 1;
+/// Per-section marker.
+pub const SECTION_MARKER: [u8; 4] = *b"SGSC";
+/// Fixed header bytes before the provenance stamp.
+const HEADER_FIXED: usize = 32;
+/// Fixed section bytes before the payload (marker + group + length).
+const SECTION_FIXED: usize = 16;
+/// Bytes of the section checksum.
+const SECTION_CRC: usize = 8;
+/// Trailer: footer length (u64) + trailer magic.
+const TRAILER_LEN: usize = 12;
+/// Upper bound on the provenance stamp, so a corrupt length field cannot
+/// drive a huge read.
+pub const MAX_PROVENANCE: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// CRC-64/XZ
+// ---------------------------------------------------------------------------
+
+/// 256-entry lookup table for CRC-64/XZ (reflected, polynomial
+/// 0xC96C5795D7870F42), built at compile time.
+static CRC64_TABLE: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/XZ over a byte slice (init and xor-out `!0`).
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in data {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Destination for a snapshot byte stream.
+///
+/// [`write_snapshot`] emits the header, each section, and the footer as
+/// *separate* `write` calls, so a fault-injecting sink can tear the
+/// stream at every section boundary. `commit` publishes the snapshot;
+/// until it returns `Ok`, readers must never observe a partial file
+/// (the contract [`FileSink`] implements with temp-file + rename).
+pub trait SnapshotSink {
+    /// Append the next chunk of the snapshot byte stream.
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<()>;
+    /// Durably persist everything written so far (e.g. `fsync`).
+    fn flush(&mut self) -> std::io::Result<()>;
+    /// Atomically publish the finished snapshot.
+    fn commit(&mut self) -> std::io::Result<()>;
+}
+
+/// Atomic file-backed sink: writes to `<path>.tmp.<pid>`, fsyncs, and
+/// renames onto `path` at commit. If the process dies (or an injected
+/// fault aborts the write) before `commit`, the destination keeps its
+/// previous content; the temp file is removed on drop.
+pub struct FileSink {
+    final_path: std::path::PathBuf,
+    tmp_path: std::path::PathBuf,
+    file: Option<std::fs::File>,
+    committed: bool,
+}
+
+impl FileSink {
+    /// Open a sink that will atomically replace `path` on commit.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let final_path = path.as_ref().to_path_buf();
+        let mut os = final_path.as_os_str().to_owned();
+        os.push(format!(".tmp.{}", std::process::id()));
+        let tmp_path = std::path::PathBuf::from(os);
+        let file = std::fs::File::create(&tmp_path)?;
+        Ok(Self {
+            final_path,
+            tmp_path,
+            file: Some(file),
+            committed: false,
+        })
+    }
+}
+
+impl SnapshotSink for FileSink {
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        self.file
+            .as_mut()
+            .expect("write after commit")
+            .write_all(chunk)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.as_mut().expect("flush after commit").sync_all()
+    }
+
+    fn commit(&mut self) -> std::io::Result<()> {
+        drop(self.file.take());
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        if !self.committed {
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// In-memory sink for tests and the fault-injection harness.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    bytes: Vec<u8>,
+    committed: bool,
+}
+
+impl MemorySink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes accepted so far (committed or not).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// True once `commit` succeeded.
+    pub fn committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Consume the sink; `Some(bytes)` only if the snapshot committed —
+    /// an uncommitted write must never be treated as published.
+    pub fn into_published(self) -> Option<Vec<u8>> {
+        self.committed.then_some(self.bytes)
+    }
+}
+
+impl SnapshotSink for MemorySink {
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        self.bytes.extend_from_slice(chunk);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn commit(&mut self) -> std::io::Result<()> {
+        self.committed = true;
+        Ok(())
+    }
+}
+
+/// Fault classes a [`FaultSink`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Writes beyond `after_bytes` fail with `ENOSPC`; nothing commits.
+    Enospc {
+        /// Bytes accepted before the device "fills up".
+        after_bytes: usize,
+    },
+    /// Bytes beyond `after_bytes` are silently dropped but the commit
+    /// still "succeeds" — models a torn write that got published (e.g. a
+    /// filesystem that acked the rename before all data pages hit disk).
+    Torn {
+        /// Bytes that actually reach the medium.
+        after_bytes: usize,
+    },
+}
+
+/// A [`MemorySink`] wrapper that injects one [`WriteFault`].
+#[derive(Debug)]
+pub struct FaultSink {
+    inner: MemorySink,
+    fault: WriteFault,
+    written: usize,
+}
+
+impl FaultSink {
+    /// Sink that injects `fault`.
+    pub fn new(fault: WriteFault) -> Self {
+        Self {
+            inner: MemorySink::new(),
+            fault,
+            written: 0,
+        }
+    }
+
+    /// The bytes a reader would observe afterwards: `Some` only if the
+    /// snapshot was published (commit succeeded).
+    pub fn into_published(self) -> Option<Vec<u8>> {
+        self.inner.into_published()
+    }
+
+    /// True once the commit went through.
+    pub fn committed(&self) -> bool {
+        self.inner.committed()
+    }
+}
+
+impl SnapshotSink for FaultSink {
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        match self.fault {
+            WriteFault::Enospc { after_bytes } => {
+                if self.written + chunk.len() > after_bytes {
+                    let keep = after_bytes.saturating_sub(self.written);
+                    self.inner.write(&chunk[..keep])?;
+                    self.written = after_bytes;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::StorageFull,
+                        "injected ENOSPC: no space left on device",
+                    ));
+                }
+            }
+            WriteFault::Torn { after_bytes } => {
+                if self.written + chunk.len() > after_bytes {
+                    let keep = after_bytes.saturating_sub(self.written);
+                    self.inner.write(&chunk[..keep])?;
+                    self.written += chunk.len(); // pretend it all landed
+                    return Ok(());
+                }
+            }
+        }
+        self.written += chunk.len();
+        self.inner.write(chunk)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn commit(&mut self) -> std::io::Result<()> {
+        self.inner.commit()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+/// Parsed identity of a snapshot (from its header or footer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version.
+    pub version: u32,
+    /// Value-type tag (0 = `f32`, 1 = `f64`).
+    pub value_type: u8,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Refinement level (= number of sections).
+    pub levels: usize,
+    /// Total coefficient count.
+    pub num_points: u64,
+    /// Free-form provenance stamp recorded at write time.
+    pub provenance: String,
+}
+
+/// Serialized length of the header block carrying `prov` bytes.
+fn header_len(prov_len: usize) -> usize {
+    HEADER_FIXED + prov_len + 8
+}
+
+fn encode_header(info: &SnapshotInfo) -> Vec<u8> {
+    let prov = info.provenance.as_bytes();
+    debug_assert!(prov.len() <= MAX_PROVENANCE);
+    let mut buf = Vec::with_capacity(header_len(prov.len()));
+    buf.extend_from_slice(&SNAP_MAGIC);
+    buf.extend_from_slice(&info.version.to_le_bytes());
+    buf.push(info.value_type);
+    buf.extend_from_slice(&[0u8; 3]);
+    buf.extend_from_slice(&(info.dim as u32).to_le_bytes());
+    buf.extend_from_slice(&(info.levels as u32).to_le_bytes());
+    buf.extend_from_slice(&info.num_points.to_le_bytes());
+    buf.extend_from_slice(&(prov.len() as u32).to_le_bytes());
+    buf.extend_from_slice(prov);
+    let crc = crc64(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Parse and CRC-verify a header block at `offset`. Returns the info and
+/// the header's total byte length; `None` on any structural or checksum
+/// failure (the caller falls back to the footer, or gives up).
+fn parse_header_at(bytes: &[u8], offset: usize) -> Option<(SnapshotInfo, usize)> {
+    let b = bytes.get(offset..)?;
+    if b.len() < HEADER_FIXED + 8 || b[..4] != SNAP_MAGIC {
+        return None;
+    }
+    let u32_at = |p: usize| u32::from_le_bytes(b[p..p + 4].try_into().unwrap());
+    let version = u32_at(4);
+    let value_type = b[8];
+    let dim = u32_at(12) as usize;
+    let levels = u32_at(16) as usize;
+    let num_points = u64::from_le_bytes(b[20..28].try_into().unwrap());
+    let prov_len = u32_at(28) as usize;
+    if prov_len > MAX_PROVENANCE {
+        return None;
+    }
+    let total = header_len(prov_len);
+    if b.len() < total {
+        return None;
+    }
+    let stored = u64::from_le_bytes(b[total - 8..total].try_into().unwrap());
+    if crc64(&b[..total - 8]) != stored {
+        return None;
+    }
+    let provenance = String::from_utf8(b[HEADER_FIXED..HEADER_FIXED + prov_len].to_vec()).ok()?;
+    Some((
+        SnapshotInfo {
+            version,
+            value_type,
+            dim,
+            levels,
+            num_points,
+            provenance,
+        },
+        total,
+    ))
+}
+
+/// Try the footer: locate it through the fixed-size trailer at the end of
+/// the buffer and parse the header copy it holds.
+fn parse_footer(bytes: &[u8]) -> Option<(SnapshotInfo, usize)> {
+    if bytes.len() < TRAILER_LEN {
+        return None;
+    }
+    let tail = &bytes[bytes.len() - TRAILER_LEN..];
+    if tail[8..12] != TRAILER_MAGIC {
+        return None;
+    }
+    let flen = u64::from_le_bytes(tail[..8].try_into().unwrap()) as usize;
+    let start = bytes.len().checked_sub(TRAILER_LEN + flen)?;
+    let (info, parsed_len) = parse_header_at(bytes, start)?;
+    (parsed_len == flen).then_some((info, parsed_len))
+}
+
+fn type_tag<T: Real>() -> u8 {
+    match T::size_bytes() {
+        4 => 0,
+        _ => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn encode_section<T: Real>(group: usize, values: &[T]) -> Vec<u8> {
+    let payload_len = values.len() * T::size_bytes();
+    let mut buf = Vec::with_capacity(SECTION_FIXED + payload_len + SECTION_CRC);
+    buf.extend_from_slice(&SECTION_MARKER);
+    buf.extend_from_slice(&(group as u32).to_le_bytes());
+    buf.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    for &v in values {
+        match T::size_bytes() {
+            4 => buf.extend_from_slice(&(v.to_f64() as f32).to_le_bytes()),
+            _ => buf.extend_from_slice(&v.to_f64().to_le_bytes()),
+        }
+    }
+    let crc = crc64(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Stream a sectioned snapshot of `grid` into `sink`: header, one section
+/// per level group, footer (header copy) + trailer, then `flush` and
+/// `commit`. Any sink error aborts cleanly — with [`FileSink`] the
+/// destination file is untouched.
+pub fn write_snapshot<T: Real>(
+    grid: &CompactGrid<T>,
+    sink: &mut dyn SnapshotSink,
+    provenance: &str,
+) -> Result<(), SgError> {
+    tel! { let write_t0 = std::time::Instant::now(); }
+    let mut prov = provenance;
+    if prov.len() > MAX_PROVENANCE {
+        // Trim on a char boundary so the stamp stays valid UTF-8.
+        let mut cut = MAX_PROVENANCE;
+        while !prov.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prov = &prov[..cut];
+    }
+    let info = SnapshotInfo {
+        version: SNAP_VERSION,
+        value_type: type_tag::<T>(),
+        dim: grid.spec().dim(),
+        levels: grid.spec().levels(),
+        num_points: grid.len() as u64,
+        provenance: prov.to_string(),
+    };
+    let header = encode_header(&info);
+    let mut total = header.len();
+    sink.write(&header)?;
+    for n in 0..grid.spec().levels() {
+        let r = grid.indexer().group_range(n);
+        let values = grid
+            .values()
+            .get(r.start as usize..r.end as usize)
+            .ok_or_else(|| SgError::Corrupt("grid value array shorter than its spec".into()))?;
+        let section = encode_section(n, values);
+        total += section.len();
+        sink.write(&section)?;
+        tel! { SNAP_SECTIONS_WRITTEN.add(1); }
+    }
+    let mut tail = header.clone();
+    tail.extend_from_slice(&(header.len() as u64).to_le_bytes());
+    tail.extend_from_slice(&TRAILER_MAGIC);
+    total += tail.len();
+    sink.write(&tail)?;
+    sink.flush()?;
+    sink.commit()?;
+    tel! {
+        SNAP_ENCODE_BYTES.add(total as u64);
+        SNAP_WRITE_NS.record(write_t0.elapsed().as_nanos() as u64);
+    }
+    let _ = total;
+    Ok(())
+}
+
+/// Encode a snapshot into a byte vector (a [`MemorySink`] convenience).
+pub fn encode_snapshot<T: Real>(grid: &CompactGrid<T>, provenance: &str) -> Vec<u8> {
+    let mut sink = MemorySink::new();
+    write_snapshot(grid, &mut sink, provenance).expect("memory sink cannot fail");
+    sink.into_published().expect("memory sink commits")
+}
+
+/// Write a snapshot atomically to `path` (temp file → flush → rename).
+pub fn write_snapshot_file<T: Real>(
+    grid: &CompactGrid<T>,
+    path: impl AsRef<std::path::Path>,
+    provenance: &str,
+) -> Result<(), SgError> {
+    let mut sink = FileSink::create(path)?;
+    write_snapshot(grid, &mut sink, provenance)
+}
+
+// ---------------------------------------------------------------------------
+// Reading / recovery
+// ---------------------------------------------------------------------------
+
+/// Verification outcome of one section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Marker, group index, length, and checksum all verified.
+    Intact,
+    /// The file ends before this section's expected extent.
+    Truncated,
+    /// Marker / group / length fields disagree with the spec.
+    BadHeader,
+    /// Structure fine but the CRC does not match.
+    ChecksumMismatch,
+}
+
+/// Per-section verification record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionReport {
+    /// Level group index (`|l|₁ = n`).
+    pub group: usize,
+    /// Verification outcome.
+    pub status: SectionStatus,
+    /// Coefficients the section carries.
+    pub points: u64,
+    /// Byte offset of the section in the snapshot.
+    pub offset: usize,
+}
+
+/// A grid recovered from a damaged snapshot: intact level groups carry
+/// their original (bitwise-identical) coefficients, lost groups are
+/// zero-filled and enumerated in [`Self::lost_groups`].
+///
+/// Because hierarchical surpluses of lost (finer) groups simply drop out
+/// of the interpolant, [`Self::evaluate`] answers from the recovered
+/// groups only — a bounded-error degraded mode, since coarse groups carry
+/// most of the interpolant mass. [`Self::repair_with`] reconstructs the
+/// lost groups exactly by re-sampling and re-hierarchizing the original
+/// function.
+#[derive(Debug, Clone)]
+pub struct DegradedGrid<T> {
+    grid: CompactGrid<T>,
+    lost: Vec<usize>,
+}
+
+impl<T: Real> DegradedGrid<T> {
+    /// The level groups whose sections failed verification (empty ⇔ the
+    /// recovery was complete).
+    pub fn lost_groups(&self) -> &[usize] {
+        &self.lost
+    }
+
+    /// True when every section verified and the coefficients are
+    /// bitwise-identical to what was written.
+    pub fn is_complete(&self) -> bool {
+        self.lost.is_empty()
+    }
+
+    /// The underlying grid (lost groups zero-filled).
+    pub fn grid(&self) -> &CompactGrid<T> {
+        &self.grid
+    }
+
+    /// Evaluate the interpolant using only the recovered level groups
+    /// (lost surpluses contribute zero).
+    pub fn evaluate(&self, x: &[f64]) -> T {
+        sg_core::evaluate::evaluate(&self.grid, x)
+    }
+
+    /// Reconstruct the lost level groups exactly: re-sample `f` on the
+    /// full grid, re-hierarchize, and copy the recomputed surpluses into
+    /// the lost ranges. Recovered groups keep their original bytes.
+    /// Returns the now-complete grid.
+    ///
+    /// `f` must be the function the snapshot was built from (nodal
+    /// sampling followed by hierarchization); hierarchization is
+    /// deterministic, so the reconstructed surpluses are bitwise
+    /// identical to the lost originals.
+    pub fn repair_with(mut self, f: impl FnMut(&[f64]) -> T) -> CompactGrid<T> {
+        if self.lost.is_empty() {
+            return self.grid;
+        }
+        let spec = *self.grid.spec();
+        let mut reference = CompactGrid::from_fn(spec, f);
+        sg_core::hierarchize::hierarchize(&mut reference);
+        for &n in &self.lost {
+            let r = self.grid.indexer().group_range(n);
+            let (s, e) = (r.start as usize, r.end as usize);
+            self.grid.values_mut()[s..e].copy_from_slice(&reference.values()[s..e]);
+        }
+        self.lost.clear();
+        self.grid
+    }
+
+    /// Consume into the underlying grid, failing with
+    /// [`SgError::Degraded`] when level groups are still missing.
+    pub fn into_complete(self) -> Result<CompactGrid<T>, SgError> {
+        if self.lost.is_empty() {
+            Ok(self.grid)
+        } else {
+            Err(SgError::Degraded {
+                lost_groups: self.lost,
+            })
+        }
+    }
+}
+
+/// Everything [`recover_snapshot`] learned about a snapshot.
+#[derive(Debug, Clone)]
+pub struct Recovery<T> {
+    /// The salvaged grid (complete or degraded).
+    pub grid: DegradedGrid<T>,
+    /// Per-section verification records, in level-group order.
+    pub sections: Vec<SectionReport>,
+    /// True when the leading header was corrupt and the identity came
+    /// from the footer copy.
+    pub used_footer: bool,
+    /// Snapshot identity and provenance.
+    pub info: SnapshotInfo,
+}
+
+/// Parse whichever of header/footer is intact, validate the spec, and
+/// return `(info, header_len, spec, used_footer)`.
+fn snapshot_identity(bytes: &[u8]) -> Result<(SnapshotInfo, usize, GridSpec, bool), SgError> {
+    let (info, hlen, used_footer) = match parse_header_at(bytes, 0) {
+        Some((info, hlen)) => (info, hlen, false),
+        None => match parse_footer(bytes) {
+            Some((info, hlen)) => {
+                tel! { SNAP_HEADER_FALLBACKS.add(1); }
+                (info, hlen, true)
+            }
+            None => {
+                tel! { SNAP_RECOVER_FAILED.add(1); }
+                return Err(SgError::Corrupt(
+                    "snapshot header and footer both unreadable".into(),
+                ));
+            }
+        },
+    };
+    if info.version != SNAP_VERSION {
+        return Err(SgError::Corrupt(format!(
+            "unsupported snapshot format version {}",
+            info.version
+        )));
+    }
+    if info.value_type > 1 {
+        return Err(SgError::Corrupt(format!(
+            "unknown value type tag {}",
+            info.value_type
+        )));
+    }
+    if info.dim > 64 {
+        return Err(SgError::Corrupt(format!(
+            "implausible dimensionality {}",
+            info.dim
+        )));
+    }
+    let spec = GridSpec::try_new(info.dim, info.levels)
+        .map_err(|e| SgError::Corrupt(format!("invalid grid shape in header: {e}")))?;
+    let n = spec.try_num_points()?;
+    if n != info.num_points {
+        return Err(SgError::Corrupt(format!(
+            "header count {} but grid shape implies {n}",
+            info.num_points
+        )));
+    }
+    Ok((info, hlen, spec, used_footer))
+}
+
+/// Recover everything salvageable from a snapshot.
+///
+/// Section offsets are recomputed from the spec (not from the possibly
+/// damaged section headers), so one corrupt section never hides the
+/// next. The result's grid holds bitwise-identical coefficients for
+/// every intact section; lost groups are zero-filled and enumerated.
+pub fn recover_snapshot<T: Real>(bytes: &[u8]) -> Result<Recovery<T>, SgError> {
+    let (info, hlen, spec, used_footer) = snapshot_identity(bytes)?;
+    if info.value_type != type_tag::<T>() {
+        return Err(SgError::Corrupt(format!(
+            "value type tag {} does not match the requested scalar type (tag {})",
+            info.value_type,
+            type_tag::<T>()
+        )));
+    }
+    let mut grid = CompactGrid::<T>::try_new(spec)?;
+    let mut sections = Vec::with_capacity(spec.levels());
+    let mut lost = Vec::new();
+    let mut offset = hlen;
+    for n in 0..spec.levels() {
+        tel! { let verify_t0 = std::time::Instant::now(); }
+        let r = grid.indexer().group_range(n);
+        let points = r.end - r.start;
+        let payload_len = points as usize * T::size_bytes();
+        let section_len = SECTION_FIXED + payload_len + SECTION_CRC;
+        let status = verify_section(bytes, offset, n, payload_len);
+        if status == SectionStatus::Intact {
+            let payload = &bytes[offset + SECTION_FIXED..offset + SECTION_FIXED + payload_len];
+            decode_payload::<T>(
+                payload,
+                &mut grid.values_mut()[r.start as usize..r.end as usize],
+            );
+            tel! { SNAP_SECTIONS_VERIFIED.add(1); }
+        } else {
+            lost.push(n);
+            tel! { SNAP_SECTIONS_CORRUPT.add(1); }
+        }
+        sections.push(SectionReport {
+            group: n,
+            status,
+            points,
+            offset,
+        });
+        offset += section_len;
+        tel! { SECTION_VERIFY_NS.record(verify_t0.elapsed().as_nanos() as u64); }
+    }
+    tel! {
+        if lost.is_empty() {
+            SNAP_RECOVER_FULL.add(1);
+        } else {
+            SNAP_RECOVER_DEGRADED.add(1);
+        }
+    }
+    Ok(Recovery {
+        grid: DegradedGrid { grid, lost },
+        sections,
+        used_footer,
+        info,
+    })
+}
+
+fn verify_section(bytes: &[u8], offset: usize, group: usize, payload_len: usize) -> SectionStatus {
+    let section_len = SECTION_FIXED + payload_len + SECTION_CRC;
+    let Some(b) = bytes.get(offset..offset + section_len) else {
+        return SectionStatus::Truncated;
+    };
+    if b[..4] != SECTION_MARKER {
+        return SectionStatus::BadHeader;
+    }
+    let g = u32::from_le_bytes(b[4..8].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+    if g != group || len != payload_len {
+        return SectionStatus::BadHeader;
+    }
+    let stored = u64::from_le_bytes(b[section_len - 8..].try_into().unwrap());
+    if crc64(&b[..section_len - 8]) != stored {
+        return SectionStatus::ChecksumMismatch;
+    }
+    SectionStatus::Intact
+}
+
+fn decode_payload<T: Real>(payload: &[u8], out: &mut [T]) {
+    let w = T::size_bytes();
+    debug_assert_eq!(payload.len(), out.len() * w);
+    for (k, v) in out.iter_mut().enumerate() {
+        let b = &payload[k * w..(k + 1) * w];
+        *v = match w {
+            4 => T::from_f64(f32::from_le_bytes(b.try_into().unwrap()) as f64),
+            _ => T::from_f64(f64::from_le_bytes(b.try_into().unwrap())),
+        };
+    }
+}
+
+/// Strict read: every section must verify. A damaged snapshot yields
+/// [`SgError::Degraded`] (salvage available through [`recover_snapshot`])
+/// or [`SgError::Corrupt`].
+pub fn read_snapshot<T: Real>(bytes: &[u8]) -> Result<CompactGrid<T>, SgError> {
+    recover_snapshot::<T>(bytes)?.grid.into_complete()
+}
+
+/// Read a snapshot file strictly (see [`read_snapshot`]).
+pub fn read_snapshot_file<T: Real>(
+    path: impl AsRef<std::path::Path>,
+) -> Result<CompactGrid<T>, SgError> {
+    let bytes = std::fs::read(path)?;
+    read_snapshot(&bytes)
+}
+
+/// Verify a snapshot without materializing the grid: identity plus a
+/// per-section status table. Works for either value type.
+pub fn verify_snapshot(bytes: &[u8]) -> Result<(SnapshotInfo, Vec<SectionReport>, bool), SgError> {
+    let (info, hlen, spec, used_footer) = snapshot_identity(bytes)?;
+    let indexer = sg_core::bijection::GridIndexer::try_new(spec)?;
+    let width = if info.value_type == 0 { 4 } else { 8 };
+    let mut sections = Vec::with_capacity(spec.levels());
+    let mut offset = hlen;
+    for n in 0..spec.levels() {
+        let r = indexer.group_range(n);
+        let points = r.end - r.start;
+        let payload_len = points as usize * width;
+        let status = verify_section(bytes, offset, n, payload_len);
+        tel! {
+            match status {
+                SectionStatus::Intact => SNAP_SECTIONS_VERIFIED.add(1),
+                _ => SNAP_SECTIONS_CORRUPT.add(1),
+            }
+        }
+        sections.push(SectionReport {
+            group: n,
+            status,
+            points,
+            offset,
+        });
+        offset += SECTION_FIXED + payload_len + SECTION_CRC;
+    }
+    Ok((info, sections, used_footer))
+}
+
+/// Byte offsets of every boundary in an (intact-header) snapshot: start
+/// of section 0, start of each subsequent section, end of the last
+/// section, and the total length. Used by the fault-injection harness to
+/// tear writes at exact section boundaries.
+pub fn section_boundaries(bytes: &[u8]) -> Result<Vec<usize>, SgError> {
+    let (info, hlen, spec, _) = snapshot_identity(bytes)?;
+    let indexer = sg_core::bijection::GridIndexer::try_new(spec)?;
+    let width = if info.value_type == 0 { 4 } else { 8 };
+    let mut offsets = vec![hlen];
+    let mut offset = hlen;
+    for n in 0..spec.levels() {
+        let r = indexer.group_range(n);
+        offset += SECTION_FIXED + (r.end - r.start) as usize * width + SECTION_CRC;
+        offsets.push(offset);
+    }
+    offsets.push(bytes.len());
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::functions::TestFunction;
+
+    fn sample_grid() -> CompactGrid<f64> {
+        let mut g = CompactGrid::from_fn(GridSpec::new(3, 4), |x| TestFunction::Gaussian.eval(x));
+        sg_core::hierarchize::hierarchize(&mut g);
+        g
+    }
+
+    #[test]
+    fn crc64_reference_vector() {
+        // CRC-64/XZ check value.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise() {
+        let g = sample_grid();
+        let bytes = encode_snapshot(&g, "unit-test");
+        let back: CompactGrid<f64> = read_snapshot(&bytes).unwrap();
+        assert_eq!(back.spec(), g.spec());
+        assert_eq!(back.values(), g.values());
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let g: CompactGrid<f32> =
+            CompactGrid::from_fn(GridSpec::new(2, 5), |x| (x[0] - x[1]) as f32);
+        let bytes = encode_snapshot(&g, "");
+        let back: CompactGrid<f32> = read_snapshot(&bytes).unwrap();
+        assert_eq!(back.values(), g.values());
+    }
+
+    #[test]
+    fn provenance_survives() {
+        let g = sample_grid();
+        let bytes = encode_snapshot(&g, "origin: unit test α");
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert_eq!(r.info.provenance, "origin: unit test α");
+        assert!(!r.used_footer);
+    }
+
+    #[test]
+    fn oversized_provenance_is_trimmed_on_a_char_boundary() {
+        let g = sample_grid();
+        let stamp = "é".repeat(MAX_PROVENANCE); // 2 bytes per char
+        let bytes = encode_snapshot(&g, &stamp);
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert!(r.info.provenance.len() <= MAX_PROVENANCE);
+        assert!(r.info.provenance.chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn corrupt_header_falls_back_to_footer() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "prov");
+        bytes[5] ^= 0xFF; // smash the leading header
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert!(r.used_footer);
+        assert!(r.grid.is_complete());
+        assert_eq!(r.grid.grid().values(), g.values());
+    }
+
+    #[test]
+    fn corrupt_section_is_enumerated_and_rest_salvaged() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "");
+        let bounds = section_boundaries(&bytes).unwrap();
+        // Flip a payload bit inside section 2.
+        let mid = bounds[2] + SECTION_FIXED + 3;
+        bytes[mid] ^= 0x10;
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert_eq!(r.grid.lost_groups(), &[2]);
+        assert_eq!(r.sections[2].status, SectionStatus::ChecksumMismatch);
+        // Every other group is bitwise intact.
+        for n in [0usize, 1, 3] {
+            let range = g.indexer().group_range(n);
+            let (s, e) = (range.start as usize, range.end as usize);
+            assert_eq!(&r.grid.grid().values()[s..e], &g.values()[s..e]);
+        }
+        // Strict read reports the same groups in a typed error.
+        assert_eq!(
+            read_snapshot::<f64>(&bytes).err(),
+            Some(SgError::Degraded {
+                lost_groups: vec![2]
+            })
+        );
+    }
+
+    #[test]
+    fn repair_reconstructs_lost_groups_bitwise() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "");
+        let bounds = section_boundaries(&bytes).unwrap();
+        bytes[bounds[3] + SECTION_FIXED + 1] ^= 0x04;
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert_eq!(r.grid.lost_groups(), &[3]);
+        let repaired = r.grid.repair_with(|x| TestFunction::Gaussian.eval(x));
+        assert_eq!(repaired.values(), g.values());
+    }
+
+    #[test]
+    fn degraded_evaluation_stays_bounded() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "");
+        let bounds = section_boundaries(&bytes).unwrap();
+        // Lose the finest group — the smallest surpluses.
+        let finest = g.spec().levels() - 1;
+        bytes[bounds[finest] + SECTION_FIXED + 1] ^= 0x01;
+        let r = recover_snapshot::<f64>(&bytes).unwrap();
+        assert_eq!(r.grid.lost_groups(), &[finest]);
+        let range = g.indexer().group_range(finest);
+        let lost_mass: f64 = g.values()[range.start as usize..range.end as usize]
+            .iter()
+            .map(|v| v.abs())
+            .sum();
+        for x in sg_core::functions::halton_points(3, 20).chunks_exact(3) {
+            let full = sg_core::evaluate::evaluate(&g, x);
+            let degraded = r.grid.evaluate(x);
+            assert!(
+                (full - degraded).abs() <= lost_mass + 1e-12,
+                "degraded answer leaves the lost-mass bound at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_section_boundary_recovers_the_prefix() {
+        let g = sample_grid();
+        let bytes = encode_snapshot(&g, "p");
+        let bounds = section_boundaries(&bytes).unwrap();
+        let levels = g.spec().levels();
+        for (k, &cut) in bounds.iter().enumerate().take(levels + 1) {
+            let torn = &bytes[..cut];
+            let r = recover_snapshot::<f64>(torn).unwrap();
+            // Cutting at the start of section k keeps groups 0..k intact.
+            let expect_lost: Vec<usize> = (k..levels).collect();
+            assert_eq!(r.grid.lost_groups(), &expect_lost[..], "cut at {cut}");
+            for n in 0..k {
+                let range = g.indexer().group_range(n);
+                let (s, e) = (range.start as usize, range.end as usize);
+                assert_eq!(&r.grid.grid().values()[s..e], &g.values()[s..e]);
+            }
+        }
+    }
+
+    #[test]
+    fn enospc_during_write_fails_cleanly_and_never_publishes() {
+        let g = sample_grid();
+        let full_len = encode_snapshot(&g, "x").len();
+        for after in [0usize, 10, 40, full_len / 2, full_len - 1] {
+            let mut sink = FaultSink::new(WriteFault::Enospc { after_bytes: after });
+            let r = write_snapshot(&g, &mut sink, "x");
+            assert!(matches!(r, Err(SgError::Io(_))), "after={after}: {r:?}");
+            assert!(!sink.committed(), "ENOSPC must not publish");
+            assert!(sink.into_published().is_none());
+        }
+    }
+
+    #[test]
+    fn both_headers_gone_is_a_clean_error() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "");
+        bytes[1] ^= 0xFF;
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF; // trailer magic
+        assert!(matches!(
+            recover_snapshot::<f64>(&bytes),
+            Err(SgError::Corrupt(_))
+        ));
+        // Tiny or empty buffers too.
+        for len in 0..TRAILER_LEN {
+            assert!(recover_snapshot::<f64>(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn value_type_mismatch_is_typed() {
+        let g = sample_grid();
+        let bytes = encode_snapshot(&g, "");
+        assert!(matches!(
+            recover_snapshot::<f32>(&bytes),
+            Err(SgError::Corrupt(ref m)) if m.contains("value type")
+        ));
+    }
+
+    #[test]
+    fn file_sink_is_atomic() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sg-snapshot-atomic-{}.sgcs", std::process::id()));
+        let g = sample_grid();
+        // A failed write must leave the previous file intact.
+        std::fs::write(&path, b"previous content").unwrap();
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.write(b"partial").unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"previous content");
+        // A committed write replaces it.
+        write_snapshot_file(&g, &path, "atomic-test").unwrap();
+        let back: CompactGrid<f64> = read_snapshot_file(&path).unwrap();
+        assert_eq!(back.values(), g.values());
+        // No temp files left behind.
+        let tmp = path.with_extension(format!("sgcs.tmp.{}", std::process::id()));
+        assert!(!tmp.exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_sink_publishes_a_recoverable_prefix() {
+        let g = sample_grid();
+        let full = encode_snapshot(&g, "t");
+        let bounds = section_boundaries(&full).unwrap();
+        // Tear exactly at the third section boundary: groups 0..2 survive.
+        let mut sink = FaultSink::new(WriteFault::Torn {
+            after_bytes: bounds[2],
+        });
+        write_snapshot(&g, &mut sink, "t").unwrap();
+        let published = sink.into_published().expect("torn write still commits");
+        assert_eq!(published.len(), bounds[2]);
+        let r = recover_snapshot::<f64>(&published).unwrap();
+        assert_eq!(r.grid.lost_groups(), &[2, 3]);
+    }
+
+    #[test]
+    fn verify_reports_without_materializing() {
+        let g = sample_grid();
+        let mut bytes = encode_snapshot(&g, "verify");
+        let (info, sections, used_footer) = verify_snapshot(&bytes).unwrap();
+        assert_eq!(info.dim, 3);
+        assert!(!used_footer);
+        assert!(sections.iter().all(|s| s.status == SectionStatus::Intact));
+        let bounds = section_boundaries(&bytes).unwrap();
+        bytes[bounds[1] + 5] ^= 0x80;
+        let (_, sections, _) = verify_snapshot(&bytes).unwrap();
+        assert_eq!(sections[1].status, SectionStatus::BadHeader);
+        assert_eq!(
+            sections
+                .iter()
+                .filter(|s| s.status == SectionStatus::Intact)
+                .count(),
+            3
+        );
+    }
+}

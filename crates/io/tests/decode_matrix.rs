@@ -1,0 +1,354 @@
+//! Parameterized decode-failure matrix: every `DecodeError` variant for
+//! the legacy `SGC1` codec and every failure class of the `SGC2`
+//! sectioned snapshot, each provoked by a minimal crafted mutation —
+//! truncation at each field boundary, bad magic, value-type mismatches,
+//! checksum flips, and (the regression that motivated the fallible
+//! constructors) checksum-valid headers whose point count overflows u64.
+
+use sg_core::error::SgError;
+use sg_core::functions::TestFunction;
+use sg_core::grid::CompactGrid;
+use sg_core::level::GridSpec;
+use sg_io::{crc64, DecodeError, SectionStatus};
+
+fn grid() -> CompactGrid<f64> {
+    let mut g = CompactGrid::from_fn(GridSpec::new(3, 4), |x| TestFunction::Gaussian.eval(x));
+    sg_core::hierarchize::hierarchize(&mut g);
+    g
+}
+
+/// FNV-1a 64 (the SGC1 trailing checksum), for re-stamping mutants so
+/// only the intended field is wrong.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn restamp_sgc1(blob: &mut [u8]) {
+    let n = blob.len();
+    let c = fnv1a(&blob[..n - 8]);
+    blob[n - 8..].copy_from_slice(&c.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// SGC1
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sgc1_truncation_at_every_field_boundary() {
+    let blob = sg_io::encode(&grid());
+    // Field boundaries of the 24-byte header: magic, vtype, reserved,
+    // dim, levels, count — every cut inside header+checksum territory
+    // must be Truncated, and any cut into the payload must also fail.
+    for cut in [0usize, 1, 4, 5, 8, 12, 16, 24, 31] {
+        let r = sg_io::decode::<f64>(&blob[..cut]);
+        assert_eq!(r.unwrap_err(), DecodeError::Truncated, "cut at {cut}");
+    }
+    for cut in [32usize, 40, blob.len() - 9, blob.len() - 1] {
+        let r = sg_io::decode::<f64>(&blob[..cut]);
+        assert!(r.is_err(), "cut at {cut} must fail");
+    }
+}
+
+#[test]
+fn sgc1_every_error_variant_is_reachable() {
+    let gold = sg_io::encode(&grid());
+
+    // BadMagic (checksum re-stamped so only the magic is wrong).
+    let mut b = gold.clone();
+    b[0] = b'Z';
+    restamp_sgc1(&mut b);
+    assert_eq!(sg_io::decode::<f64>(&b).unwrap_err(), DecodeError::BadMagic);
+
+    // BadValueType.
+    let mut b = gold.clone();
+    b[4] = 7;
+    restamp_sgc1(&mut b);
+    assert_eq!(
+        sg_io::decode::<f64>(&b).unwrap_err(),
+        DecodeError::BadValueType(7)
+    );
+
+    // ValueTypeMismatch (decode an f64 blob as f32).
+    assert_eq!(
+        sg_io::decode::<f32>(&gold).unwrap_err(),
+        DecodeError::ValueTypeMismatch {
+            found: 1,
+            expected: 0
+        }
+    );
+
+    // CountMismatch.
+    let mut b = gold.clone();
+    b[16..24].copy_from_slice(&999u64.to_le_bytes());
+    restamp_sgc1(&mut b);
+    assert_eq!(
+        sg_io::decode::<f64>(&b).unwrap_err(),
+        DecodeError::CountMismatch {
+            header: 999,
+            expected: 111
+        }
+    );
+
+    // LengthMismatch (drop one coefficient, keep header count).
+    let mut b = gold.clone();
+    let n = b.len();
+    b.drain(n - 16..n - 8);
+    restamp_sgc1(&mut b);
+    assert_eq!(
+        sg_io::decode::<f64>(&b).unwrap_err(),
+        DecodeError::LengthMismatch
+    );
+
+    // ChecksumMismatch (single flipped payload bit, checksum left).
+    let mut b = gold.clone();
+    b[40] ^= 0x01;
+    assert_eq!(
+        sg_io::decode::<f64>(&b).unwrap_err(),
+        DecodeError::ChecksumMismatch
+    );
+
+    // BadShape for structurally invalid dims/levels.
+    for (d, levels) in [(0u32, 4u32), (3, 0), (3, 32), (65, 4)] {
+        let mut b = gold.clone();
+        b[8..12].copy_from_slice(&d.to_le_bytes());
+        b[12..16].copy_from_slice(&levels.to_le_bytes());
+        restamp_sgc1(&mut b);
+        assert_eq!(
+            sg_io::decode::<f64>(&b).unwrap_err(),
+            DecodeError::BadShape,
+            "d={d} levels={levels}"
+        );
+    }
+
+    // BadJson.
+    assert!(matches!(
+        sg_io::decode_json::<f64>("{").unwrap_err(),
+        DecodeError::BadJson(_)
+    ));
+}
+
+#[test]
+fn sgc1_overflowing_point_count_header_fails_typed_not_panicking() {
+    // A checksum-valid header claiming d=60, L=31: N(60, 31) overflows
+    // u64, and the old decoder died in `GridSpec::new`'s forced count.
+    let gold = sg_io::encode(&grid());
+    let mut b = gold.clone();
+    b[8..12].copy_from_slice(&60u32.to_le_bytes());
+    b[12..16].copy_from_slice(&31u32.to_le_bytes());
+    restamp_sgc1(&mut b);
+    let r = std::panic::catch_unwind(|| sg_io::decode::<f64>(&b))
+        .expect("decoder must not panic on an overflowing shape");
+    assert_eq!(r.unwrap_err(), DecodeError::BadShape);
+
+    // Same shape through the JSON path.
+    let doc = r#"{"format":"sg-grid","dim":60,"levels":31,"values":[]}"#;
+    let r = std::panic::catch_unwind(|| sg_io::decode_json::<f64>(doc))
+        .expect("JSON decoder must not panic on an overflowing shape");
+    assert_eq!(r.unwrap_err(), DecodeError::BadShape);
+}
+
+#[test]
+fn sgc1_files_still_decode_unchanged() {
+    // Compatibility pin: a byte-exact SGC1 file written by the original
+    // codec (here reproduced field by field) still decodes.
+    let g = grid();
+    let mut blob = Vec::new();
+    blob.extend_from_slice(b"SGC1");
+    blob.push(1u8); // f64
+    blob.extend_from_slice(&[0u8; 3]);
+    blob.extend_from_slice(&3u32.to_le_bytes());
+    blob.extend_from_slice(&4u32.to_le_bytes());
+    blob.extend_from_slice(&(g.len() as u64).to_le_bytes());
+    for &v in g.values() {
+        blob.extend_from_slice(&v.to_le_bytes());
+    }
+    let c = fnv1a(&blob);
+    blob.extend_from_slice(&c.to_le_bytes());
+    assert_eq!(blob, sg_io::encode(&g), "format frozen");
+    let back = sg_io::decode::<f64>(&blob).unwrap();
+    assert_eq!(back.values(), g.values());
+}
+
+// ---------------------------------------------------------------------------
+// SGC2
+// ---------------------------------------------------------------------------
+
+/// Re-stamp the CRC64 of the leading SGC2 header (fixed 32 bytes +
+/// provenance + 8-byte CRC) after mutating a field, so only that field
+/// is wrong.
+fn restamp_sgc2_header(bytes: &mut [u8]) {
+    let prov_len = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+    let end = 32 + prov_len;
+    let c = crc64(&bytes[..end]);
+    bytes[end..end + 8].copy_from_slice(&c.to_le_bytes());
+}
+
+/// A snapshot whose header (both copies) claims shape (d, levels, n):
+/// header CRCs valid, so the shape check itself is what must fire.
+fn snapshot_with_shape(d: u32, levels: u32, n: u64) -> Vec<u8> {
+    let mut bytes = sg_io::encode_snapshot(&grid(), "matrix");
+    let header_len = {
+        let prov_len = u32::from_le_bytes(bytes[28..32].try_into().unwrap()) as usize;
+        32 + prov_len + 8
+    };
+    for base in [0, bytes.len() - 12 - header_len] {
+        bytes[base + 12..base + 16].copy_from_slice(&d.to_le_bytes());
+        bytes[base + 16..base + 20].copy_from_slice(&levels.to_le_bytes());
+        bytes[base + 20..base + 28].copy_from_slice(&n.to_le_bytes());
+        restamp_sgc2_header(&mut bytes[base..]);
+    }
+    bytes
+}
+
+#[test]
+fn sgc2_header_truncation_at_every_field_boundary() {
+    let bytes = sg_io::encode_snapshot(&grid(), "matrix");
+    // Cuts inside the header kill both copies (the footer needs the
+    // trailer, gone too): identity is unrecoverable, typed Corrupt.
+    for cut in [0usize, 3, 4, 8, 9, 12, 16, 20, 28, 32, 39] {
+        match sg_io::recover_snapshot::<f64>(&bytes[..cut]) {
+            Err(SgError::Corrupt(_)) => {}
+            other => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn sgc2_every_failure_class_is_reachable() {
+    let gold = sg_io::encode_snapshot(&grid(), "matrix");
+
+    // Bad magic on both copies → Corrupt.
+    let mut b = gold.clone();
+    b[0] = b'Z';
+    let n = b.len();
+    b[n - 1] = b'Z'; // trailer magic
+    assert!(matches!(
+        sg_io::recover_snapshot::<f64>(&b),
+        Err(SgError::Corrupt(_))
+    ));
+
+    // Unsupported version (re-stamped, both copies) → Corrupt.
+    let mut b = gold.clone();
+    let header_len = {
+        let prov_len = u32::from_le_bytes(b[28..32].try_into().unwrap()) as usize;
+        32 + prov_len + 8
+    };
+    for base in [0, b.len() - 12 - header_len] {
+        b[base + 4..base + 8].copy_from_slice(&99u32.to_le_bytes());
+        restamp_sgc2_header(&mut b[base..]);
+    }
+    match sg_io::recover_snapshot::<f64>(&b) {
+        Err(SgError::Corrupt(m)) => assert!(m.contains("version"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Value-type mismatch → Corrupt naming the tag.
+    match sg_io::recover_snapshot::<f32>(&gold) {
+        Err(SgError::Corrupt(m)) => assert!(m.contains("value type"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Count inconsistent with the shape → Corrupt.
+    let b = snapshot_with_shape(3, 4, 999);
+    match sg_io::recover_snapshot::<f64>(&b) {
+        Err(SgError::Corrupt(m)) => assert!(m.contains("shape implies"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Structurally invalid shapes → Corrupt.
+    for (d, levels) in [(0u32, 4u32), (3, 0), (3, 32), (65, 4)] {
+        let b = snapshot_with_shape(d, levels, 111);
+        assert!(
+            matches!(sg_io::recover_snapshot::<f64>(&b), Err(SgError::Corrupt(_))),
+            "d={d} levels={levels}"
+        );
+    }
+
+    // Section checksum flip → that section lost, typed Degraded on the
+    // strict path.
+    let mut b = gold.clone();
+    let bounds = sg_io::section_boundaries(&gold).unwrap();
+    b[bounds[1] + 20] ^= 0x08;
+    assert_eq!(
+        sg_io::read_snapshot::<f64>(&b).err(),
+        Some(SgError::Degraded {
+            lost_groups: vec![1]
+        })
+    );
+}
+
+#[test]
+fn sgc2_overflowing_point_count_header_fails_typed_not_panicking() {
+    // The SGC2 twin of the SGC1 regression: checksum-valid header with
+    // d=60, L=31 — the count itself overflows u64.
+    let b = snapshot_with_shape(60, 31, u64::MAX);
+    let r = std::panic::catch_unwind(|| sg_io::recover_snapshot::<f64>(&b))
+        .expect("recovery must not panic on an overflowing shape");
+    assert_eq!(
+        r.err(),
+        Some(SgError::CountOverflow {
+            dim: 60,
+            levels: 31
+        })
+    );
+}
+
+#[test]
+fn sgc2_section_truncation_matrix() {
+    // Cut at every byte boundary inside section 2's fields (marker,
+    // group, length, payload start, CRC): sections 0–1 stay intact,
+    // sections 2–3 are lost, and the lost set is enumerated exactly.
+    let gold = sg_io::encode_snapshot(&grid(), "m");
+    let bounds = sg_io::section_boundaries(&gold).unwrap();
+    let s2 = bounds[2];
+    for cut in [
+        s2,
+        s2 + 4,
+        s2 + 8,
+        s2 + 16,
+        s2 + 17,
+        bounds[3] - 8,
+        bounds[3] - 1,
+    ] {
+        let r = sg_io::recover_snapshot::<f64>(&gold[..cut]).unwrap();
+        assert_eq!(r.grid.lost_groups(), &[2, 3], "cut at {cut}");
+        assert_eq!(r.sections[2].status, SectionStatus::Truncated);
+        assert_eq!(r.sections[0].status, SectionStatus::Intact);
+        assert_eq!(r.sections[1].status, SectionStatus::Intact);
+    }
+}
+
+#[test]
+fn sgc2_single_bit_flips_are_never_silent() {
+    // Flip one bit at a spread of positions; decoding must either still
+    // produce the exact original (redundancy absorbed it) or report the
+    // damage — never return different coefficients as "complete".
+    let g = grid();
+    let gold = sg_io::encode_snapshot(&g, "bitflip");
+    for pos in (0..gold.len()).step_by(gold.len() / 97 + 1) {
+        let mut b = gold.clone();
+        b[pos] ^= 0x04;
+        match sg_io::recover_snapshot::<f64>(&b) {
+            Ok(r) => {
+                if r.grid.is_complete() {
+                    assert_eq!(
+                        r.grid.grid().values(),
+                        g.values(),
+                        "silent corruption at byte {pos}"
+                    );
+                } else {
+                    assert!(!r.grid.lost_groups().is_empty());
+                }
+            }
+            Err(e) => {
+                // Typed, never a panic.
+                let _ = e.to_string();
+            }
+        }
+    }
+}

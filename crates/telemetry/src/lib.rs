@@ -469,6 +469,16 @@ impl Report {
             .map(|c| c.value)
     }
 
+    /// All counters under a dotted-name prefix (e.g. `"io.snapshot."`),
+    /// for subsystem-level assertions and dashboards.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&'static str, u64)> {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| (c.name, c.value))
+            .collect()
+    }
+
     /// Look up a span by name.
     pub fn span(&self, name: &str) -> Option<&SpanStat> {
         self.spans.iter().find(|s| s.name == name)

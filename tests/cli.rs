@@ -417,3 +417,186 @@ fn help_prints_usage() {
     assert!(o.status.success());
     assert!(stdout(&o).contains("usage:"));
 }
+
+fn exit_code(o: &Output) -> i32 {
+    o.status.code().expect("sgtool terminated by signal")
+}
+
+#[test]
+fn exit_codes_are_pinned() {
+    // 2 — usage errors: bad invocation, not bad data.
+    assert_eq!(exit_code(&sgtool(&[])), 2);
+    assert_eq!(exit_code(&sgtool(&["frobnicate"])), 2);
+    assert_eq!(exit_code(&sgtool(&["checkpoint"])), 2, "missing --out");
+    assert_eq!(exit_code(&sgtool(&["restore"])), 2, "missing snapshot");
+    assert_eq!(exit_code(&sgtool(&["verify"])), 2, "missing snapshot");
+    assert_eq!(exit_code(&sgtool(&["eval"])), 2, "missing grid file");
+
+    // A shape whose point count overflows u64 is a diagnostic, not a
+    // panic (regression for the old `expect("grid point count overflows
+    // u64")` path).
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "60",
+        "--level",
+        "31",
+        "--out",
+        "/tmp/never.sgc",
+    ]);
+    assert_eq!(exit_code(&o), 2, "{}", stderr(&o));
+    assert!(stderr(&o).contains("grid too large"), "{}", stderr(&o));
+
+    // 4 — the operating system failed us.
+    assert_eq!(exit_code(&sgtool(&["info", "/nonexistent/grid.sgc"])), 4);
+    assert_eq!(exit_code(&sgtool(&["verify", "/nonexistent/snap"])), 4);
+    assert_eq!(
+        exit_code(&sgtool(&[
+            "restore",
+            "/nonexistent/snap",
+            "--out",
+            "/tmp/x"
+        ])),
+        4
+    );
+
+    // 3 — corrupt data, with a one-line stderr diagnostic.
+    let file = temp_path("pinned-corrupt.sgc");
+    std::fs::write(&file, b"this is not a grid file").unwrap();
+    let o = sgtool(&["info", file.to_str().unwrap()]);
+    assert_eq!(exit_code(&o), 3);
+    let err = stderr(&o);
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic, got: {err}");
+    assert!(err.starts_with("sgtool: "), "{err}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn checkpoint_restore_verify_flow() {
+    let snap = temp_path("flow.sgcs");
+    let plain = temp_path("flow.sgc");
+    let restored = temp_path("flow-restored.sgc");
+    let s = snap.to_str().unwrap();
+    let p = plain.to_str().unwrap();
+    let r = restored.to_str().unwrap();
+
+    // Checkpoint straight from a function.
+    let o = sgtool(&[
+        "checkpoint",
+        "--dims",
+        "3",
+        "--level",
+        "4",
+        "--function",
+        "gaussian",
+        "--out",
+        s,
+        "--provenance",
+        "cli-test",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Pristine snapshot: verify exits 0 and reports every section intact.
+    let o = sgtool(&["verify", s]);
+    assert_eq!(exit_code(&o), 0, "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("all 4 sections intact"), "{out}");
+    assert!(out.contains("cli-test"), "provenance surfaced: {out}");
+
+    // Snapshots are first-class grid files: info/eval sniff the format.
+    let o = sgtool(&["info", s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("points         : 111"));
+
+    // Restore the intact snapshot to SGC1 and cross-check against a
+    // direct compress of the same function: bitwise identical.
+    let o = sgtool(&["restore", s, "--out", r]);
+    assert_eq!(exit_code(&o), 0, "{}", stderr(&o));
+    let o = sgtool(&[
+        "compress",
+        "--dims",
+        "3",
+        "--level",
+        "4",
+        "--function",
+        "gaussian",
+        "--out",
+        p,
+    ]);
+    assert!(o.status.success());
+    assert_eq!(
+        std::fs::read(&restored).unwrap(),
+        std::fs::read(&plain).unwrap(),
+        "restore must reproduce the directly-compressed grid bitwise"
+    );
+
+    // Damage one section: verify and bare restore exit 3 naming the lost
+    // group; restore --function rebuilds it exactly.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x20; // lands in a section payload
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let o = sgtool(&["verify", s]);
+    assert_eq!(exit_code(&o), 3, "{}", stderr(&o));
+    assert!(stderr(&o).contains("level groups"), "{}", stderr(&o));
+
+    let o = sgtool(&["restore", s, "--out", r]);
+    assert_eq!(exit_code(&o), 3, "{}", stderr(&o));
+    assert!(stderr(&o).contains("lost"), "{}", stderr(&o));
+
+    let o = sgtool(&["restore", s, "--out", r, "--function", "gaussian"]);
+    assert_eq!(exit_code(&o), 0, "{}", stderr(&o));
+    assert!(stdout(&o).contains("rebuilding lost level groups"));
+    assert_eq!(
+        std::fs::read(&restored).unwrap(),
+        std::fs::read(&plain).unwrap(),
+        "repair must be bitwise exact"
+    );
+
+    // Checkpointing an existing SGC1 file round-trips too.
+    let o = sgtool(&["checkpoint", p, "--out", s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = sgtool(&["verify", s]);
+    assert_eq!(exit_code(&o), 0);
+
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&restored).ok();
+}
+
+#[test]
+fn fuzz_snapshot_faults_writes_schema_complete_report() {
+    let json = temp_path("snapfault.json");
+    let j = json.to_str().unwrap();
+    let o = sgtool(&[
+        "fuzz",
+        "--budget-cases",
+        "0",
+        "--sched-interleavings",
+        "0",
+        "--snapshot-faults",
+        "21",
+        "--json",
+        j,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("snapshot-faults: 21 injected"));
+
+    let doc = sg_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let sf = doc.get("snapshot_faults").expect("snapshot_faults section");
+    assert_eq!(sf.get("cases").and_then(|v| v.as_f64()), Some(21.0));
+    let full = sf.get("full_recoveries").and_then(|v| v.as_f64()).unwrap();
+    let partial = sf
+        .get("partial_recoveries")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let clean = sf.get("clean_errors").and_then(|v| v.as_f64()).unwrap();
+    assert_eq!(full + partial + clean, 21.0, "every fault accounted for");
+    let violations = sf.get("violations").and_then(|v| v.as_array()).unwrap();
+    assert!(violations.is_empty(), "{violations:?}");
+    let per_class = sf.get("per_class").and_then(|v| v.as_object()).unwrap();
+    assert_eq!(per_class.len(), 7, "all seven fault classes injected");
+
+    std::fs::remove_file(&json).ok();
+}
