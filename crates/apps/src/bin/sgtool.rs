@@ -78,6 +78,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let metrics_path = flag(&args, "--metrics-json");
+    // Validate the SG_KERNEL selection before doing any work: an unknown
+    // or unavailable kernel request is a usage error, not a silent
+    // scalar fallback mid-run.
+    if let Err(e) = sg_core::kernel::resolve() {
+        eprintln!("sgtool: {e}");
+        return ExitCode::from(2);
+    }
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "compress" => cmd_compress(rest),
@@ -152,7 +159,7 @@ const USAGE: &str = "usage:
                   tracing on, writes a Chrome Trace Event JSON loadable in
                   Perfetto, and prints span/histogram/imbalance summaries)
   sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
-              [--op NAME] [--shape DxN] [--sched-interleavings K]
+              [--op NAME[,NAME...]] [--shape DxN] [--sched-interleavings K]
               [--snapshot-faults N] [--inject gp2idx-off-by-one]
               [--json PATH]
                   (differential fuzzing: compact vs recursive vs dense
@@ -174,7 +181,13 @@ global flags:
   --metrics-json PATH   after a successful command, write the telemetry
                         snapshot (span timings, call counters, histogram
                         percentiles, bytes moved, region imbalance,
-                        provenance) to PATH as JSON";
+                        provenance) to PATH as JSON
+
+environment:
+  SG_KERNEL             compute-kernel selection: auto (default), scalar,
+                        avx2, neon; unknown or unavailable values exit 2;
+                        the dispatched kernel is stamped into provenance
+  SG_PAR_THREADS        worker-thread count for the parallel sweeps";
 
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -721,9 +734,17 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             cfg.budget_cases = None;
         }
     }
-    if let Some(op) = flag(args, "--op") {
-        cfg.op_filter =
-            Some(sg_fuzz::Op::parse(&op).ok_or_else(|| format!("unknown --op {op:?}"))?);
+    if let Some(ops) = flag(args, "--op") {
+        let parsed: Vec<sg_fuzz::Op> = ops
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| sg_fuzz::Op::parse(s).ok_or_else(|| format!("unknown --op {s:?}")))
+            .collect::<Result<_, _>>()?;
+        if parsed.is_empty() {
+            return Err(CliError::usage(format!("empty --op list {ops:?}")));
+        }
+        cfg.op_filter = Some(parsed);
     }
     if let Some(shape) = flag(args, "--shape") {
         let (d, n) = shape

@@ -13,6 +13,8 @@
 use sg_baselines::StoreKind;
 use sg_bench::{fmt_secs, report, time_median, AnyStore, Args, Table};
 use sg_core::functions::{halton_points, TestFunction};
+use sg_core::grid::CompactGrid;
+use sg_core::kernel::{detect, with_kernel, KernelKind, KernelSelect};
 use sg_core::level::GridSpec;
 
 fn main() {
@@ -46,6 +48,23 @@ fn main() {
             "Enh. Hashtable",
             "Enh. Map",
             "Std Map",
+        ],
+    );
+    let simd = detect();
+    let mut kernels = Table::new(
+        &format!(
+            "Fig. 9 addendum: compact structure, scalar vs {} kernel, level {level}",
+            simd.name()
+        ),
+        &[
+            "d",
+            "points",
+            "hier scalar",
+            &format!("hier {}", simd.name()),
+            "speedup",
+            "eval scalar",
+            &format!("eval {}", simd.name()),
+            "speedup",
         ],
     );
     let mut raw = Vec::new();
@@ -108,11 +127,67 @@ fn main() {
         }
         hier.add_row(hier_cells);
         eval.add_row(eval_cells);
+
+        // Scalar-vs-SIMD kernel ablation on the compact structure: the
+        // same traversal with dispatch pinned, so the delta is the lane
+        // width and nothing else (results are bitwise identical — the
+        // kernel_matrix suite holds that invariant).
+        let nodal = CompactGrid::<f64>::from_fn(spec, |x| f.eval(x));
+        let surplus = {
+            let mut g = nodal.clone();
+            sg_core::hierarchize::hierarchize(&mut g);
+            g
+        };
+        let mut kernel_times = [(KernelKind::Scalar, 0.0, 0.0), (simd, 0.0, 0.0)];
+        for (kind, t_hier, t_eval) in &mut kernel_times {
+            with_kernel(KernelSelect::Force(*kind), || {
+                // Median over fresh fills, timing only the sweep (same
+                // protocol as the fig9a column above).
+                let mut samples: Vec<f64> = (0..repeats)
+                    .map(|_| {
+                        let mut g = nodal.clone();
+                        sg_bench::time_once(|| sg_core::hierarchize::hierarchize(&mut g))
+                    })
+                    .collect();
+                samples.sort_by(f64::total_cmp);
+                *t_hier = samples[samples.len() / 2];
+                *t_eval = time_median(repeats.max(3), || {
+                    std::hint::black_box(sg_core::evaluate::evaluate_batch_blocked(
+                        &surplus, &xs, 64,
+                    ));
+                }) / evals as f64;
+            });
+        }
+        let (_, hs, es) = kernel_times[0];
+        let (_, hv, ev) = kernel_times[1];
+        let (hier_speedup, eval_speedup) = (
+            hs / hv.max(f64::MIN_POSITIVE),
+            es / ev.max(f64::MIN_POSITIVE),
+        );
+        kernels.add_row(vec![
+            d.to_string(),
+            spec.num_points().to_string(),
+            fmt_secs(hs),
+            fmt_secs(hv),
+            format!("{hier_speedup:.2}x"),
+            fmt_secs(es),
+            fmt_secs(ev),
+            format!("{eval_speedup:.2}x"),
+        ]);
+        raw.push(sg_json::json!({
+            "d": d, "kind": "compact-kernels", "simd_kernel": simd.name(),
+            "hier_scalar_s": hs, "hier_simd_s": hv, "simd_hier_speedup": hier_speedup,
+            "eval_scalar_per_point_s": es, "eval_simd_per_point_s": ev,
+            "simd_eval_speedup": eval_speedup,
+        }));
+        traj.push((format!("d{d}/compact/simd_hier_speedup"), hier_speedup));
+        traj.push((format!("d{d}/compact/simd_eval_speedup"), eval_speedup));
         eprintln!("d={d} done");
     }
 
     hier.print();
     eval.print();
+    kernels.print();
     println!(
         "Expected shape (paper Fig. 9): ours fastest on both; prefix tree close to ours on\n\
          evaluation (cache locality) and comparable to the hash table on hierarchization;\n\
@@ -123,6 +198,7 @@ fn main() {
         "experiment": "fig9_sequential",
         "level": level, "evals": evals,
         "fig9a": hier.to_json(), "fig9b": eval.to_json(),
+        "fig9_kernels": kernels.to_json(),
         "raw": raw,
     });
     let json = sg_bench::attach_telemetry(json);

@@ -13,6 +13,15 @@
 //! one group there are no dependencies, which is what makes the algorithm
 //! parallel with one barrier per group (paper §5.3).
 //!
+//! The sweeps are organized around *pole runs*
+//! ([`crate::plan::for_each_pole_run`]): within a subspace, the ranks
+//! whose trailing bits vary freely share their ancestors' levels and
+//! boundary cases, and those ancestors occupy contiguous storage — so
+//! each run is one vertical stencil `v[j] −= (L[j]+R[j])/2` over
+//! contiguous slices, dispatched through [`crate::kernel`] (AVX2/NEON
+//! when available, bitwise identical to scalar), with two `gp2idx`
+//! calls per run instead of two per point.
+//!
 //! With the `telemetry` feature, every level-group sweep is timed into the
 //! spans `core.hierarchize.group_<n>` (n = level sum of the group) and the
 //! `core.hierarchize.sweep_ns` latency histogram (p50/p99 across sweeps),
@@ -24,7 +33,9 @@
 //! busy/wait imbalance table, and — under `sgtool profile` — trace events
 //! are all attributed per level group.
 
+use crate::bijection::GridIndexer;
 use crate::grid::CompactGrid;
+use crate::kernel::{self, KernelKind};
 use crate::level::{hierarchical_parent, Index, Level, Side};
 use crate::real::Real;
 #[allow(unused_imports)] // the import is "unused" when `telemetry` is off
@@ -59,10 +70,13 @@ tel! {
 
 /// Surplus update for one point in dimension `t`: `v − (left + right)/2`
 /// with missing (boundary) ancestors contributing zero.
+///
+/// Retained as the per-point reference (the literal Alg. 6 transcription
+/// uses it); the sweeps below apply the same arithmetic run-wise.
 #[inline(always)]
 fn parent_halfsum<T: Real>(
     grid_values: &[T],
-    indexer: &crate::bijection::GridIndexer,
+    indexer: &GridIndexer,
     l: &mut [Level],
     i: &mut [Index],
     t: usize,
@@ -81,51 +95,145 @@ fn parent_halfsum<T: Real>(
     acc * T::HALF
 }
 
-/// In-place hierarchization, sequential (optimized traversal of Alg. 6:
-/// level groups descending, subspaces via the `next` iterator, so no
-/// per-point `idx2gp` call is needed).
-pub fn hierarchize<T: Real>(grid: &mut CompactGrid<T>) {
+/// One vertical run of the stencil: `out[j] ∓= ((0 + L[j]) + R[j])·½`.
+/// Dispatches to the f64 SIMD kernels when `T` is `f64`; any other
+/// `Real` takes the generic per-element path (identical operation
+/// order, so the two are interchangeable for `T = f64` too).
+fn stencil_run<T: Real>(
+    kind: KernelKind,
+    out: &mut [T],
+    left: Option<&[T]>,
+    right: Option<&[T]>,
+    add: bool,
+) {
+    // The ISA entry points are `#[target_feature]` functions, which the
+    // compiler cannot inline here; runs shorter than a vector register
+    // would pay that call only to land in the kernel's scalar tail, so
+    // they take the loop below directly (same operation order, so the
+    // choice is invisible bitwise).
+    if kind != KernelKind::Scalar && out.len() >= kind.lanes() * 2 {
+        if let Some(o) = T::as_f64_slice_mut(out) {
+            let l = left.map(|s| T::as_f64_slice(s).expect("same Real type"));
+            let r = right.map(|s| T::as_f64_slice(s).expect("same Real type"));
+            return kernel::stencil_halfsum(kind, o, l, r, add);
+        }
+    }
+    for j in 0..out.len() {
+        let mut acc = T::ZERO;
+        if let Some(l) = left {
+            acc += l[j];
+        }
+        if let Some(r) = right {
+            acc += r[j];
+        }
+        let h = acc * T::HALF;
+        if add {
+            out[j] += h;
+        } else {
+            out[j] -= h;
+        }
+    }
+}
+
+/// Apply the dimension-`t` stencil to one subspace chunk, run by run.
+/// `lower` is the array prefix below the chunk's level group — every
+/// ancestor lives there, so the borrow is disjoint from `chunk` in both
+/// the sequential and the pool-distributed sweeps.
+fn sweep_subspace<T: Real>(
+    kind: KernelKind,
+    lower: &[T],
+    chunk: &mut [T],
+    indexer: &GridIndexer,
+    l: &[Level],
+    t: usize,
+    add: bool,
+) {
+    crate::plan::for_each_pole_run(indexer, l, t, |run| {
+        let out = &mut chunk[run.rank0..run.rank0 + run.len];
+        let left = run.left.map(|b| &lower[b..b + run.len]);
+        let right = run.right.map(|b| &lower[b..b + run.len]);
+        stencil_run(kind, out, left, right, add);
+    });
+}
+
+/// Shared body of the sequential sweeps: `add = false` hierarchizes
+/// (groups descending), `add = true` dehierarchizes (groups ascending —
+/// ancestors are already updated and live in the coarser prefix either
+/// way, so the same split borrow serves both directions).
+fn sweep_sequential<T: Real>(grid: &mut CompactGrid<T>, add: bool) {
     let spec = *grid.spec();
     let d = spec.dim();
+    let kind = kernel::active();
     let (indexer, values) = {
         let ix = grid.indexer().clone();
         (ix, grid.values_mut())
     };
     let mut l = vec![0 as Level; d];
-    let mut i = vec![0 as Index; d];
-    for t in 0..d {
-        for n in (0..spec.levels()).rev() {
+    let dims: Box<dyn Iterator<Item = usize>> = if add {
+        Box::new((0..d).rev())
+    } else {
+        Box::new(0..d)
+    };
+    for t in dims {
+        let groups: Box<dyn Iterator<Item = usize>> = if add {
+            Box::new(0..spec.levels())
+        } else {
+            Box::new((0..spec.levels()).rev())
+        };
+        for n in groups {
             tel! {
                 let sweep_t0 = std::time::Instant::now();
                 let mut touched = 0u64;
             }
             let group_start = indexer.group_offset(n) as usize;
-            let mut sub_start = group_start;
+            let group_end = indexer.group_range(n).end as usize;
+            let (lower, rest) = values.split_at_mut(group_start);
+            let group = &mut rest[..group_end - group_start];
+            let sub_len = 1usize << n;
+            let mut sub = 0usize;
             crate::iter::first_level(n, &mut l);
             loop {
                 // Subspaces with l[t] = 0 have both ancestors on the
                 // domain boundary: the stencil is a no-op, skip them.
                 if l[t] != 0 {
-                    for rank in 0..(1u64 << n) {
-                        crate::iter::decode_subspace_rank(&l, rank, &mut i);
-                        let h = parent_halfsum(values, &indexer, &mut l, &mut i, t);
-                        values[sub_start + rank as usize] -= h;
-                    }
-                    tel! { touched += 1u64 << n; }
+                    sweep_subspace(
+                        kind,
+                        lower,
+                        &mut group[sub..sub + sub_len],
+                        &indexer,
+                        &l,
+                        t,
+                        add,
+                    );
+                    tel! { touched += sub_len as u64; }
                 }
-                sub_start += 1usize << n;
+                sub += sub_len;
                 if !crate::iter::next_level(&mut l) {
                     break;
                 }
             }
             tel! {
                 let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
-                GROUP_SWEEP[n].record(sweep_ns);
-                SWEEP_NS.record(sweep_ns);
-                BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
+                if add {
+                    DEHIER_SWEEP.record(sweep_ns);
+                    DEHIER_SWEEP_NS.record(sweep_ns);
+                } else {
+                    GROUP_SWEEP[n].record(sweep_ns);
+                    SWEEP_NS.record(sweep_ns);
+                    BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
+                }
+                let _ = touched;
             }
         }
     }
+}
+
+/// In-place hierarchization, sequential (optimized traversal of Alg. 6:
+/// level groups descending, subspaces via the `next` iterator, the 1-d
+/// stencil applied as vertical pole runs — no per-point `idx2gp` or
+/// `gp2idx` calls).
+pub fn hierarchize<T: Real>(grid: &mut CompactGrid<T>) {
+    sweep_sequential(grid, false);
 }
 
 /// In-place hierarchization transcribed literally from paper Alg. 6:
@@ -149,13 +257,12 @@ pub fn hierarchize_alg6_literal<T: Real>(grid: &mut CompactGrid<T>) {
     }
 }
 
-/// In-place parallel hierarchization: for each dimension, level groups are
-/// processed finest-to-coarsest with a barrier in between (the paper's CPU
-/// realization of the per-group kernel launches); inside a group,
-/// subspaces are distributed statically over threads.
-pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
+/// Shared body of the pool-distributed sweeps (see [`sweep_sequential`]
+/// for the direction logic).
+fn sweep_parallel<T: Real>(grid: &mut CompactGrid<T>, add: bool) {
     let spec = *grid.spec();
     let d = spec.dim();
+    let kind = kernel::active();
     let indexer = grid.indexer().clone();
     let values = grid.values_mut();
     // Materialize each group's subspace level vectors once; they are the
@@ -163,8 +270,23 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
     let group_levels: Vec<Vec<Vec<Level>>> = (0..spec.levels())
         .map(|n| crate::iter::LevelIter::new(d, n).collect())
         .collect();
-    for t in 0..d {
-        for n in (0..spec.levels()).rev() {
+    let dims: Box<dyn Iterator<Item = usize>> = if add {
+        Box::new((0..d).rev())
+    } else {
+        Box::new(0..d)
+    };
+    let region = if add {
+        "core.dehierarchize.sweep"
+    } else {
+        "core.hierarchize.sweep"
+    };
+    for t in dims {
+        let groups: Box<dyn Iterator<Item = usize>> = if add {
+            Box::new(0..spec.levels())
+        } else {
+            Box::new((0..spec.levels()).rev())
+        };
+        for n in groups {
             tel! { let sweep_t0 = std::time::Instant::now(); }
             let group_start = indexer.group_offset(n) as usize;
             let group_end = indexer.group_range(n).end as usize;
@@ -178,131 +300,66 @@ pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
             // Subspaces of fine groups are tiny (2^n points): hand the
             // pool ~4096 points per claim so the shared-index atomic is
             // amortized, while coarse groups still claim subspace-wise.
+            // Claims are whole subspaces, which keeps every pole run —
+            // hence every SIMD lane group — within one worker.
             sg_par::par_chunks_mut_grained(
                 group,
                 sub_len,
                 (4096usize >> n).max(1),
-                "core.hierarchize.sweep",
+                region,
                 Some(("group", n as u64)),
                 |k, chunk| {
                     let l0 = &levels[k];
                     if l0[t] == 0 {
                         return;
                     }
-                    let mut l = l0.clone();
-                    let mut i = vec![0 as Index; d];
-                    for (rank, v) in chunk.iter_mut().enumerate() {
-                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                        let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
-                        *v -= h;
-                    }
+                    sweep_subspace(kind, lower, chunk, indexer, l0, t, add);
                 },
             );
             tel! {
                 let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
-                GROUP_SWEEP[n].record(sweep_ns);
-                SWEEP_NS.record(sweep_ns);
-                let touched: u64 = levels.iter().filter(|l0| l0[t] != 0).count() as u64
-                    * sub_len as u64;
-                BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
+                if add {
+                    DEHIER_SWEEP.record(sweep_ns);
+                    DEHIER_SWEEP_NS.record(sweep_ns);
+                } else {
+                    GROUP_SWEEP[n].record(sweep_ns);
+                    SWEEP_NS.record(sweep_ns);
+                    let touched: u64 = levels.iter().filter(|l0| l0[t] != 0).count() as u64
+                        * sub_len as u64;
+                    BYTES_MOVED.add(touched * 4 * T::size_bytes() as u64);
+                }
             }
         }
     }
+}
+
+/// In-place parallel hierarchization: for each dimension, level groups are
+/// processed finest-to-coarsest with a barrier in between (the paper's CPU
+/// realization of the per-group kernel launches); inside a group,
+/// subspaces are distributed statically over threads.
+pub fn hierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
+    sweep_parallel(grid, false);
 }
 
 /// In-place dehierarchization (decompression of the coefficient array back
 /// to nodal values) — the exact inverse of [`hierarchize`]: per dimension,
 /// level groups coarsest-to-finest, adding the ancestor half-sum.
 pub fn dehierarchize<T: Real>(grid: &mut CompactGrid<T>) {
-    let spec = *grid.spec();
-    let d = spec.dim();
-    let indexer = grid.indexer().clone();
-    let values = grid.values_mut();
-    let mut l = vec![0 as Level; d];
-    let mut i = vec![0 as Index; d];
-    for t in (0..d).rev() {
-        for n in 0..spec.levels() {
-            tel! { let sweep_t0 = std::time::Instant::now(); }
-            let group_start = indexer.group_offset(n) as usize;
-            let mut sub_start = group_start;
-            crate::iter::first_level(n, &mut l);
-            loop {
-                if l[t] != 0 {
-                    for rank in 0..(1u64 << n) {
-                        crate::iter::decode_subspace_rank(&l, rank, &mut i);
-                        let h = parent_halfsum(values, &indexer, &mut l, &mut i, t);
-                        values[sub_start + rank as usize] += h;
-                    }
-                }
-                sub_start += 1usize << n;
-                if !crate::iter::next_level(&mut l) {
-                    break;
-                }
-            }
-            tel! {
-                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
-                DEHIER_SWEEP.record(sweep_ns);
-                DEHIER_SWEEP_NS.record(sweep_ns);
-            }
-        }
-    }
+    sweep_sequential(grid, true);
 }
 
 /// Parallel dehierarchization: mirror image of [`hierarchize_parallel`]
 /// (groups ascending; ancestors are *already updated* and still live in
 /// the coarser prefix of the array, so the same split-borrow works).
 pub fn dehierarchize_parallel<T: Real>(grid: &mut CompactGrid<T>) {
-    let spec = *grid.spec();
-    let d = spec.dim();
-    let indexer = grid.indexer().clone();
-    let values = grid.values_mut();
-    let group_levels: Vec<Vec<Vec<Level>>> = (0..spec.levels())
-        .map(|n| crate::iter::LevelIter::new(d, n).collect())
-        .collect();
-    for t in (0..d).rev() {
-        for n in 0..spec.levels() {
-            tel! { let sweep_t0 = std::time::Instant::now(); }
-            let group_start = indexer.group_offset(n) as usize;
-            let group_end = indexer.group_range(n).end as usize;
-            let (lower, rest) = values.split_at_mut(group_start);
-            let group = &mut rest[..group_end - group_start];
-            let sub_len = 1usize << n;
-            let levels = &group_levels[n];
-            let indexer = &indexer;
-            // Same claim granularity rationale as the forward sweep.
-            sg_par::par_chunks_mut_grained(
-                group,
-                sub_len,
-                (4096usize >> n).max(1),
-                "core.dehierarchize.sweep",
-                Some(("group", n as u64)),
-                |k, chunk| {
-                    let l0 = &levels[k];
-                    if l0[t] == 0 {
-                        return;
-                    }
-                    let mut l = l0.clone();
-                    let mut i = vec![0 as Index; d];
-                    for (rank, v) in chunk.iter_mut().enumerate() {
-                        crate::iter::decode_subspace_rank(&l, rank as u64, &mut i);
-                        let h = parent_halfsum(lower, indexer, &mut l, &mut i, t);
-                        *v += h;
-                    }
-                },
-            );
-            tel! {
-                let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
-                DEHIER_SWEEP.record(sweep_ns);
-                DEHIER_SWEEP_NS.record(sweep_ns);
-            }
-        }
-    }
+    sweep_parallel(grid, true);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::grid::CompactGrid;
+    use crate::kernel::{detect, with_kernel, KernelSelect};
     use crate::level::GridSpec;
 
     fn sample(spec: GridSpec) -> CompactGrid<f64> {
@@ -359,6 +416,43 @@ mod tests {
     }
 
     #[test]
+    fn forced_kernels_match_the_literal_reference_bitwise() {
+        let simd = detect();
+        for (d, levels) in [(1, 5), (2, 4), (3, 4), (4, 3), (5, 3)] {
+            let spec = GridSpec::new(d, levels);
+            let reference = {
+                let mut g = sample(spec);
+                hierarchize_alg6_literal(&mut g);
+                g
+            };
+            for sel in [
+                KernelSelect::Force(KernelKind::Scalar),
+                KernelSelect::Force(simd),
+            ] {
+                let mut seq = sample(spec);
+                let mut par = sample(spec);
+                with_kernel(sel, || {
+                    hierarchize(&mut seq);
+                    hierarchize_parallel(&mut par);
+                });
+                for k in 0..reference.len() {
+                    let want = reference.values()[k];
+                    assert_eq!(
+                        seq.values()[k].to_bits(),
+                        want.to_bits(),
+                        "sequential {sel:?} d={d} slot {k}"
+                    );
+                    assert_eq!(
+                        par.values()[k].to_bits(),
+                        want.to_bits(),
+                        "parallel {sel:?} d={d} slot {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         for (d, levels) in [(2, 5), (3, 4), (5, 3)] {
             let spec = GridSpec::new(d, levels);
@@ -394,6 +488,26 @@ mod tests {
         hierarchize_parallel(&mut g);
         dehierarchize_parallel(&mut g);
         assert!(g.max_abs_diff(&original) < 1e-12);
+    }
+
+    #[test]
+    fn f32_grids_hierarchize_identically_under_every_kernel() {
+        let spec = GridSpec::new(3, 4);
+        let build = || CompactGrid::<f32>::from_fn(spec, |x| (x[0] + 2.0 * x[1] + x[2]) as f32);
+        let reference = {
+            let mut g = build();
+            hierarchize_alg6_literal(&mut g);
+            g
+        };
+        let mut forced = build();
+        with_kernel(KernelSelect::Force(detect()), || hierarchize(&mut forced));
+        for k in 0..reference.len() {
+            assert_eq!(
+                forced.values()[k].to_bits(),
+                reference.values()[k].to_bits(),
+                "slot {k}"
+            );
+        }
     }
 
     #[test]

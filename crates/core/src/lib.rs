@@ -66,8 +66,10 @@ pub mod functions;
 pub mod grid;
 pub mod hierarchize;
 pub mod iter;
+pub mod kernel;
 pub mod level;
 pub mod norms;
+pub mod plan;
 pub mod quadrature;
 pub mod real;
 
@@ -76,7 +78,8 @@ pub mod prelude {
     pub use crate::bijection::GridIndexer;
     pub use crate::error::SgError;
     pub use crate::evaluate::{
-        evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_parallel,
+        evaluate, evaluate_batch, evaluate_batch_blocked, evaluate_batch_blocked_with_plan,
+        evaluate_batch_parallel,
     };
     pub use crate::full_grid::FullGrid;
     pub use crate::functions::{halton_points, TestFunction};
@@ -84,7 +87,9 @@ pub mod prelude {
     pub use crate::hierarchize::{
         dehierarchize, dehierarchize_parallel, hierarchize, hierarchize_parallel,
     };
+    pub use crate::kernel::{KernelKind, KernelSelect};
     pub use crate::level::{GridPoint, GridSpec};
+    pub use crate::plan::EvalPlan;
     pub use crate::quadrature::{evaluate_with_gradient, integrate};
     pub use crate::real::Real;
 }

@@ -1,0 +1,207 @@
+//! Precomputed traversal plans for the batched kernels.
+//!
+//! Two traversals dominate the hot paths and are both derivable from
+//! the `GridSpec` alone:
+//!
+//! * the `first_level`/`next_level` subspace walk of Alg. 7 — the
+//!   blocked evaluator used to replay it once per *block*; an
+//!   [`EvalPlan`] materializes it **once per batch** (level vectors and
+//!   storage offsets, flat) so every block and every pool worker reuses
+//!   the same walk;
+//! * the *pole runs* of a hierarchization sweep — within subspace `l`,
+//!   for dimension `t`, the `2^{Σ_{u>t} l_u}` consecutive ranks that
+//!   share their leading bits have the same `i_t`, hence the same
+//!   parent levels and the same boundary cases, and their parents
+//!   occupy **consecutive** storage slots (the trailing bits of the
+//!   child rank carry over unchanged to the parent rank). Each run is
+//!   therefore one vertical stencil over contiguous slices, found with
+//!   two `gp2idx` calls — per run, not per point.
+
+use crate::bijection::GridIndexer;
+use crate::iter::{decode_subspace_rank, first_level, next_level};
+use crate::level::{hierarchical_parent, GridSpec, Index, Level, Side};
+#[allow(unused_imports)] // the import is "unused" when `telemetry` is off
+use crate::tel;
+
+tel! {
+    static PLAN_BUILDS: sg_telemetry::Counter =
+        sg_telemetry::Counter::new("core.evaluate.plan_builds");
+}
+
+/// The flattened subspace walk of one grid: every subspace's level
+/// vector plus its storage offset, in bijection order.
+#[derive(Debug, Clone)]
+pub struct EvalPlan {
+    d: usize,
+    /// Entry `e` is `levels[e*d .. (e+1)*d]`.
+    levels: Vec<Level>,
+    /// Storage offset (index3 + index2·2^n) of entry `e`'s subspace.
+    offsets: Vec<usize>,
+}
+
+impl EvalPlan {
+    /// Walk all subspaces of `spec` once and record them.
+    pub fn new(spec: &GridSpec) -> Self {
+        let d = spec.dim();
+        let mut levels = Vec::new();
+        let mut offsets = Vec::new();
+        let mut l = vec![0 as Level; d];
+        let mut off = 0usize;
+        for n in 0..spec.levels() {
+            let sub_len = 1usize << n;
+            first_level(n, &mut l);
+            loop {
+                levels.extend_from_slice(&l);
+                offsets.push(off);
+                off += sub_len;
+                if !next_level(&mut l) {
+                    break;
+                }
+            }
+        }
+        tel! { PLAN_BUILDS.add(1); }
+        EvalPlan { d, levels, offsets }
+    }
+
+    /// Dimensionality the plan was built for.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of subspaces recorded.
+    pub fn num_subspaces(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Entry `e`: its level vector and storage offset.
+    #[inline(always)]
+    pub fn entry(&self, e: usize) -> (&[Level], usize) {
+        (&self.levels[e * self.d..(e + 1) * self.d], self.offsets[e])
+    }
+}
+
+/// One vectorizable pole run inside a subspace, for a fixed sweep
+/// dimension: `len` consecutive ranks starting at `rank0` whose left
+/// (resp. right) hierarchical parents occupy the `len` consecutive
+/// absolute storage slots starting at `left` (resp. `right`); `None`
+/// when that parent chain ends on the domain boundary.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PoleRun {
+    pub rank0: usize,
+    pub len: usize,
+    pub left: Option<usize>,
+    pub right: Option<usize>,
+}
+
+/// Decompose subspace `l` into its dimension-`t` pole runs.
+///
+/// Requires `l[t] != 0` (subspaces with `l[t] = 0` have both ancestors
+/// on the boundary and are skipped by the sweeps).
+pub(crate) fn for_each_pole_run(
+    indexer: &GridIndexer,
+    l: &[Level],
+    t: usize,
+    mut f: impl FnMut(PoleRun),
+) {
+    debug_assert!(l[t] != 0);
+    let d = l.len();
+    let trail: u32 = l[t + 1..].iter().map(|&v| v as u32).sum();
+    let n: u32 = l.iter().map(|&v| v as u32).sum();
+    let stride = 1usize << trail;
+    let lead_count = 1u64 << (n - trail);
+    let mut i = vec![0 as Index; d];
+    let mut l2 = l.to_vec();
+    for lead in 0..lead_count {
+        let rank0 = lead << trail;
+        // At the run start every trailing bit is zero, so i_u = 1 for
+        // all u > t; the leading dims (and i_t) come from `lead`.
+        decode_subspace_rank(l, rank0, &mut i);
+        let (lt, it) = (l[t], i[t]);
+        let mut bases = [None, None];
+        for (b, side) in bases.iter_mut().zip([Side::Left, Side::Right]) {
+            if let Some((pl, pi)) = hierarchical_parent(lt, it, side) {
+                l2[t] = pl;
+                i[t] = pi;
+                *b = Some(indexer.gp2idx(&l2, &i) as usize);
+                l2[t] = lt;
+                i[t] = it;
+            }
+        }
+        f(PoleRun {
+            rank0: rank0 as usize,
+            len: stride,
+            left: bases[0],
+            right: bases[1],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter::{encode_subspace_rank, for_each_level};
+
+    #[test]
+    fn plan_matches_the_live_walk() {
+        let spec = GridSpec::new(3, 4);
+        let plan = EvalPlan::new(&spec);
+        let mut e = 0usize;
+        let mut off = 0usize;
+        for n in 0..spec.levels() {
+            for_each_level(spec.dim(), n, |l| {
+                let (pl, poff) = plan.entry(e);
+                assert_eq!(pl, l);
+                assert_eq!(poff, off);
+                off += 1usize << n;
+                e += 1;
+            });
+        }
+        assert_eq!(e, plan.num_subspaces());
+        assert_eq!(off as u64, spec.num_points());
+    }
+
+    #[test]
+    fn pole_runs_cover_each_subspace_and_parents_are_contiguous() {
+        let spec = GridSpec::new(3, 5);
+        let indexer = GridIndexer::new(spec);
+        for n in 0..spec.levels() {
+            for_each_level(spec.dim(), n, |l| {
+                for t in 0..spec.dim() {
+                    if l[t] == 0 {
+                        continue;
+                    }
+                    let mut covered = vec![false; 1usize << n];
+                    for_each_pole_run(&indexer, l, t, |run| {
+                        let mut i = vec![0 as Index; spec.dim()];
+                        for o in 0..run.len {
+                            let rank = (run.rank0 + o) as u64;
+                            assert!(!covered[rank as usize]);
+                            covered[rank as usize] = true;
+                            // Cross-check each run slot against the
+                            // per-point parent located from scratch.
+                            decode_subspace_rank(l, rank, &mut i);
+                            let mut l2 = l.to_vec();
+                            let mut i2 = i.clone();
+                            for (side, base) in [(Side::Left, run.left), (Side::Right, run.right)] {
+                                match hierarchical_parent(l[t], i[t], side) {
+                                    None => assert!(base.is_none()),
+                                    Some((pl, pi)) => {
+                                        l2[t] = pl;
+                                        i2[t] = pi;
+                                        let want = indexer.gp2idx(&l2, &i2) as usize;
+                                        assert_eq!(base.unwrap() + o, want);
+                                        l2[t] = l[t];
+                                        i2[t] = i[t];
+                                    }
+                                }
+                            }
+                            // Rank round-trips (sanity on the decode).
+                            assert_eq!(encode_subspace_rank(l, &i), rank);
+                        }
+                    });
+                    assert!(covered.iter().all(|&c| c));
+                }
+            });
+        }
+    }
+}

@@ -44,6 +44,19 @@ pub trait Real:
     fn size_bytes() -> usize {
         std::mem::size_of::<Self>()
     }
+
+    /// View a coefficient slice as `f64` when `Self` *is* `f64` —
+    /// the gate the SIMD kernels use. `None` (the default) routes the
+    /// type through the generic scalar path, which keeps `f32` grids
+    /// bitwise-stable without a second set of kernels.
+    fn as_f64_slice(_values: &[Self]) -> Option<&[f64]> {
+        None
+    }
+
+    /// Mutable counterpart of [`Real::as_f64_slice`].
+    fn as_f64_slice_mut(_values: &mut [Self]) -> Option<&mut [f64]> {
+        None
+    }
 }
 
 impl Real for f32 {
@@ -81,6 +94,14 @@ impl Real for f64 {
     #[inline(always)]
     fn abs(self) -> Self {
         f64::abs(self)
+    }
+    #[inline(always)]
+    fn as_f64_slice(values: &[Self]) -> Option<&[f64]> {
+        Some(values)
+    }
+    #[inline(always)]
+    fn as_f64_slice_mut(values: &mut [Self]) -> Option<&mut [f64]> {
+        Some(values)
     }
 }
 

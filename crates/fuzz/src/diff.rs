@@ -15,12 +15,21 @@
 //! | combination     | inclusion–exclusion       | direct sparse grid       | coefficient identity             |
 //! | domain-reject   | compact `evaluate`        | recursive `evaluate`     | — (both must reject)             |
 //!
+//! The compact operations additionally carry a **tier D**: the same
+//! compact algorithm re-run under `sg_core::kernel` forced to the scalar
+//! kernel and forced to the detected SIMD kernel (AVX2/NEON — on hosts
+//! without SIMD the forced "SIMD" kind degrades to scalar and the tier
+//! passes trivially). The SIMD kernels are constructed as exact
+//! reorder-free transcriptions of the scalar arithmetic, so tier D is
+//! compared **bitwise** against tier A on `hierarchize`, `evaluate`,
+//! `batch-*`, and `roundtrip` cases.
+//!
 //! Comparisons between algorithms that are *defined* to be reorderings
 //! of the same floating-point operations (blocked batches, parallel
-//! sweeps, the literal Alg. 6 transcription) are **bitwise**; everything
-//! else uses a scale-aware tolerance wide enough for legitimate
-//! summation-order differences and far too tight for any indexing bug,
-//! whose signature is an `O(scale)` error.
+//! sweeps, the literal Alg. 6 transcription, the forced-kernel tier)
+//! are **bitwise**; everything else uses a scale-aware tolerance wide
+//! enough for legitimate summation-order differences and far too tight
+//! for any indexing bug, whose signature is an `O(scale)` error.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -38,6 +47,7 @@ use sg_core::hierarchize::{
     dehierarchize, dehierarchize_parallel, hierarchize, hierarchize_alg6_literal,
     hierarchize_parallel,
 };
+use sg_core::kernel::{detect, with_kernel, KernelKind, KernelSelect};
 use sg_core::level::{hat, GridSpec, Index, Level};
 use sg_prop::Rng;
 
@@ -216,6 +226,22 @@ fn case_shape(case: &Case, drawn: (usize, usize)) -> (usize, usize) {
     case.shape.unwrap_or(drawn)
 }
 
+/// Tier D: run `compute` twice with the kernel dispatch pinned — once to
+/// the scalar kernel, once to the detected SIMD kind (which *is* scalar
+/// on hosts without SIMD, making the second leg a trivially-passing
+/// duplicate there). The caller compares both results bitwise against
+/// the auto-dispatched tier A result.
+fn forced_kernel_tiers<R>(compute: impl Fn() -> R) -> [(KernelKind, R); 2] {
+    let simd = detect();
+    [
+        (
+            KernelKind::Scalar,
+            with_kernel(KernelSelect::Force(KernelKind::Scalar), &compute),
+        ),
+        (simd, with_kernel(KernelSelect::Force(simd), &compute)),
+    ]
+}
+
 /// Run one case; `Ok(())` means every tier agreed.
 pub fn run_case(case: &Case, inject: Injection) -> Result<(), Failure> {
     match case.op {
@@ -269,7 +295,8 @@ fn hierarchize_diff(case: &Case, inject: Injection) -> Result<(), Failure> {
     let spec = GridSpec::new(d, n);
     let f = SampledFn::sample(&mut frng, d);
 
-    let mut compact = compact_tier(spec, &f, inject);
+    let base = compact_tier(spec, &f, inject);
+    let mut compact = base.clone();
     let literal = {
         let mut g = compact.clone();
         hierarchize_alg6_literal(&mut g);
@@ -281,6 +308,11 @@ fn hierarchize_diff(case: &Case, inject: Injection) -> Result<(), Failure> {
         g
     };
     hierarchize(&mut compact);
+    let forced = forced_kernel_tiers(|| {
+        let mut g = base.clone();
+        hierarchize(&mut g);
+        g
+    });
 
     let mut store = StdMapGrid::<f64>::new(spec);
     store.fill_from(|x| f.eval(x));
@@ -314,6 +346,17 @@ fn hierarchize_diff(case: &Case, inject: Injection) -> Result<(), Failure> {
                 d,
                 n,
             ));
+        }
+        for (kind, g) in &forced {
+            let v = g.values()[k];
+            if a.to_bits() != v.to_bits() {
+                return Err(Failure::new(
+                    format!("slot {k}: auto-dispatch={a:?} forced-{}={v:?}", kind.name()),
+                    Some(k),
+                    d,
+                    n,
+                ));
+            }
         }
         let b = recursive.values()[k];
         if !close(a, b, scale) {
@@ -368,6 +411,24 @@ fn evaluate_diff(case: &Case) -> Result<(), Failure> {
             ));
         }
     }
+    // Tier D: the blocked batch over the same queries under forced
+    // kernels, bitwise against the scalar batch reference.
+    let batch_ref = evaluate_batch(&compact, &xs);
+    for (kind, got) in forced_kernel_tiers(|| evaluate_batch_blocked(&compact, &xs, 8)) {
+        for (q, (a, b)) in batch_ref.iter().zip(&got).enumerate() {
+            if !compares(case, q) {
+                continue;
+            }
+            if a.to_bits() != b.to_bits() {
+                return Err(Failure::new(
+                    format!("query {q}: scalar-batch={a:?} forced-{}={b:?}", kind.name()),
+                    Some(q),
+                    d,
+                    n,
+                ));
+            }
+        }
+    }
     // Interpolation exactness at every grid node (query index continues
     // after the random queries so the shrinker can pin one node).
     let base = xs.len() / d;
@@ -406,37 +467,51 @@ fn batch_diff(case: &Case, parallel: bool) -> Result<(), Failure> {
         let reference = evaluate_batch(&grid, xs);
         let len = xs.len() / d;
         for block in [1usize, 7, 64, len + 3] {
-            let got = if parallel {
-                evaluate_batch_parallel(&grid, xs, block)
-            } else {
-                evaluate_batch_blocked(&grid, xs, block)
-            };
-            if got.len() != reference.len() {
-                return Err(Failure::new(
-                    format!(
-                        "block {block}: length {} vs scalar {}",
-                        got.len(),
-                        reference.len()
-                    ),
-                    None,
-                    d,
-                    n,
-                ));
-            }
-            for (q, (a, b)) in got.iter().zip(&reference).enumerate() {
-                if !compares(case, q) {
-                    continue;
+            let run = || {
+                if parallel {
+                    evaluate_batch_parallel(&grid, xs, block)
+                } else {
+                    evaluate_batch_blocked(&grid, xs, block)
                 }
-                if a.to_bits() != b.to_bits() {
+            };
+            // Auto dispatch plus the forced-kernel tier D, all bitwise
+            // against the scalar batch.
+            let mut tiers = vec![(None, run())];
+            for (kind, got) in forced_kernel_tiers(run) {
+                tiers.push((Some(kind), got));
+            }
+            for (kind, got) in tiers {
+                let label = match kind {
+                    None if parallel => "parallel".to_string(),
+                    None => "blocked".to_string(),
+                    Some(k) => format!("forced-{}", k.name()),
+                };
+                if got.len() != reference.len() {
                     return Err(Failure::new(
                         format!(
-                            "block {block} query {q}: {}={a:?} scalar={b:?} (bitwise)",
-                            if parallel { "parallel" } else { "blocked" }
+                            "block {block}: {label} length {} vs scalar {}",
+                            got.len(),
+                            reference.len()
                         ),
-                        Some(q),
+                        None,
                         d,
                         n,
                     ));
+                }
+                for (q, (a, b)) in got.iter().zip(&reference).enumerate() {
+                    if !compares(case, q) {
+                        continue;
+                    }
+                    if a.to_bits() != b.to_bits() {
+                        return Err(Failure::new(
+                            format!(
+                                "block {block} query {q}: {label}={a:?} scalar={b:?} (bitwise)"
+                            ),
+                            Some(q),
+                            d,
+                            n,
+                        ));
+                    }
                 }
             }
         }
@@ -456,6 +531,13 @@ fn roundtrip(case: &Case) -> Result<(), Failure> {
     let mut back_par = seq.clone();
     dehierarchize(&mut seq);
     dehierarchize_parallel(&mut back_par);
+    // Tier D: the full compress→decompress pipeline under forced kernels.
+    let forced = forced_kernel_tiers(|| {
+        let mut g = original.clone();
+        hierarchize(&mut g);
+        dehierarchize(&mut g);
+        g
+    });
 
     let scale = max_abs(original.values());
     for k in 0..original.len() {
@@ -473,6 +555,20 @@ fn roundtrip(case: &Case) -> Result<(), Failure> {
                 d,
                 n,
             ));
+        }
+        for (kind, g) in &forced {
+            let v = g.values()[k];
+            if a.to_bits() != v.to_bits() {
+                return Err(Failure::new(
+                    format!(
+                        "slot {k}: auto roundtrip={a:?} forced-{} roundtrip={v:?}",
+                        kind.name()
+                    ),
+                    Some(k),
+                    d,
+                    n,
+                ));
+            }
         }
         let v = original.values()[k];
         if !close(a, v, scale) {

@@ -69,8 +69,9 @@ pub struct FuzzConfig {
     pub budget_cases: Option<u64>,
     /// Stop after this much wall-clock time.
     pub budget_secs: Option<f64>,
-    /// Restrict the run to one operation.
-    pub op_filter: Option<Op>,
+    /// Restrict the run to a subset of operations (round-robin within
+    /// the subset); `None` cycles through all of [`Op::ALL`].
+    pub op_filter: Option<Vec<Op>>,
     /// Shrinker shape override for replays.
     pub shape: Option<(usize, usize)>,
     /// Fault injection (harness self-test).
@@ -131,9 +132,9 @@ pub fn case_seed(base: u64, k: u64) -> u64 {
 /// minimized before being reported; a panic inside an operation (other
 /// than the intentional domain rejections) is itself a divergence.
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
-    let ops: Vec<Op> = match cfg.op_filter {
-        Some(op) => vec![op],
-        None => Op::ALL.to_vec(),
+    let ops: Vec<Op> = match &cfg.op_filter {
+        Some(ops) if !ops.is_empty() => ops.clone(),
+        _ => Op::ALL.to_vec(),
     };
     let started = Instant::now();
     let mut report = FuzzReport {
@@ -217,6 +218,25 @@ mod tests {
     }
 
     #[test]
+    fn a_multi_op_filter_round_robins_the_subset() {
+        let cfg = FuzzConfig {
+            budget_cases: Some(12),
+            op_filter: Some(vec![Op::Hierarchize, Op::BatchBlocked]),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(report.clean(), "{:?}", report.divergences);
+        for (name, count) in &report.per_op {
+            let want = if *name == "hierarchize" || *name == "batch-blocked" {
+                6
+            } else {
+                0
+            };
+            assert_eq!(*count, want, "op {name}");
+        }
+    }
+
+    #[test]
     fn case_zero_replays_the_base_seed() {
         assert_eq!(case_seed(0xABCD, 0), 0xABCD);
         assert_ne!(case_seed(0xABCD, 1), case_seed(0xABCD, 2));
@@ -226,7 +246,7 @@ mod tests {
     fn injection_produces_a_shrunk_divergence() {
         let cfg = FuzzConfig {
             budget_cases: Some(20),
-            op_filter: Some(Op::SampleIdentity),
+            op_filter: Some(vec![Op::SampleIdentity]),
             inject: Injection::Gp2idxOffByOne,
             max_divergences: 1,
             ..FuzzConfig::default()

@@ -36,7 +36,7 @@ fn injected_gp2idx_fault_is_detected_and_shrunk() {
     let cfg = FuzzConfig {
         budget_cases: Some(50),
         inject: Injection::Gp2idxOffByOne,
-        op_filter: Some(Op::SampleIdentity),
+        op_filter: Some(vec![Op::SampleIdentity]),
         max_divergences: 1,
         ..FuzzConfig::default()
     };
@@ -63,7 +63,7 @@ fn replaying_a_divergence_seed_reproduces_it() {
     let cfg = FuzzConfig {
         budget_cases: Some(10),
         inject: Injection::Gp2idxOffByOne,
-        op_filter: Some(Op::SampleIdentity),
+        op_filter: Some(vec![Op::SampleIdentity]),
         max_divergences: 1,
         ..FuzzConfig::default()
     };
@@ -73,7 +73,7 @@ fn replaying_a_divergence_seed_reproduces_it() {
         seed_base: shrunk.case.seed,
         budget_cases: Some(1),
         inject: Injection::Gp2idxOffByOne,
-        op_filter: Some(Op::SampleIdentity),
+        op_filter: Some(vec![Op::SampleIdentity]),
         shape: shrunk.case.shape,
         max_divergences: 1,
         ..FuzzConfig::default()

@@ -486,6 +486,14 @@ where
         .collect()
 }
 
+/// Round a claim granularity up to a multiple of the SIMD lane width, so
+/// every work-item chunk a worker claims starts on a lane boundary and
+/// only the final chunk of a region has a partial lane. Degenerate
+/// arguments are clamped (`grain ≥ 1`, `lanes ≥ 1`).
+pub fn lane_aligned(grain: usize, lanes: usize) -> usize {
+    grain.max(1).next_multiple_of(lanes.max(1))
+}
+
 /// Ordered parallel map over a slice.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -510,6 +518,19 @@ mod tests {
         // Degenerate shapes still claim at least one item at a time.
         assert_eq!(effective_grain(0, 1, 8), 1);
         assert_eq!(effective_grain(9999, 2, 2), 1);
+    }
+
+    #[test]
+    fn lane_aligned_rounds_up_and_clamps() {
+        assert_eq!(lane_aligned(64, 4), 64);
+        assert_eq!(lane_aligned(63, 4), 64);
+        assert_eq!(lane_aligned(1, 4), 4);
+        assert_eq!(lane_aligned(7, 2), 8);
+        // Scalar kernels (lane width 1) leave the grain unchanged...
+        assert_eq!(lane_aligned(7, 1), 7);
+        // ...and degenerate arguments are clamped, never zero.
+        assert_eq!(lane_aligned(0, 4), 4);
+        assert_eq!(lane_aligned(0, 0), 1);
     }
 
     #[test]

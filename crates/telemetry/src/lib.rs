@@ -61,7 +61,7 @@ pub mod provenance;
 pub mod regions;
 pub mod trace;
 
-pub use provenance::{provenance, set_threads_hint};
+pub use provenance::{provenance, set_kernel_hint, set_threads_hint};
 
 /// Global registry of every instrument that has recorded at least once.
 struct Registry {

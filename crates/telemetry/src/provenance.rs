@@ -8,6 +8,7 @@
 
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use sg_json::{json, Value};
@@ -38,6 +39,7 @@ pub fn provenance(features: &[&str]) -> Value {
         "arch": std::env::consts::ARCH,
         "os": std::env::consts::OS,
         "debug_build": cfg!(debug_assertions),
+        "kernel": kernel_label(),
     });
     p["features"] = Value::Array(features.iter().map(|&f| Value::from(f)).collect());
     p
@@ -125,6 +127,31 @@ fn threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Last SIMD kernel dispatched by `sg-core` (see [`set_kernel_hint`]).
+static KERNEL_HINT: Mutex<Option<&'static str>> = Mutex::new(None);
+
+/// Tell provenance which compute kernel `sg_core::kernel::active()`
+/// resolved to (`"scalar"`, `"avx2"`, `"neon"`). Same inverted-dependency
+/// pattern as [`set_threads_hint`]: this crate cannot query sg-core, so
+/// the hot paths stamp the hint on dispatch. Without it — e.g. before any
+/// kernel has run — the label falls back to the `SG_KERNEL` request.
+pub fn set_kernel_hint(name: &'static str) {
+    *KERNEL_HINT.lock().unwrap_or_else(|e| e.into_inner()) = Some(name);
+}
+
+/// The kernel label for provenance: the dispatched kind if one was
+/// stamped, else the (normalized) `SG_KERNEL` selection request, else
+/// `"auto"`.
+fn kernel_label() -> String {
+    if let Some(name) = *KERNEL_HINT.lock().unwrap_or_else(|e| e.into_inner()) {
+        return name.to_string();
+    }
+    match std::env::var("SG_KERNEL") {
+        Ok(v) if !v.trim().is_empty() => v.trim().to_ascii_lowercase(),
+        _ => "auto".to_string(),
+    }
+}
+
 /// Host CPU model from `/proc/cpuinfo` (`model name` line), falling back
 /// to `arch/os` on platforms without procfs.
 fn machine_model() -> String {
@@ -170,6 +197,7 @@ mod tests {
             "arch",
             "os",
             "debug_build",
+            "kernel",
         ] {
             assert!(p.get(key).is_some(), "missing provenance key {key}");
         }
@@ -183,5 +211,14 @@ mod tests {
         // Survives serialization.
         let reparsed = sg_json::parse(&p.to_string()).unwrap();
         assert_eq!(reparsed["arch"], std::env::consts::ARCH);
+    }
+
+    #[test]
+    fn kernel_label_prefers_the_dispatch_hint() {
+        set_kernel_hint("scalar");
+        assert_eq!(kernel_label(), "scalar");
+        assert_eq!(provenance(&[])["kernel"], "scalar");
+        set_kernel_hint("avx2");
+        assert_eq!(kernel_label(), "avx2");
     }
 }

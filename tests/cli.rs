@@ -4,8 +4,13 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn sgtool(args: &[&str]) -> Output {
+    sgtool_env(args, &[])
+}
+
+fn sgtool_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_sgtool"))
         .args(args)
+        .envs(envs.iter().copied())
         .output()
         .expect("failed to run sgtool")
 }
@@ -331,6 +336,79 @@ fn metrics_json_flag_writes_a_telemetry_report() {
 
     std::fs::remove_file(&file).ok();
     std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn unknown_sg_kernel_is_a_usage_error_not_a_panic() {
+    let o = sgtool_env(&["help"], &[("SG_KERNEL", "bogus")]);
+    assert_eq!(o.status.code(), Some(2), "{}", stderr(&o));
+    let e = stderr(&o);
+    assert!(
+        e.contains("SG_KERNEL") && e.contains("bogus"),
+        "error must name the variable and the bad value: {e}"
+    );
+    // A structurally valid but unavailable ISA is also a clean exit 2.
+    let absent = if cfg!(target_arch = "x86_64") {
+        "neon"
+    } else {
+        "avx2"
+    };
+    let o = sgtool_env(&["help"], &[("SG_KERNEL", absent)]);
+    assert_eq!(o.status.code(), Some(2), "{}", stderr(&o));
+    assert!(stderr(&o).contains("not available"), "{}", stderr(&o));
+}
+
+#[test]
+fn sg_kernel_selection_is_honored_and_stamped_into_provenance() {
+    let file = temp_path("kernel-prov.sgc");
+    let f = file.to_str().unwrap();
+    let base = [
+        "compress",
+        "--dims",
+        "3",
+        "--level",
+        "5",
+        "--function",
+        "parabola",
+        "--out",
+        f,
+    ];
+
+    // Forced scalar: accepted everywhere, stamped verbatim.
+    let metrics = temp_path("kernel-prov-scalar.json");
+    let m = metrics.to_str().unwrap();
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--metrics-json", m]);
+    let o = sgtool_env(&args, &[("SG_KERNEL", "scalar")]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let report = sg_json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        report["provenance"]["kernel"].as_str(),
+        Some("scalar"),
+        "provenance must record the forced kernel"
+    );
+    std::fs::remove_file(&metrics).ok();
+
+    // Auto (default): the stamp is whatever the host dispatched — one of
+    // the known kernel names, and on x86-64 with AVX2 specifically avx2.
+    let metrics = temp_path("kernel-prov-auto.json");
+    let m = metrics.to_str().unwrap();
+    let mut args = base.to_vec();
+    args.extend_from_slice(&["--metrics-json", m]);
+    let o = sgtool_env(&args, &[("SG_KERNEL", "auto")]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let report = sg_json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let kernel = report["provenance"]["kernel"].as_str().unwrap().to_string();
+    assert!(
+        ["scalar", "avx2", "neon"].contains(&kernel.as_str()),
+        "unexpected kernel stamp {kernel:?}"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        assert_eq!(kernel, "avx2", "AVX2 host must auto-dispatch avx2");
+    }
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&file).ok();
 }
 
 #[test]
