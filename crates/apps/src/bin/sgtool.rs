@@ -9,6 +9,7 @@
 //! sgtool profile --dims 10 --level 7 --out trace.json
 //! ```
 
+use sg_baselines::StoreKind;
 use sg_core::prelude::*;
 use sg_core::quadrature::integrate;
 use std::process::ExitCode;
@@ -97,6 +98,9 @@ fn main() -> ExitCode {
         "slice" => cmd_slice(rest),
         "render" => cmd_render(rest),
         "profile" => cmd_profile(rest),
+        "flight" => cmd_flight(rest),
+        "gate" => cmd_gate(rest),
+        "divergence" => cmd_divergence(rest),
         "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -154,10 +158,39 @@ const USAGE: &str = "usage:
   sgtool render FILE --out IMG.ppm [--axes A,B] [--at X1,...,XD] [--width N]
   sgtool profile [--dims D] [--level L] [--function NAME] [--reps R]
                  [--points K] [--out TRACE.json] [--top N]
+                 [--from TRACE.json]
                   (defaults: d=10 level 7, 1 rep, 4096 eval points; runs
                   sample -> hierarchize -> evaluate -> dehierarchize with
                   tracing on, writes a Chrome Trace Event JSON loadable in
-                  Perfetto, and prints span/histogram/imbalance summaries)
+                  Perfetto, and prints span/histogram/imbalance summaries;
+                  --from skips the run and summarizes an existing trace
+                  file instead — a malformed or truncated trace exits 2
+                  with a one-line diagnostic)
+  sgtool flight [--dims D] [--level L] [--function NAME] [--reps R]
+                [--points K] [--interval-ms MS] [--out flight.json]
+                  (defaults: d=8 level 6, 4 reps, 4096 eval points, 5 ms
+                  cadence; runs the profile workload with the in-process
+                  flight recorder sampling every counter/span/histogram on
+                  a fixed cadence into a lock-free ring, then writes the
+                  self-describing time-series — schema with metric
+                  name/kind/unit plus one frame per sample — as JSON)
+  sgtool gate EXPERIMENT [more ...] [--results DIR] [--window N]
+              [--min-runs N] [--k FACTOR] [--rel-floor FRAC] [--json PATH]
+                  (perf-regression sentry: reads results/BENCH_<name>.json
+                  trajectories, fits a median ± k*MAD noise band per metric
+                  over the trailing window — defaults window 20, min-runs
+                  5, k 6.0, rel-floor 0.10 — and exits 1 with a one-line
+                  REGRESSION diagnosis when the newest run breaches it;
+                  histories shorter than min-runs always pass)
+  sgtool divergence [--dims D] [--level L] [--function NAME] [--points K]
+                    [--machine NAME] [--top N] [--out REPORT.json]
+                  (model-vs-measured: times each hierarchize/evaluate
+                  level group, runs the same shape through the sg-machine
+                  cache simulator, and prints per-group predicted DRAM
+                  lines vs measured ns with a correlation coefficient and
+                  the top-N groups the model explains worst; defaults
+                  d=5 level 6, 2048 points, machine nehalem
+                  (nehalem | opteron | opteron-aggregate | tiny), top 3)
   sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
               [--op NAME[,NAME...]] [--shape DxN] [--sched-interleavings K]
               [--snapshot-faults N] [--inject gp2idx-off-by-one]
@@ -187,7 +220,11 @@ environment:
   SG_KERNEL             compute-kernel selection: auto (default), scalar,
                         avx2, neon; unknown or unavailable values exit 2;
                         the dispatched kernel is stamped into provenance
-  SG_PAR_THREADS        worker-thread count for the parallel sweeps";
+  SG_PAR_THREADS        worker-thread count for the parallel sweeps
+  SG_FLIGHT_CAPACITY    ring capacity (frames) of the flight recorder
+  SG_GATE_BASELINE      when set, `sgtool gate` reports regressions but
+                        exits 0 — acknowledge an intentional perf change
+                        while the trajectory re-baselines";
 
 fn flag(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -542,6 +579,9 @@ fn colormap(v: f64) -> [u8; 3] {
 /// histogram percentiles, and the per-level-group load-imbalance report
 /// that diagnoses the paper's Fig. 11 speedup flattening.
 fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    if let Some(path) = flag(args, "--from") {
+        return summarize_trace(args, &path);
+    }
     let parse_flag = |key: &str, default: usize| -> Result<usize, String> {
         flag(args, key)
             .map(|s| s.parse().map_err(|e| format!("bad {key}: {e}")))
@@ -679,6 +719,364 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `sgtool profile --from`: summarize an existing Chrome-trace file
+/// instead of running a workload. A trace that does not parse or lacks
+/// the `traceEvents` array is a *usage* error — exit 2 with one line —
+/// so scripts piping stale or truncated traces fail loudly and cheaply.
+fn summarize_trace(args: &[String], path: &str) -> Result<(), CliError> {
+    let top: usize = flag(args, "--top")
+        .map(|s| s.parse().map_err(|e| format!("bad --top: {e}")))
+        .transpose()?
+        .unwrap_or(10)
+        .max(1);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read trace {path}: {e}")))?;
+    let doc = sg_json::parse(&text)
+        .map_err(|e| CliError::usage(format!("malformed trace {path}: {e}")))?;
+    let events = doc["traceEvents"]
+        .as_array()
+        .ok_or_else(|| CliError::usage(format!("malformed trace {path}: no traceEvents array")))?;
+
+    // Sum complete ("X") event durations by name; everything else is
+    // metadata we skip.
+    let mut by_name: Vec<(String, u64, f64)> = Vec::new();
+    let mut spans = 0usize;
+    for ev in events {
+        if ev["ph"].as_str() != Some("X") {
+            continue;
+        }
+        let (Some(name), Some(dur)) = (ev["name"].as_str(), ev["dur"].as_f64()) else {
+            return Err(CliError::usage(format!(
+                "malformed trace {path}: event without name/dur"
+            )));
+        };
+        spans += 1;
+        match by_name.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += dur;
+            }
+            None => by_name.push((name.to_string(), 1, dur)),
+        }
+    }
+    println!("{path}: {} events ({spans} spans)", events.len());
+    by_name.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!("  {:<38} {:>8} {:>12}", "span", "count", "total_ms");
+    for (name, count, total_us) in by_name.iter().take(top) {
+        println!("  {name:<38} {count:>8} {:>12.3}", total_us / 1e3);
+    }
+    let sg = &doc["sg"];
+    if !sg.is_null() {
+        if let Some(dropped) = sg["dropped_events"].as_f64() {
+            if dropped > 0.0 {
+                println!("  ({dropped} events dropped at capture time)");
+            }
+        }
+        let w = &sg["workload"];
+        if !w.is_null() {
+            println!(
+                "workload: d={} level={} {} ({} reps, {} eval points)",
+                w["dims"].as_f64().unwrap_or(0.0),
+                w["level"].as_f64().unwrap_or(0.0),
+                w["function"].as_str().unwrap_or("?"),
+                w["reps"].as_f64().unwrap_or(0.0),
+                w["eval_points"].as_f64().unwrap_or(0.0),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Run the profile workload with the flight recorder sampling the full
+/// instrument registry on a fixed cadence, then export the time-series.
+fn cmd_flight(args: &[String]) -> Result<(), CliError> {
+    let parse_flag = |key: &str, default: usize| -> Result<usize, String> {
+        flag(args, key)
+            .map(|s| s.parse().map_err(|e| format!("bad {key}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let d = parse_flag("--dims", 8)?;
+    let level = parse_flag("--level", 6)?;
+    let reps = parse_flag("--reps", 4)?.max(1);
+    let n_points = parse_flag("--points", 4096)?;
+    let interval_ms = parse_flag("--interval-ms", 5)?.max(1);
+    let out = flag(args, "--out").unwrap_or_else(|| "flight.json".into());
+    let fname = flag(args, "--function").unwrap_or_else(|| "gaussian".into());
+    let f = TestFunction::ALL
+        .iter()
+        .find(|f| f.name() == fname)
+        .ok_or_else(|| CliError::usage(format!("unknown function {fname:?}")))?;
+    let spec =
+        GridSpec::try_new(d, level).map_err(|e| CliError::usage(format!("bad grid shape: {e}")))?;
+
+    let xs = halton_points(d, n_points);
+    let sampler = sg_telemetry::timeseries::Sampler::start(std::time::Duration::from_millis(
+        interval_ms as u64,
+    ));
+    let t_all = std::time::Instant::now();
+    let mut grid = CompactGrid::from_fn_parallel(spec, |x| f.eval(x));
+    for _ in 0..reps {
+        hierarchize_parallel(&mut grid);
+        let _values = evaluate_batch_parallel(&grid, &xs, 64);
+        dehierarchize_parallel(&mut grid);
+    }
+    let wall = t_all.elapsed();
+    drop(sampler); // final frame, then the sampling thread joins
+
+    let series = sg_telemetry::Report::timeseries();
+    let mut doc = series.to_json();
+    doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+    doc["workload"] = sg_json::json!({
+        "dims": d as f64, "level": level as f64, "points": grid.len() as f64,
+        "function": f.name(), "reps": reps as f64, "eval_points": n_points as f64,
+        "interval_ms": interval_ms as f64, "wall_s": wall.as_secs_f64()
+    });
+    std::fs::write(&out, format!("{}\n", doc.to_string_pretty()))
+        .map_err(|e| CliError::io(format!("cannot write flight data to {out}: {e}")))?;
+    println!(
+        "flight: {} frames x {} columns over {:.1} ms (cadence {interval_ms} ms, \
+         {} recorded, {} dropped) -> {out}",
+        series.frames.len(),
+        series.schema.len(),
+        wall.as_secs_f64() * 1e3,
+        series.recorded,
+        series.dropped,
+    );
+    Ok(())
+}
+
+/// Perf-regression sentry over `results/BENCH_<name>.json` trajectories.
+fn cmd_gate(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = sg_bench::gate::GateConfig::default();
+    if let Some(w) = flag(args, "--window") {
+        cfg.window = w.parse().map_err(|e| format!("bad --window: {e}"))?;
+    }
+    if let Some(m) = flag(args, "--min-runs") {
+        cfg.min_runs = m.parse().map_err(|e| format!("bad --min-runs: {e}"))?;
+    }
+    if let Some(k) = flag(args, "--k") {
+        cfg.k = k.parse().map_err(|e| format!("bad --k: {e}"))?;
+    }
+    if let Some(r) = flag(args, "--rel-floor") {
+        cfg.rel_floor = r.parse().map_err(|e| format!("bad --rel-floor: {e}"))?;
+    }
+    let results = flag(args, "--results").unwrap_or_else(|| "results".into());
+    let names = positional(args);
+    if names.is_empty() {
+        return Err(CliError::usage(
+            "missing experiment name(s), e.g. `sgtool gate fig9_hierarchize`",
+        ));
+    }
+
+    let baseline_override = std::env::var("SG_GATE_BASELINE").is_ok_and(|v| !v.is_empty());
+    let mut reports = Vec::new();
+    let mut failed = 0usize;
+    for name in &names {
+        let path = std::path::Path::new(&results).join(format!("BENCH_{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::io(format!("cannot read {}: {e}", path.display())))?;
+        let report = sg_bench::gate::analyze_trajectory_text(&text, &cfg)
+            .map_err(|e| CliError::corrupt(format!("bad trajectory {}: {e}", path.display())))?;
+        println!("gate {name} ({} runs):", report.runs);
+        for m in &report.metrics {
+            println!("  {}", m.diagnosis());
+        }
+        if !report.passed() {
+            failed += 1;
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = flag(args, "--json") {
+        let mut doc = sg_json::json!({
+            "passed": failed == 0,
+            "baseline_override": baseline_override,
+            "experiments": reports.iter().map(|r| r.to_json()).collect::<Vec<_>>()
+        });
+        doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+        std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| CliError::io(format!("cannot write gate report to {path}: {e}")))?;
+    }
+
+    if failed > 0 {
+        let total: usize = reports.iter().map(|r| r.regressions().count()).sum();
+        if baseline_override {
+            println!(
+                "SG_GATE_BASELINE set: accepting {total} regression(s) across \
+                 {failed} experiment(s) as the new baseline"
+            );
+            return Ok(());
+        }
+        return Err(CliError::from(format!(
+            "perf gate failed: {total} metric regression(s) across {failed} of {} experiment(s)",
+            names.len()
+        )));
+    }
+    println!(
+        "perf gate passed: {} experiment(s) within their noise bands",
+        names.len()
+    );
+    Ok(())
+}
+
+/// Model-vs-measured divergence: time each level group of a real
+/// hierarchize + blocked-evaluate run, predict the same groups' DRAM
+/// traffic with the cache simulator, and report how well they line up.
+fn cmd_divergence(args: &[String]) -> Result<(), CliError> {
+    let parse_flag = |key: &str, default: usize| -> Result<usize, String> {
+        flag(args, key)
+            .map(|s| s.parse().map_err(|e| format!("bad {key}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let d = parse_flag("--dims", 5)?;
+    let level = parse_flag("--level", 6)?;
+    let n_points = parse_flag("--points", 2048)?.max(1);
+    let top = parse_flag("--top", 3)?.max(1);
+    let machine = flag(args, "--machine").unwrap_or_else(|| "nehalem".into());
+    let fname = flag(args, "--function").unwrap_or_else(|| "gaussian".into());
+    let f = TestFunction::ALL
+        .iter()
+        .find(|f| f.name() == fname)
+        .ok_or_else(|| CliError::usage(format!("unknown function {fname:?}")))?;
+    let spec =
+        GridSpec::try_new(d, level).map_err(|e| CliError::usage(format!("bad grid shape: {e}")))?;
+    let new_sim = || -> Result<sg_machine::CacheSim, CliError> {
+        Ok(match machine.as_str() {
+            "nehalem" => sg_machine::CacheSim::nehalem(),
+            "opteron" => sg_machine::CacheSim::opteron_barcelona(),
+            "opteron-aggregate" => sg_machine::CacheSim::opteron_barcelona_aggregate(),
+            "tiny" => sg_machine::CacheSim::tiny(),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown --machine {other:?} (nehalem, opteron, opteron-aggregate, tiny)"
+                )))
+            }
+        })
+    };
+
+    // Measured half: a fresh registry window around serial hierarchize +
+    // blocked evaluate, so the per-group spans hold exactly this run
+    // (serial keeps wall time and attributed time the same thing).
+    sg_telemetry::reset();
+    let mut grid = CompactGrid::from_fn_parallel(spec, |x| f.eval(x));
+    let xs = halton_points(d, n_points);
+    hierarchize(&mut grid);
+    let _values = evaluate_batch_blocked(&grid, &xs, 64);
+    let report = sg_telemetry::snapshot();
+    let measured = |phase: &str, n: usize| -> u64 {
+        report
+            .span(&format!("core.{phase}.group_{n}"))
+            .map_or(0, |s| s.total_ns)
+    };
+
+    // Predicted half: the same shapes through the cache simulator.
+    let mut sim_h = new_sim()?;
+    let pred_h =
+        sg_machine::profile::trace_hierarchization_groups(StoreKind::Compact, spec, &mut sim_h);
+    let mut sim_e = new_sim()?;
+    let pred_e = sg_machine::profile::trace_evaluation_groups(
+        StoreKind::Compact,
+        spec,
+        n_points,
+        &mut sim_e,
+    );
+
+    let mut doc = sg_json::json!({
+        "machine": machine.clone(),
+        "workload": {
+            "dims": d as f64, "level": level as f64, "points": grid.len() as f64,
+            "function": f.name(), "eval_points": n_points as f64
+        }
+    });
+    let mut worst: Vec<(String, f64)> = Vec::new();
+    for (phase, pred) in [("hierarchize", &pred_h), ("evaluate", &pred_e)] {
+        let pairs: Vec<(usize, f64, f64)> = pred
+            .groups
+            .iter()
+            .map(|g| {
+                (
+                    g.group,
+                    g.dram_lines as f64,
+                    measured(phase, g.group) as f64,
+                )
+            })
+            .collect();
+        // Least-squares through the origin: ns the measurement implies
+        // per predicted DRAM line.
+        let sxx: f64 = pairs.iter().map(|(_, x, _)| x * x).sum();
+        let sxy: f64 = pairs.iter().map(|(_, x, y)| x * y).sum();
+        let alpha = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let r = correlation(&pairs);
+        println!(
+            "\n{phase}: predicted vs measured over {} level groups \
+             (machine {machine}, correlation r={r:.4}, fit {alpha:.2} ns/line)",
+            pairs.len()
+        );
+        println!(
+            "  {:>5} {:>16} {:>14} {:>14} {:>14}",
+            "group", "pred_dram_lines", "measured_ns", "model_ns", "residual_ns"
+        );
+        let mut groups_json = Vec::new();
+        for (n, lines, ns) in &pairs {
+            let model = alpha * lines;
+            let residual = ns - model;
+            println!("  {n:>5} {lines:>16.0} {ns:>14.0} {model:>14.0} {residual:>+14.0}");
+            worst.push((format!("{phase} group {n}"), residual));
+            groups_json.push(sg_json::json!({
+                "group": *n as f64,
+                "predicted_dram_lines": *lines,
+                "measured_ns": *ns,
+                "model_ns": model,
+                "residual_ns": residual
+            }));
+        }
+        doc[phase] = sg_json::json!({
+            "correlation": r,
+            "alpha_ns_per_line": alpha,
+            "groups": groups_json
+        });
+    }
+
+    worst.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    println!("\ntop {top} divergent groups (|measured - model|):");
+    let mut worst_json = Vec::new();
+    for (name, residual) in worst.iter().take(top) {
+        println!("  {name:<24} {residual:>+14.0} ns");
+        worst_json.push(sg_json::json!({ "group": name.clone(), "residual_ns": *residual }));
+    }
+    doc["top_divergent"] = sg_json::Value::from(worst_json);
+    doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| CliError::io(format!("cannot write divergence report to {path}: {e}")))?;
+        println!("report: {path}");
+    }
+    Ok(())
+}
+
+/// Pearson correlation between predicted lines and measured ns over
+/// `(group, predicted, measured)` tuples; 0 when either side is flat.
+fn correlation(pairs: &[(usize, f64, f64)]) -> f64 {
+    let n = pairs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = pairs.iter().map(|(_, x, _)| x).sum::<f64>() / n;
+    let my = pairs.iter().map(|(_, _, y)| y).sum::<f64>() / n;
+    let (mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0);
+    for (_, x, y) in pairs {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
 }
 
 fn cmd_render(args: &[String]) -> Result<(), CliError> {

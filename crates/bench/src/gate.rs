@@ -1,0 +1,474 @@
+//! Perf-regression sentry over `results/BENCH_<name>.json` trajectories.
+//!
+//! The trajectory files record one entry per figure run; this module is
+//! what *watches* them. For every metric it fits a noise band over the
+//! trailing window of historical p50s with robust statistics — median
+//! plus MAD (median absolute deviation), which a single outlier cannot
+//! drag the way a mean/stddev fit can — and flags the newest run when it
+//! falls outside `median ± max(k·MAD, rel_floor·median)`. The relative
+//! floor keeps a metric whose history happens to be noise-free (MAD = 0,
+//! common with few runs or coarse timers) from tripping on any
+//! fluctuation at all; `k·MAD` covers the usual case. Metrics whose
+//! name contains `"speedup"` are higher-is-better and gate on the lower
+//! side; everything else (seconds) gates on the upper side.
+//!
+//! Short histories **pass**: with fewer than [`GateConfig::min_runs`]
+//! total entries there is no basis for a band, and a fresh clone must
+//! not fail CI. `sgtool gate` is the CLI front end; the CI perf-gate job
+//! proves an injected 10× regression is caught.
+
+use sg_json::{json, Value};
+
+/// Tuning knobs for the regression fit.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// How many trailing historical runs (excluding the newest) feed the
+    /// band fit.
+    pub window: usize,
+    /// Minimum total entries a trajectory needs before the gate engages;
+    /// below this every metric reports [`GateStatus::Insufficient`]
+    /// (which passes).
+    pub min_runs: usize,
+    /// Band half-width in MADs.
+    pub k: f64,
+    /// Relative floor on the band half-width, as a fraction of the
+    /// median (guards the MAD = 0 degenerate case).
+    pub rel_floor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            window: 20,
+            min_runs: 5,
+            k: 6.0,
+            rel_floor: 0.10,
+        }
+    }
+}
+
+/// Gate outcome for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateStatus {
+    /// Newest run is inside the noise band.
+    Ok,
+    /// Too little history to fit a band; passes by design.
+    Insufficient,
+    /// Newest run breached the band on the failing side.
+    Regressed {
+        /// Band edge the newest value crossed.
+        threshold: f64,
+        /// `newest / median` (or its inverse for higher-is-better
+        /// metrics), i.e. "how many × worse".
+        factor: f64,
+    },
+}
+
+/// One metric's fitted band and verdict.
+#[derive(Debug, Clone)]
+pub struct MetricGate {
+    /// Metric name as recorded in the trajectory (e.g.
+    /// `d5/compact/hierarchize_s`).
+    pub metric: String,
+    /// Newest run's p50.
+    pub newest: f64,
+    /// Median p50 over the trailing window (0 when insufficient).
+    pub median: f64,
+    /// Median absolute deviation over the window.
+    pub mad: f64,
+    /// Band half-width actually applied: `max(k·MAD, rel_floor·median)`.
+    pub band: f64,
+    /// Historical samples the fit saw (excluding the newest run).
+    pub history: usize,
+    /// Whether larger values are better (name contains `"speedup"`).
+    pub higher_is_better: bool,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+impl MetricGate {
+    /// One-line human diagnosis, e.g.
+    /// `REGRESSION d5/compact/hierarchize_s: p50 1.20e-2 vs median 1.00e-3 (12.0x, band ±6.0e-5, n=20)`.
+    pub fn diagnosis(&self) -> String {
+        match &self.status {
+            GateStatus::Ok => format!(
+                "ok         {}: p50 {:.3e} within median {:.3e} ± {:.1e} (n={})",
+                self.metric, self.newest, self.median, self.band, self.history
+            ),
+            GateStatus::Insufficient => format!(
+                "skip       {}: only {} historical run(s), need more before gating",
+                self.metric, self.history
+            ),
+            GateStatus::Regressed { factor, .. } => format!(
+                "REGRESSION {}: p50 {:.3e} vs median {:.3e} ({:.1}x {}, band ±{:.1e}, n={})",
+                self.metric,
+                self.newest,
+                self.median,
+                factor,
+                if self.higher_is_better {
+                    "slower-than-band (speedup fell)"
+                } else {
+                    "worse"
+                },
+                self.band,
+                self.history
+            ),
+        }
+    }
+}
+
+/// The full gate report for one trajectory file.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Experiment name from the trajectory header.
+    pub experiment: String,
+    /// Total run entries in the trajectory.
+    pub runs: usize,
+    /// Per-metric verdicts, in the newest run's metric order.
+    pub metrics: Vec<MetricGate>,
+}
+
+impl GateReport {
+    /// Metrics whose newest run breached the band.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricGate> {
+        self.metrics
+            .iter()
+            .filter(|m| matches!(m.status, GateStatus::Regressed { .. }))
+    }
+
+    /// `true` when no metric regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+
+    /// Machine-readable verdict, mirroring [`MetricGate::diagnosis`].
+    pub fn to_json(&self) -> Value {
+        let metrics: Vec<Value> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let status = match &m.status {
+                    GateStatus::Ok => "ok",
+                    GateStatus::Insufficient => "insufficient",
+                    GateStatus::Regressed { .. } => "regressed",
+                };
+                let mut v = json!({
+                    "metric": m.metric.clone(),
+                    "status": status,
+                    "newest_p50_s": m.newest,
+                    "median_p50_s": m.median,
+                    "mad_s": m.mad,
+                    "band_s": m.band,
+                    "history": m.history,
+                    "higher_is_better": m.higher_is_better,
+                });
+                if let GateStatus::Regressed { threshold, factor } = &m.status {
+                    v["threshold_s"] = Value::from(*threshold);
+                    v["factor"] = Value::from(*factor);
+                }
+                v
+            })
+            .collect();
+        let mut doc = json!({
+            "experiment": self.experiment.clone(),
+            "runs": self.runs as f64,
+            "passed": self.passed(),
+        });
+        doc["metrics"] = Value::Array(metrics);
+        doc
+    }
+}
+
+/// Median of a non-empty slice (mean of the middle pair for even
+/// lengths).
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median + MAD of a non-empty sample set.
+fn robust_stats(samples: &[f64]) -> (f64, f64) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let med = median(&sorted);
+    let mut dev: Vec<f64> = sorted.iter().map(|&x| (x - med).abs()).collect();
+    dev.sort_by(f64::total_cmp);
+    (med, median(&dev))
+}
+
+/// Pull the p50 series of `metric` out of `runs`, oldest first; entries
+/// missing the metric are skipped (trajectories evolve their metric
+/// sets).
+fn p50_series(runs: &[Value], metric: &str) -> Vec<f64> {
+    runs.iter()
+        .filter_map(|run| {
+            run.get("metrics")
+                .and_then(|m| m.get(metric))
+                .and_then(|m| m.get("p50_s"))
+                .and_then(|v| v.as_f64())
+        })
+        .collect()
+}
+
+/// Analyze one parsed trajectory document. Returns `Err` with a
+/// diagnostic when the document does not have the trajectory shape
+/// (missing `runs` array, or a run without a `metrics` object).
+pub fn analyze_trajectory(doc: &Value, cfg: &GateConfig) -> Result<GateReport, String> {
+    let experiment = doc
+        .get("experiment")
+        .and_then(|e| e.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    let runs = doc
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .ok_or("trajectory has no \"runs\" array")?;
+    let Some(newest) = runs.last() else {
+        return Ok(GateReport {
+            experiment,
+            runs: 0,
+            metrics: Vec::new(),
+        });
+    };
+    let newest_metrics = newest
+        .get("metrics")
+        .and_then(|m| m.as_object())
+        .ok_or("newest run has no \"metrics\" object")?;
+
+    let mut metrics = Vec::new();
+    for (name, stat) in newest_metrics {
+        let Some(newest_p50) = stat.get("p50_s").and_then(|v| v.as_f64()) else {
+            return Err(format!(
+                "metric {name:?} in newest run has no numeric p50_s"
+            ));
+        };
+        let higher_is_better = name.contains("speedup");
+        // History: every earlier run's p50, clipped to the trailing
+        // window.
+        let mut series = p50_series(&runs[..runs.len() - 1], name);
+        if series.len() > cfg.window {
+            series.drain(..series.len() - cfg.window);
+        }
+        let gate = if runs.len() < cfg.min_runs || series.is_empty() {
+            MetricGate {
+                metric: name.clone(),
+                newest: newest_p50,
+                median: 0.0,
+                mad: 0.0,
+                band: 0.0,
+                history: series.len(),
+                higher_is_better,
+                status: GateStatus::Insufficient,
+            }
+        } else {
+            let (med, mad) = robust_stats(&series);
+            let band = (cfg.k * mad).max(cfg.rel_floor * med.abs());
+            let (breached, threshold) = if higher_is_better {
+                (newest_p50 < med - band, med - band)
+            } else {
+                (newest_p50 > med + band, med + band)
+            };
+            let status = if breached {
+                let factor = if higher_is_better {
+                    if newest_p50 > 0.0 {
+                        med / newest_p50
+                    } else {
+                        f64::INFINITY
+                    }
+                } else if med > 0.0 {
+                    newest_p50 / med
+                } else {
+                    f64::INFINITY
+                };
+                GateStatus::Regressed { threshold, factor }
+            } else {
+                GateStatus::Ok
+            };
+            MetricGate {
+                metric: name.clone(),
+                newest: newest_p50,
+                median: med,
+                mad,
+                band,
+                history: series.len(),
+                higher_is_better,
+                status,
+            }
+        };
+        metrics.push(gate);
+    }
+    Ok(GateReport {
+        experiment,
+        runs: runs.len(),
+        metrics,
+    })
+}
+
+/// Parse + analyze a trajectory file's text.
+pub fn analyze_trajectory_text(text: &str, cfg: &GateConfig) -> Result<GateReport, String> {
+    let doc = sg_json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    analyze_trajectory(&doc, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory(p50s_by_metric: &[(&str, &[f64])]) -> Value {
+        let n = p50s_by_metric[0].1.len();
+        let runs: Vec<Value> = (0..n)
+            .map(|i| {
+                let mut metrics = json!({});
+                for (name, series) in p50s_by_metric {
+                    metrics.set(
+                        name,
+                        json!({ "count": 1, "p50_s": series[i], "p90_s": series[i],
+                                "p99_s": series[i], "min_s": series[i], "max_s": series[i] }),
+                    );
+                }
+                let mut run = json!({});
+                run["provenance"] = json!({ "timestamp_utc": "2026-01-01T00:00:00Z" });
+                run["metrics"] = metrics;
+                run
+            })
+            .collect();
+        let mut doc = json!({ "experiment": "test" });
+        doc["runs"] = Value::Array(runs);
+        doc
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let series: Vec<f64> = (0..12)
+            .map(|i| 1.0e-3 * (1.0 + 0.01 * (i % 3) as f64))
+            .collect();
+        let doc = trajectory(&[("d5/compact/hierarchize_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(rep.passed());
+        assert!(matches!(rep.metrics[0].status, GateStatus::Ok));
+    }
+
+    #[test]
+    fn ten_x_regression_is_caught() {
+        let mut series = vec![1.0e-3; 10];
+        series.push(1.0e-2); // 10× slower
+        let doc = trajectory(&[("d5/compact/hierarchize_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(!rep.passed());
+        let m = &rep.metrics[0];
+        match &m.status {
+            GateStatus::Regressed { factor, .. } => {
+                assert!((factor - 10.0).abs() < 1e-9, "factor {factor}")
+            }
+            other => panic!("expected regression, got {other:?}"),
+        }
+        assert!(m.diagnosis().starts_with("REGRESSION"));
+    }
+
+    #[test]
+    fn zero_mad_history_uses_relative_floor() {
+        // Identical history (MAD = 0) must not flag ordinary noise...
+        let mut series = vec![1.0e-3; 10];
+        series.push(1.05e-3); // +5% — inside the 10% floor
+        let doc = trajectory(&[("m_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(rep.passed());
+        // ...but a 2× jump still trips.
+        let mut series = vec![1.0e-3; 10];
+        series.push(2.0e-3);
+        let doc = trajectory(&[("m_s", &series)]);
+        assert!(!analyze_trajectory(&doc, &GateConfig::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn short_history_passes_without_gating() {
+        for n in 1..5 {
+            let series = vec![1.0e-3; n - 1]
+                .into_iter()
+                .chain([1.0]) // wildly slow newest run
+                .collect::<Vec<_>>();
+            let doc = trajectory(&[("m_s", &series)]);
+            let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+            assert!(rep.passed(), "n={n} should pass on the min-sample guard");
+            assert!(matches!(rep.metrics[0].status, GateStatus::Insufficient));
+        }
+    }
+
+    #[test]
+    fn speedup_metrics_gate_on_the_lower_side() {
+        // A speedup *drop* is the regression...
+        let mut series = vec![4.0; 10];
+        series.push(1.5);
+        let doc = trajectory(&[("d5/compact/simd_hier_speedup", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(!rep.passed());
+        // ...and a speedup *gain* is not.
+        let mut series = vec![4.0; 10];
+        series.push(8.0);
+        let doc = trajectory(&[("d5/compact/simd_hier_speedup", &series)]);
+        assert!(analyze_trajectory(&doc, &GateConfig::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn single_outlier_in_history_does_not_poison_the_band() {
+        // One historical glitch: the median/MAD fit shrugs it off, a
+        // mean/stddev fit would have widened the band ~3×.
+        let mut series = vec![1.0e-3; 6];
+        series.push(50.0e-3); // glitch
+        series.extend([1.0e-3; 5]);
+        series.push(1.02e-3); // clean newest
+        let doc = trajectory(&[("m_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(rep.passed());
+        // The fitted median stayed at the true center.
+        assert!((rep.metrics[0].median - 1.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_clips_old_history() {
+        // Ancient slow runs outside the window must not mask a fresh
+        // regression against the recent (fast) regime.
+        let mut series = vec![1.0; 30]; // ancient, slow era
+        series.extend([1.0e-3; 20]); // recent fast era fills the window
+        series.push(1.0e-2); // 10× vs recent
+        let doc = trajectory(&[("m_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        assert!(!rep.passed());
+        assert_eq!(rep.metrics[0].history, 20);
+    }
+
+    #[test]
+    fn malformed_trajectories_error_rather_than_panic() {
+        let cfg = GateConfig::default();
+        assert!(analyze_trajectory_text("not json at all", &cfg).is_err());
+        assert!(analyze_trajectory_text("{\"experiment\": \"x\"}", &cfg).is_err());
+        assert!(analyze_trajectory_text("{\"experiment\": \"x\", \"runs\": [{}]}", &cfg).is_err());
+        // Empty runs array is fine: nothing to gate.
+        let rep = analyze_trajectory_text("{\"experiment\": \"x\", \"runs\": []}", &cfg).unwrap();
+        assert!(rep.passed());
+        assert_eq!(rep.runs, 0);
+    }
+
+    #[test]
+    fn report_json_is_schema_stable() {
+        let mut series = vec![1.0e-3; 10];
+        series.push(1.0e-2);
+        let doc = trajectory(&[("m_s", &series)]);
+        let rep = analyze_trajectory(&doc, &GateConfig::default()).unwrap();
+        let v = rep.to_json();
+        assert_eq!(v["experiment"], "test");
+        assert_eq!(v["passed"], false);
+        assert_eq!(v["metrics"][0]["status"], "regressed");
+        assert!(v["metrics"][0]["factor"].as_f64().unwrap() > 9.0);
+        let reparsed = sg_json::parse(&v.to_string()).unwrap();
+        assert_eq!(reparsed["runs"], 11u64);
+    }
+}

@@ -8,6 +8,7 @@
 //! table printing with JSON export.
 
 pub mod args;
+pub mod gate;
 pub mod harness;
 pub mod report;
 pub mod runner;

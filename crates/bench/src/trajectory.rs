@@ -167,8 +167,18 @@ fn print_deltas(name: &str, prev: &Value, metrics: &[(String, MetricStats)]) {
 /// Append one run to `results/BENCH_<name>.json`, printing p50 deltas
 /// against the previous entry first. Returns the path written.
 pub fn record_run(name: &str, metrics: &[(String, MetricStats)]) -> std::io::Result<PathBuf> {
-    let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir)?;
+    record_run_in(std::path::Path::new("results"), name, metrics)
+}
+
+/// [`record_run`] against an explicit results directory (the figure
+/// binaries use the cwd-relative `results/`; tests and `sgtool gate`
+/// fixtures point elsewhere).
+pub fn record_run_in(
+    dir: &std::path::Path,
+    name: &str,
+    metrics: &[(String, MetricStats)],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
 
     let mut runs = previous_runs(&path);

@@ -1,0 +1,105 @@
+//! Integration tests for the BENCH trajectory lifecycle: append-with-cap
+//! retention, provenance presence, and how the regression gate treats
+//! the files `record_run_in` actually writes (including short
+//! histories, which must pass).
+
+use std::path::PathBuf;
+
+use sg_bench::gate::{analyze_trajectory_text, GateConfig, GateStatus};
+use sg_bench::trajectory::{record_run_in, MetricStats, MAX_RUNS};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sg-bench-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn metrics(p50: f64) -> Vec<(String, MetricStats)> {
+    vec![(
+        "d5/compact/hierarchize_s".to_string(),
+        MetricStats::from_samples(&[p50]).unwrap(),
+    )]
+}
+
+#[test]
+fn append_caps_at_max_runs_and_keeps_newest() {
+    let dir = temp_dir("cap");
+    // Write MAX_RUNS + 6 runs with a recognizable ramp of p50 values.
+    for i in 0..MAX_RUNS + 6 {
+        record_run_in(&dir, "captest", &metrics(1.0e-3 + i as f64 * 1.0e-6)).unwrap();
+    }
+    let text = std::fs::read_to_string(dir.join("BENCH_captest.json")).unwrap();
+    let doc = sg_json::parse(&text).unwrap();
+    let runs = doc["runs"].as_array().unwrap();
+    assert_eq!(runs.len(), MAX_RUNS);
+    // The oldest 6 were drained: the first surviving run is run #6.
+    let first = runs[0]["metrics"]["d5/compact/hierarchize_s"]["p50_s"]
+        .as_f64()
+        .unwrap();
+    assert!((first - (1.0e-3 + 6.0e-6)).abs() < 1e-12);
+    let last = runs[MAX_RUNS - 1]["metrics"]["d5/compact/hierarchize_s"]["p50_s"]
+        .as_f64()
+        .unwrap();
+    assert!((last - (1.0e-3 + (MAX_RUNS + 5) as f64 * 1.0e-6)).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_appended_run_carries_provenance() {
+    let dir = temp_dir("prov");
+    for _ in 0..3 {
+        record_run_in(&dir, "provtest", &metrics(2.5e-3)).unwrap();
+    }
+    let text = std::fs::read_to_string(dir.join("BENCH_provtest.json")).unwrap();
+    let doc = sg_json::parse(&text).unwrap();
+    assert_eq!(doc["experiment"], "provtest");
+    for run in doc["runs"].as_array().unwrap() {
+        let prov = &run["provenance"];
+        assert!(
+            prov["timestamp_utc"].as_str().is_some(),
+            "missing timestamp"
+        );
+        assert!(prov["threads"].as_f64().is_some(), "missing threads");
+        assert!(prov.get("git_sha").is_some(), "missing git_sha");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gate_passes_on_short_histories_written_by_record_run() {
+    let dir = temp_dir("short");
+    let cfg = GateConfig::default();
+    // 1..4 runs: always Insufficient, always passes — even when the
+    // newest run is absurdly slow.
+    for i in 0..cfg.min_runs - 1 {
+        let p50 = if i == cfg.min_runs - 2 { 10.0 } else { 1.0e-3 };
+        record_run_in(&dir, "shorttest", &metrics(p50)).unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_shorttest.json")).unwrap();
+        let rep = analyze_trajectory_text(&text, &cfg).unwrap();
+        assert!(rep.passed(), "run {} should pass", i + 1);
+        assert!(rep
+            .metrics
+            .iter()
+            .all(|m| matches!(m.status, GateStatus::Insufficient)));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gate_catches_regression_in_recorded_trajectory() {
+    let dir = temp_dir("regress");
+    let cfg = GateConfig::default();
+    for _ in 0..8 {
+        record_run_in(&dir, "regresstest", &metrics(1.0e-3)).unwrap();
+    }
+    let path = dir.join("BENCH_regresstest.json");
+    let rep = analyze_trajectory_text(&std::fs::read_to_string(&path).unwrap(), &cfg).unwrap();
+    assert!(rep.passed(), "clean trajectory must pass");
+
+    record_run_in(&dir, "regresstest", &metrics(1.0e-2)).unwrap(); // 10×
+    let rep = analyze_trajectory_text(&std::fs::read_to_string(&path).unwrap(), &cfg).unwrap();
+    assert!(!rep.passed());
+    let m = rep.regressions().next().unwrap();
+    assert!(matches!(m.status, GateStatus::Regressed { factor, .. } if factor > 9.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,6 +40,21 @@ tel! {
     /// (p99) is what a visualization frame budget actually sees.
     static BATCH_NS: sg_telemetry::Histogram =
         sg_telemetry::Histogram::new("core.evaluate.batch_ns");
+    macro_rules! group_spans {
+        ($prefix:literal; $($n:literal),*) => {
+            [$(sg_telemetry::Span::new(concat!($prefix, stringify!($n)))),*]
+        };
+    }
+    /// One accumulating span per level group `n` (a `GridSpec` admits
+    /// `n ≤ 30`): time spent walking group `n`'s subspaces across all
+    /// blocks and calls. The measured half of the model-vs-measured
+    /// divergence report (`sgtool divergence`); the predicted half comes
+    /// from `sg_machine::profile::trace_evaluation_groups`.
+    static GROUP_EVAL: [sg_telemetry::Span; 31] = group_spans!(
+        "core.evaluate.group_";
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+        16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30
+    );
 }
 
 /// Per-dimension contribution at `x`: the in-subspace cell index and the
@@ -175,14 +190,40 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
         let bxs = &xs[blk.start * d..blk.end * d];
         let acc = &mut acc[..blk.len()];
         acc.fill(0.0);
-        let block_reads = match values_f64 {
+        // The SIMD kernels read coordinates from the SoA scratch layout;
+        // transpose once per block, outside the (possibly per-group)
+        // kernel calls.
+        let use_simd = values_f64.is_some() && kind != KernelKind::Scalar;
+        if use_simd {
+            transpose_block(bxs, d, blk.len(), &mut scratch);
+        }
+        let run_entries = |entries: std::ops::Range<usize>, acc: &mut [f64]| match values_f64 {
             // f32 grids (and a forced scalar kernel) take the generic
             // scalar path; it is the bitwise reference either way.
             Some(v) if kind != KernelKind::Scalar => {
-                eval_block_simd(kind, v, plan, bxs, d, &mut scratch, acc)
+                eval_block_simd(kind, v, plan, entries, bxs, d, &scratch, acc)
             }
-            _ => eval_block_scalar(values, plan, bxs, d, acc),
+            _ => eval_block_scalar(values, plan, entries, bxs, d, acc),
         };
+        // Entries stay in ascending order either way, so the split is
+        // bitwise-neutral; only telemetry builds pay the per-group
+        // timer reads.
+        #[cfg(feature = "telemetry")]
+        let block_reads = {
+            let mut r = 0u64;
+            for n in 0..plan.num_groups() {
+                let entries = plan.group_entries(n);
+                if entries.is_empty() {
+                    continue;
+                }
+                let g0 = std::time::Instant::now();
+                r += run_entries(entries, acc);
+                GROUP_EVAL[n].record(g0.elapsed().as_nanos() as u64);
+            }
+            r
+        };
+        #[cfg(not(feature = "telemetry"))]
+        let block_reads = run_entries(0..plan.num_subspaces(), acc);
         tel! {
             walks += plan.num_subspaces() as u64;
             reads += block_reads;
@@ -204,18 +245,20 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
     out
 }
 
-/// Scalar per-block kernel: subspace-outer, point-inner, exactly the
-/// historical blocked loop. Returns the number of coefficient reads
-/// (non-zero basis products) for the traffic counter.
+/// Scalar per-block kernel over the plan entries `entries`:
+/// subspace-outer, point-inner, exactly the historical blocked loop.
+/// Returns the number of coefficient reads (non-zero basis products)
+/// for the traffic counter.
 fn eval_block_scalar<T: Real>(
     values: &[T],
     plan: &EvalPlan,
+    entries: std::ops::Range<usize>,
     xs: &[f64],
     d: usize,
     acc: &mut [f64],
 ) -> u64 {
     let mut reads = 0u64;
-    for e in 0..plan.num_subspaces() {
+    for e in entries {
         let (l, index2) = plan.entry(e);
         for (a, x) in acc.iter_mut().zip(xs.chunks_exact(d)) {
             let mut prod = 1.0f64;
@@ -287,28 +330,31 @@ fn transpose_block(xs: &[f64], d: usize, k: usize, xt: &mut Vec<f64>) {
 
 /// Dispatch the per-block evaluation to the selected SIMD kernel.
 /// `kind` comes from [`kernel::active`], i.e. it is availability-checked
-/// — that is what makes the `unsafe` ISA calls sound.
+/// — that is what makes the `unsafe` ISA calls sound. `xt` must hold the
+/// block's coordinates in the [`transpose_block`] SoA layout.
+#[allow(clippy::too_many_arguments)]
 fn eval_block_simd(
     kind: KernelKind,
     values: &[f64],
     plan: &EvalPlan,
+    entries: std::ops::Range<usize>,
     xs: &[f64],
     d: usize,
-    scratch: &mut Vec<f64>,
+    xt: &[f64],
     acc: &mut [f64],
 ) -> u64 {
     #[cfg(target_arch = "x86_64")]
     if kind == KernelKind::Avx2 {
         // Safety: `resolve` only yields Avx2 after feature detection.
-        return unsafe { avx2::eval_block(values, plan, xs, d, scratch, acc) };
+        return unsafe { avx2::eval_block(values, plan, entries, xs, d, xt, acc) };
     }
     #[cfg(target_arch = "aarch64")]
     if kind == KernelKind::Neon {
         // Safety: NEON is baseline on aarch64.
-        return unsafe { neon::eval_block(values, plan, xs, d, scratch, acc) };
+        return unsafe { neon::eval_block(values, plan, entries, xs, d, xt, acc) };
     }
-    let _ = (kind, scratch);
-    eval_block_scalar(values, plan, xs, d, acc)
+    let _ = (kind, xt);
+    eval_block_scalar(values, plan, entries, xs, d, acc)
 }
 
 /// AVX2 evaluation kernel: 4 query points per subspace visit.
@@ -327,31 +373,31 @@ fn eval_block_simd(
 /// * products and accumulations use separate mul/add, never FMA.
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
-    use super::{eval_tail_scalar, transpose_block, EvalPlan};
+    use super::{eval_tail_scalar, EvalPlan};
 
     /// # Safety
     /// Caller must have verified AVX2 via `is_x86_feature_detected!`.
+    /// `xt` must be the block's coordinates in SoA layout
+    /// (`transpose_block`), `k·d` long.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn eval_block(
         values: &[f64],
         plan: &EvalPlan,
+        entries: std::ops::Range<usize>,
         xs: &[f64],
         d: usize,
-        xt: &mut Vec<f64>,
+        xt: &[f64],
         acc: &mut [f64],
     ) -> u64 {
         use std::arch::x86_64::*;
         let k = acc.len();
         let vec_k = k & !3; // lane groups of 4; remainder goes scalar
-        if vec_k > 0 {
-            transpose_block(xs, d, k, xt);
-        }
         let mut reads = 0u64;
         let one = _mm256_set1_pd(1.0);
         let two = _mm256_set1_pd(2.0);
         let sign = _mm256_set1_pd(-0.0);
         let zero = _mm256_setzero_pd();
-        for e in 0..plan.num_subspaces() {
+        for e in entries {
             let (l, index2) = plan.entry(e);
             let base = values[index2..].as_ptr();
             let mut j = 0usize;
@@ -402,30 +448,29 @@ mod avx2 {
 /// contract as the AVX2 kernel.
 #[cfg(target_arch = "aarch64")]
 mod neon {
-    use super::{eval_tail_scalar, transpose_block, EvalPlan};
+    use super::{eval_tail_scalar, EvalPlan};
 
     /// # Safety
     /// NEON is part of the aarch64 baseline; `resolve` never selects it
-    /// elsewhere.
+    /// elsewhere. `xt` must be the block's coordinates in SoA layout
+    /// (`transpose_block`), `k·d` long.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn eval_block(
         values: &[f64],
         plan: &EvalPlan,
+        entries: std::ops::Range<usize>,
         xs: &[f64],
         d: usize,
-        xt: &mut Vec<f64>,
+        xt: &[f64],
         acc: &mut [f64],
     ) -> u64 {
         use std::arch::aarch64::*;
         let k = acc.len();
         let vec_k = k & !1;
-        if vec_k > 0 {
-            transpose_block(xs, d, k, xt);
-        }
         let mut reads = 0u64;
         let one = vdupq_n_f64(1.0);
         let two = vdupq_n_f64(2.0);
-        for e in 0..plan.num_subspaces() {
+        for e in entries {
             let (l, index2) = plan.entry(e);
             let base = values[index2..].as_ptr();
             let mut j = 0usize;

@@ -37,6 +37,11 @@ pub struct EvalPlan {
     levels: Vec<Level>,
     /// Storage offset (index3 + index2·2^n) of entry `e`'s subspace.
     offsets: Vec<usize>,
+    /// Entry-index boundary of each level group: group `n` (all
+    /// subspaces with `|l|₁ = n`) occupies entries
+    /// `group_starts[n]..group_starts[n+1]`. The walk visits groups in
+    /// ascending order, so entries within a group are contiguous.
+    group_starts: Vec<usize>,
 }
 
 impl EvalPlan {
@@ -45,10 +50,12 @@ impl EvalPlan {
         let d = spec.dim();
         let mut levels = Vec::new();
         let mut offsets = Vec::new();
+        let mut group_starts = Vec::with_capacity(spec.levels() + 1);
         let mut l = vec![0 as Level; d];
         let mut off = 0usize;
         for n in 0..spec.levels() {
             let sub_len = 1usize << n;
+            group_starts.push(offsets.len());
             first_level(n, &mut l);
             loop {
                 levels.extend_from_slice(&l);
@@ -59,8 +66,14 @@ impl EvalPlan {
                 }
             }
         }
+        group_starts.push(offsets.len());
         tel! { PLAN_BUILDS.add(1); }
-        EvalPlan { d, levels, offsets }
+        EvalPlan {
+            d,
+            levels,
+            offsets,
+            group_starts,
+        }
     }
 
     /// Dimensionality the plan was built for.
@@ -77,6 +90,19 @@ impl EvalPlan {
     #[inline(always)]
     pub fn entry(&self, e: usize) -> (&[Level], usize) {
         (&self.levels[e * self.d..(e + 1) * self.d], self.offsets[e])
+    }
+
+    /// Number of level groups (`spec.levels()` at build time).
+    pub fn num_groups(&self) -> usize {
+        self.group_starts.len() - 1
+    }
+
+    /// Entry-index range of level group `n` (subspaces with `|l|₁ = n`),
+    /// for per-group attribution in the evaluator and the divergence
+    /// report.
+    #[inline]
+    pub fn group_entries(&self, n: usize) -> std::ops::Range<usize> {
+        self.group_starts[n]..self.group_starts[n + 1]
     }
 }
 
@@ -158,6 +184,25 @@ mod tests {
         }
         assert_eq!(e, plan.num_subspaces());
         assert_eq!(off as u64, spec.num_points());
+    }
+
+    #[test]
+    fn group_entries_partition_the_plan_by_level_sum() {
+        let spec = GridSpec::new(4, 5);
+        let plan = EvalPlan::new(&spec);
+        assert_eq!(plan.num_groups(), spec.levels());
+        let mut covered = 0usize;
+        for n in 0..plan.num_groups() {
+            let range = plan.group_entries(n);
+            assert_eq!(range.start, covered);
+            for e in range.clone() {
+                let (l, _) = plan.entry(e);
+                let sum: u32 = l.iter().map(|&v| v as u32).sum();
+                assert_eq!(sum as usize, n, "entry {e} in group {n}");
+            }
+            covered = range.end;
+        }
+        assert_eq!(covered, plan.num_subspaces());
     }
 
     #[test]

@@ -53,6 +53,29 @@ impl AlgoProfile {
     }
 }
 
+/// Predicted traffic attributed to one level group `n` (all subspaces
+/// with `|l|₁ = n`), accumulated across the whole traced run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupStat {
+    /// The level-group index `n`.
+    pub group: usize,
+    /// Logical value accesses the group's sweeps/visits issued.
+    pub accesses: u64,
+    /// Cache lines fetched from DRAM while inside this group's loops.
+    pub dram_lines: u64,
+}
+
+/// [`AlgoProfile`] plus the per-level-group traffic breakdown — the
+/// *predicted* half of the `sgtool divergence` report (the measured half
+/// is the `core.{hierarchize,evaluate}.group_<n>` spans).
+#[derive(Debug, Clone)]
+pub struct GroupProfile {
+    /// Per-group stats, indexed by `n` (`spec.levels()` entries).
+    pub groups: Vec<GroupStat>,
+    /// The whole-run totals (identical to the ungrouped tracer's).
+    pub total: AlgoProfile,
+}
+
 /// Trace the hierarchization access stream (paper Alg. 6) for storage
 /// `kind` on a cold `sim`.
 ///
@@ -60,16 +83,35 @@ impl AlgoProfile {
 /// descending, and per point two ancestor reads plus a read-modify-write
 /// of the point itself.
 pub fn trace_hierarchization(kind: StoreKind, spec: GridSpec, sim: &mut CacheSim) -> AlgoProfile {
+    trace_hierarchization_groups(kind, spec, sim).total
+}
+
+/// [`trace_hierarchization`] with per-level-group traffic attribution.
+/// The access stream is identical — line deltas are just bucketed by the
+/// group being swept, so the groups partition the total exactly.
+pub fn trace_hierarchization_groups(
+    kind: StoreKind,
+    spec: GridSpec,
+    sim: &mut CacheSim,
+) -> GroupProfile {
     let tracer = AccessTracer::new(kind, spec, 4);
     let d = spec.dim();
     let ix = tracer.indexer().clone();
     let mut l = vec![0 as Level; d];
     let mut i = vec![0 as Index; d];
+    let mut groups: Vec<GroupStat> = (0..spec.levels())
+        .map(|n| GroupStat {
+            group: n,
+            ..GroupStat::default()
+        })
+        .collect();
     let mut accesses = 0u64;
     let mut barriers = 0u64;
     for t in 0..d {
         for n in (0..spec.levels()).rev() {
             barriers += 1;
+            let lines0 = sim.dram_lines();
+            let mut group_accesses = 0u64;
             let mut sub_start = ix.group_offset(n);
             first_level(n, &mut l);
             loop {
@@ -84,12 +126,12 @@ pub fn trace_hierarchization(kind: StoreKind, spec: GridSpec, sim: &mut CacheSim
                                 tracer.record(&l, &i, sim);
                                 l[t] = lt;
                                 i[t] = it;
-                                accesses += 1;
+                                group_accesses += 1;
                             }
                         }
                         // Read-modify-write of the point itself.
                         tracer.record_idx(sub_start + rank, &l, sim);
-                        accesses += 1;
+                        group_accesses += 1;
                     }
                 }
                 sub_start += 1u64 << n;
@@ -97,13 +139,19 @@ pub fn trace_hierarchization(kind: StoreKind, spec: GridSpec, sim: &mut CacheSim
                     break;
                 }
             }
+            groups[n].accesses += group_accesses;
+            groups[n].dram_lines += sim.dram_lines() - lines0;
+            accesses += group_accesses;
         }
     }
-    AlgoProfile {
-        dram_bytes: sim.dram_bytes(),
-        random_bytes: sim.dram_bytes_random(),
-        accesses,
-        barriers,
+    GroupProfile {
+        groups,
+        total: AlgoProfile {
+            dram_bytes: sim.dram_bytes(),
+            random_bytes: sim.dram_bytes_random(),
+            accesses,
+            barriers,
+        },
     }
 }
 
@@ -115,14 +163,33 @@ pub fn trace_evaluation(
     count: usize,
     sim: &mut CacheSim,
 ) -> AlgoProfile {
+    trace_evaluation_groups(kind, spec, count, sim).total
+}
+
+/// [`trace_evaluation`] with per-level-group traffic attribution (same
+/// stream, line deltas bucketed by the group whose subspaces are being
+/// visited).
+pub fn trace_evaluation_groups(
+    kind: StoreKind,
+    spec: GridSpec,
+    count: usize,
+    sim: &mut CacheSim,
+) -> GroupProfile {
     let tracer = AccessTracer::new(kind, spec, 4);
     let d = spec.dim();
     let points = sg_core::functions::halton_points(d.min(32), count);
     let mut l = vec![0 as Level; d];
     let mut i = vec![0 as Index; d];
+    let mut groups: Vec<GroupStat> = (0..spec.levels())
+        .map(|n| GroupStat {
+            group: n,
+            ..GroupStat::default()
+        })
+        .collect();
     let mut accesses = 0u64;
     for x in points.chunks_exact(d.min(32)) {
         for n in 0..spec.levels() {
+            let lines0 = sim.dram_lines();
             first_level(n, &mut l);
             loop {
                 // The one in-support basis function of this subspace.
@@ -133,18 +200,23 @@ pub fn trace_evaluation(
                     i[t] = 2 * c as Index + 1;
                 }
                 tracer.record(&l, &i, sim);
+                groups[n].accesses += 1;
                 accesses += 1;
                 if !next_level(&mut l) {
                     break;
                 }
             }
+            groups[n].dram_lines += sim.dram_lines() - lines0;
         }
     }
-    AlgoProfile {
-        dram_bytes: sim.dram_bytes(),
-        random_bytes: sim.dram_bytes_random(),
-        accesses,
-        barriers: 0,
+    GroupProfile {
+        groups,
+        total: AlgoProfile {
+            dram_bytes: sim.dram_bytes(),
+            random_bytes: sim.dram_bytes_random(),
+            accesses,
+            barriers: 0,
+        },
     }
 }
 
@@ -195,6 +267,47 @@ mod tests {
         let n = spec.num_points();
         assert!(p.accesses <= 3 * 2 * n);
         assert!(p.accesses > n);
+    }
+
+    #[test]
+    fn group_stats_partition_the_totals() {
+        let spec = GridSpec::new(5, 6);
+        for grouped in [
+            {
+                let mut sim = CacheSim::nehalem();
+                trace_hierarchization_groups(StoreKind::Compact, spec, &mut sim)
+            },
+            {
+                let mut sim = CacheSim::nehalem();
+                trace_evaluation_groups(StoreKind::Compact, spec, 64, &mut sim)
+            },
+        ] {
+            assert_eq!(grouped.groups.len(), spec.levels());
+            let sum_acc: u64 = grouped.groups.iter().map(|g| g.accesses).sum();
+            assert_eq!(sum_acc, grouped.total.accesses);
+            let sum_lines: u64 = grouped.groups.iter().map(|g| g.dram_lines).sum();
+            let line = CacheSim::nehalem().line_bytes() as u64;
+            assert_eq!(sum_lines * line, grouped.total.dram_bytes);
+            // Groups are labeled by their index.
+            for (n, g) in grouped.groups.iter().enumerate() {
+                assert_eq!(g.group, n);
+            }
+            // Large groups dominate: the top group must out-traffic
+            // group 0.
+            assert!(grouped.groups[spec.levels() - 1].dram_lines > grouped.groups[0].dram_lines);
+        }
+    }
+
+    #[test]
+    fn grouped_and_ungrouped_totals_agree() {
+        let spec = GridSpec::new(3, 5);
+        let mut sim1 = CacheSim::tiny();
+        let total = trace_hierarchization(StoreKind::Compact, spec, &mut sim1);
+        let mut sim2 = CacheSim::tiny();
+        let grouped = trace_hierarchization_groups(StoreKind::Compact, spec, &mut sim2);
+        assert_eq!(total.dram_bytes, grouped.total.dram_bytes);
+        assert_eq!(total.accesses, grouped.total.accesses);
+        assert_eq!(total.barriers, grouped.total.barriers);
     }
 
     #[test]

@@ -59,6 +59,7 @@ use sg_json::{json, Value};
 
 pub mod provenance;
 pub mod regions;
+pub mod timeseries;
 pub mod trace;
 
 pub use provenance::{provenance, set_kernel_hint, set_threads_hint};
@@ -361,6 +362,46 @@ pub struct HistogramStat {
 }
 
 impl HistogramStat {
+    /// An empty stat with zeroed buckets — the starting point for
+    /// offline accumulation ([`record_sample`](Self::record_sample) /
+    /// [`merge`](Self::merge)), e.g. per-worker histograms folded into
+    /// one after a parallel region.
+    pub fn empty(name: &'static str) -> Self {
+        HistogramStat {
+            name,
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Record one sample into this plain-data stat, with exactly the
+    /// semantics of the live [`Histogram::record`] (wrapping sum, exact
+    /// buckets/max).
+    pub fn record_sample(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold `other` into `self`: counts, sums (wrapping), and per-bucket
+    /// tallies add; `max` takes the larger. Merging N per-worker stats
+    /// is exactly equivalent to recording all their samples into one
+    /// histogram (pinned by the `merge_props` property test).
+    pub fn merge(&mut self, other: &HistogramStat) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+    }
+
     /// Approximate `q`-th percentile (`q` in `0..=100`): the upper bound
     /// of the bucket holding the `⌈q·count/100⌉`-th smallest sample,
     /// capped at the recorded maximum (so a single-sample histogram
@@ -420,14 +461,23 @@ impl Report {
     /// ```
     ///
     /// Histogram buckets are keyed by their inclusive lower bound;
-    /// empty buckets are omitted.
+    /// empty buckets are omitted. Every map is emitted with its keys in
+    /// sorted order — [`snapshot`] already sorts, but hand-assembled and
+    /// merged reports must serialize deterministically too, so schema
+    /// gates and report diffs are stable across runs.
     pub fn to_json(&self) -> Value {
+        let mut sorted_counters: Vec<&CounterStat> = self.counters.iter().collect();
+        sorted_counters.sort_by_key(|c| c.name);
+        let mut sorted_spans: Vec<&SpanStat> = self.spans.iter().collect();
+        sorted_spans.sort_by_key(|s| s.name);
+        let mut sorted_hists: Vec<&HistogramStat> = self.hists.iter().collect();
+        sorted_hists.sort_by_key(|h| h.name);
         let mut counters = json!({});
-        for c in &self.counters {
+        for c in sorted_counters {
             counters[c.name] = Value::from(c.value as f64);
         }
         let mut spans = json!({});
-        for s in &self.spans {
+        for s in sorted_spans {
             let mean = if s.count > 0 {
                 s.total_ns as f64 / s.count as f64
             } else {
@@ -440,7 +490,7 @@ impl Report {
             });
         }
         let mut hists = json!({});
-        for h in &self.hists {
+        for h in sorted_hists {
             let mut buckets = json!({});
             for (b, &n) in h.buckets.iter().enumerate() {
                 if n > 0 {
@@ -470,13 +520,25 @@ impl Report {
     }
 
     /// All counters under a dotted-name prefix (e.g. `"io.snapshot."`),
-    /// for subsystem-level assertions and dashboards.
+    /// for subsystem-level assertions and dashboards. Always sorted by
+    /// name, even when the report itself was assembled out of order.
     pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&'static str, u64)> {
-        self.counters
+        let mut out: Vec<(&'static str, u64)> = self
+            .counters
             .iter()
             .filter(|c| c.name.starts_with(prefix))
             .map(|c| (c.name, c.value))
-            .collect()
+            .collect();
+        out.sort_by_key(|&(name, _)| name);
+        out
+    }
+
+    /// The process-global flight recorder's current contents — schema
+    /// plus ring frames; see [`timeseries`]. The recorder only holds
+    /// frames if something [`timeseries::TimeSeries::tick`]ed it (e.g. a
+    /// running [`timeseries::Sampler`]).
+    pub fn timeseries() -> timeseries::TimeSeriesReport {
+        timeseries::recorder().report()
     }
 
     /// Look up a span by name.
@@ -840,6 +902,99 @@ mod tests {
         assert!(h["buckets"]["0"].is_null());
         let reparsed = sg_json::parse(&v.to_string()).unwrap();
         assert_eq!(reparsed["histograms"]["test.hist_json"]["count"], 3u64);
+    }
+
+    #[test]
+    fn hand_built_reports_serialize_in_sorted_order() {
+        // A merged / hand-assembled report arrives unsorted; both the
+        // prefix query and the JSON export must still be deterministic.
+        let rep = Report {
+            counters: vec![
+                CounterStat {
+                    name: "test.order.zeta",
+                    value: 1,
+                },
+                CounterStat {
+                    name: "test.order.alpha",
+                    value: 2,
+                },
+                CounterStat {
+                    name: "other.prefix",
+                    value: 3,
+                },
+            ],
+            spans: vec![
+                SpanStat {
+                    name: "test.order.span_b",
+                    count: 1,
+                    total_ns: 10,
+                },
+                SpanStat {
+                    name: "test.order.span_a",
+                    count: 1,
+                    total_ns: 20,
+                },
+            ],
+            hists: vec![
+                {
+                    let mut h = HistogramStat::empty("test.order.hist_b");
+                    h.record_sample(4);
+                    h
+                },
+                {
+                    let mut h = HistogramStat::empty("test.order.hist_a");
+                    h.record_sample(8);
+                    h
+                },
+            ],
+        };
+        let pref = rep.counters_with_prefix("test.order.");
+        assert_eq!(
+            pref,
+            vec![("test.order.alpha", 2u64), ("test.order.zeta", 1u64)]
+        );
+        let v = rep.to_json();
+        let keys = |obj: &Value| -> Vec<String> {
+            obj.as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect()
+        };
+        let mut want = keys(&v["counters"]);
+        want.sort();
+        assert_eq!(keys(&v["counters"]), want);
+        assert_eq!(
+            keys(&v["spans"]),
+            vec!["test.order.span_a", "test.order.span_b"]
+        );
+        assert_eq!(
+            keys(&v["histograms"]),
+            vec!["test.order.hist_a", "test.order.hist_b"]
+        );
+        // Serialization is byte-stable run to run.
+        assert_eq!(v.to_string(), rep.to_json().to_string());
+    }
+
+    #[test]
+    fn histogram_stat_merge_matches_single_recording() {
+        let samples_a = [0u64, 1, 5, 1000];
+        let samples_b = [7u64, 7, 1 << 40];
+        let mut a = HistogramStat::empty("test.merge.basic");
+        let mut b = HistogramStat::empty("test.merge.basic");
+        let mut whole = HistogramStat::empty("test.merge.basic");
+        for &v in &samples_a {
+            a.record_sample(v);
+            whole.record_sample(v);
+        }
+        for &v in &samples_b {
+            b.record_sample(v);
+            whole.record_sample(v);
+        }
+        let mut merged = HistogramStat::empty("test.merge.basic");
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
     }
 
     #[test]

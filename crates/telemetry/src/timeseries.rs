@@ -1,0 +1,591 @@
+//! Flight recorder: a fixed-capacity, lock-free time-series ring.
+//!
+//! Counters and histograms answer "how much, in total"; the trace ring
+//! answers "when, exactly, at microsecond grain, for a short window".
+//! The flight recorder sits between the two: a [`TimeSeries`] ring holds
+//! periodic snapshots of **every registered instrument** (one frame per
+//! [`TimeSeries::tick`]), so a long-running process — a multi-hour bench
+//! sweep, or the future `sgd` daemon — can be observed over wall time
+//! without unbounded memory and without stopping it. `sgtool flight`
+//! drives a workload under a cadenced sampler and exports the ring;
+//! [`crate::Report::timeseries`] is the programmatic export.
+//!
+//! ## Design
+//!
+//! The ring is a flat array of `AtomicU64` cells: `capacity` rows, each
+//! holding a seqlock word, a timestamp, a column count, and one value
+//! per schema column. The writer (whoever calls [`TimeSeries::tick`] —
+//! normally the single [`Sampler`] thread; concurrent callers are
+//! deduplicated by a try-lock and simply skip) marks the row odd,
+//! stores the frame, and publishes it even; readers copy a row and
+//! discard it if the seqlock word changed underneath them. No reader or
+//! writer ever blocks on the ring, and a torn read is detected, never
+//! returned. When the ring wraps, the oldest frames are overwritten and
+//! counted in [`TimeSeriesReport::dropped`].
+//!
+//! The schema is **self-describing and append-only**: the first time an
+//! instrument shows up in a snapshot it is assigned one or more columns
+//! (`name`, `kind` ∈ `counter|span|histogram`, `unit` ∈
+//! `count|ns|bytes` inferred from the dotted-name suffix). Frames
+//! recorded before a column existed carry fewer values; the export pads
+//! them with `null`, never with invented zeros.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use sg_json::{json, Value};
+
+use crate::{HistogramStat, Report};
+
+/// Hard cap on schema columns a [`TimeSeries`] tracks. Instruments past
+/// the cap are counted in [`TimeSeriesReport::columns_dropped`] rather
+/// than silently ignored. The current workspace registers ~200 columns
+/// at full instrumentation; 512 leaves generous headroom.
+pub const MAX_COLUMNS: usize = 512;
+
+/// Default ring capacity, in frames (~2 MiB of cells at [`MAX_COLUMNS`]).
+pub const DEFAULT_FRAMES: usize = 512;
+
+/// Cells per row ahead of the column values: seqlock word, timestamp
+/// (ns since the recorder was created), column count at write time.
+const ROW_HEADER: usize = 3;
+
+/// One schema column: a scalar projection of one instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDesc {
+    /// Column name: the instrument's dotted name, plus a `.field`
+    /// suffix for multi-column instruments (`.count`, `.total_ns`,
+    /// `.sum`, `.p50`, `.p99`, `.max`).
+    pub name: String,
+    /// Instrument kind: `"counter"`, `"span"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Value unit: `"count"`, `"ns"`, or `"bytes"`, inferred from the
+    /// instrument's naming convention (`*_ns`, `*_bytes`).
+    pub unit: &'static str,
+}
+
+/// One decoded frame of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Monotone frame number (frame 0 is the first tick ever taken).
+    pub index: u64,
+    /// Nanoseconds since the recorder was created.
+    pub t_ns: u64,
+    /// One value per schema column that existed at write time
+    /// (`values.len() ≤ schema.len()`; later columns were not yet
+    /// registered when this frame was recorded).
+    pub values: Vec<u64>,
+}
+
+/// A consistent export of the ring: schema plus the surviving frames in
+/// frame order.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeriesReport {
+    /// Column descriptors, in registration order.
+    pub schema: Vec<ColumnDesc>,
+    /// Frames still resident in the ring, oldest first.
+    pub frames: Vec<Frame>,
+    /// Ring capacity, in frames.
+    pub capacity: usize,
+    /// Total frames ever recorded (`recorded - frames.len()` of them
+    /// have been overwritten).
+    pub recorded: u64,
+    /// Frames overwritten by ring wrap-around.
+    pub dropped: u64,
+    /// Instrument columns discarded because the schema hit
+    /// [`MAX_COLUMNS`].
+    pub columns_dropped: u64,
+}
+
+impl TimeSeriesReport {
+    /// Serialize as self-describing JSON:
+    ///
+    /// ```json
+    /// { "schema": [ { "name": "core.evaluate.points",
+    ///                 "kind": "counter", "unit": "count" }, ... ],
+    ///   "capacity": 512, "recorded": 40, "dropped": 0,
+    ///   "frames": [ { "i": 0, "t_ns": 182134,
+    ///                 "values": [0, 4096, null, ...] }, ... ] }
+    /// ```
+    ///
+    /// Each frame's `values` array is aligned to `schema` order and
+    /// padded with `null` for columns registered after the frame was
+    /// recorded.
+    pub fn to_json(&self) -> Value {
+        let schema: Vec<Value> = self
+            .schema
+            .iter()
+            .map(|c| json!({ "name": c.name.clone(), "kind": c.kind, "unit": c.unit }))
+            .collect();
+        let frames: Vec<Value> = self
+            .frames
+            .iter()
+            .map(|f| {
+                let values: Vec<Value> = (0..self.schema.len())
+                    .map(|k| match f.values.get(k) {
+                        Some(&v) => Value::from(v as f64),
+                        None => Value::Null,
+                    })
+                    .collect();
+                let mut fr = json!({ "i": f.index as f64, "t_ns": f.t_ns as f64 });
+                fr["values"] = Value::Array(values);
+                fr
+            })
+            .collect();
+        let mut doc = json!({
+            "capacity": self.capacity as f64,
+            "recorded": self.recorded as f64,
+            "dropped": self.dropped as f64,
+            "columns_dropped": self.columns_dropped as f64,
+        });
+        doc["schema"] = Value::Array(schema);
+        doc["frames"] = Value::Array(frames);
+        doc
+    }
+
+    /// The column index of `name`, if present.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.name == name)
+    }
+
+    /// The series of one column across all frames (frames predating the
+    /// column yield `None`).
+    pub fn series(&self, name: &str) -> Vec<Option<u64>> {
+        let Some(k) = self.column(name) else {
+            return vec![None; self.frames.len()];
+        };
+        self.frames
+            .iter()
+            .map(|f| f.values.get(k).copied())
+            .collect()
+    }
+}
+
+/// Unit inferred from the workspace naming convention (`*_ns` holds
+/// nanoseconds, `*_bytes`/`*bytes_moved` hold bytes, all else counts).
+fn unit_of(name: &str) -> &'static str {
+    if name.ends_with("_ns") {
+        "ns"
+    } else if name.ends_with("_bytes") || name.ends_with("bytes_moved") {
+        "bytes"
+    } else {
+        "count"
+    }
+}
+
+struct Schema {
+    columns: Vec<ColumnDesc>,
+    /// Instrument names already expanded into columns (spans and
+    /// histograms contribute several columns each).
+    seen: Vec<&'static str>,
+}
+
+/// The fixed-capacity, lock-free time-series ring.
+///
+/// Usually accessed through the process-global [`recorder`]; standalone
+/// instances (e.g. [`TimeSeries::new`] in tests) sample the same global
+/// instrument registry but keep their own ring and schema.
+pub struct TimeSeries {
+    capacity: usize,
+    cells: Box<[AtomicU64]>,
+    frames_written: AtomicU64,
+    columns_dropped: AtomicU64,
+    writer: AtomicBool,
+    schema: Mutex<Schema>,
+    epoch: Instant,
+}
+
+impl TimeSeries {
+    /// A ring holding the most recent `capacity` frames (min 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        let stride = ROW_HEADER + MAX_COLUMNS;
+        let cells: Vec<AtomicU64> = (0..capacity * stride).map(|_| AtomicU64::new(0)).collect();
+        TimeSeries {
+            capacity,
+            cells: cells.into_boxed_slice(),
+            frames_written: AtomicU64::new(0),
+            columns_dropped: AtomicU64::new(0),
+            writer: AtomicBool::new(false),
+            schema: Mutex::new(Schema {
+                columns: Vec::new(),
+                seen: Vec::new(),
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Ring capacity, in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total frames recorded since creation.
+    pub fn recorded(&self) -> u64 {
+        self.frames_written.load(Ordering::Acquire)
+    }
+
+    /// Grow the schema to cover every instrument in `report`, returning
+    /// the flat `(column, value)` pairs of this frame. Called under the
+    /// writer flag, so at most one thread mutates the schema at a time.
+    fn project(&self, report: &Report) -> Vec<u64> {
+        let mut schema = self.schema.lock().unwrap();
+        let push = |schema: &mut Schema, name: String, kind: &'static str, unit| {
+            if schema.columns.len() < MAX_COLUMNS {
+                schema.columns.push(ColumnDesc { name, kind, unit });
+            } else {
+                self.columns_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        for c in &report.counters {
+            if !schema.seen.contains(&c.name) {
+                schema.seen.push(c.name);
+                push(&mut schema, c.name.to_string(), "counter", unit_of(c.name));
+            }
+        }
+        for s in &report.spans {
+            if !schema.seen.contains(&s.name) {
+                schema.seen.push(s.name);
+                push(&mut schema, format!("{}.count", s.name), "span", "count");
+                push(&mut schema, format!("{}.total_ns", s.name), "span", "ns");
+            }
+        }
+        for h in &report.hists {
+            if !schema.seen.contains(&h.name) {
+                schema.seen.push(h.name);
+                let unit = unit_of(h.name);
+                push(
+                    &mut schema,
+                    format!("{}.count", h.name),
+                    "histogram",
+                    "count",
+                );
+                push(&mut schema, format!("{}.sum", h.name), "histogram", unit);
+                push(&mut schema, format!("{}.p50", h.name), "histogram", unit);
+                push(&mut schema, format!("{}.p99", h.name), "histogram", unit);
+                push(&mut schema, format!("{}.max", h.name), "histogram", unit);
+            }
+        }
+        // Values in column order. Column names map back to instruments
+        // deterministically because schema growth mirrors report order.
+        let mut values = vec![0u64; schema.columns.len()];
+        let lookup = |name: &str| schema.columns.iter().position(|c| c.name == name);
+        for c in &report.counters {
+            if let Some(k) = lookup(c.name) {
+                values[k] = c.value;
+            }
+        }
+        for s in &report.spans {
+            if let Some(k) = lookup(&format!("{}.count", s.name)) {
+                values[k] = s.count;
+            }
+            if let Some(k) = lookup(&format!("{}.total_ns", s.name)) {
+                values[k] = s.total_ns;
+            }
+        }
+        for h in &report.hists {
+            for (field, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("p50", h.percentile(50.0)),
+                ("p99", h.percentile(99.0)),
+                ("max", h.max),
+            ] {
+                if let Some(k) = lookup(&format!("{}.{field}", h.name)) {
+                    values[k] = v;
+                }
+            }
+        }
+        values
+    }
+
+    /// Record one frame: a snapshot of every registered instrument,
+    /// stamped with nanoseconds since the recorder was created. Returns
+    /// `false` (and records nothing) if another tick is in flight — the
+    /// ring never blocks its callers.
+    pub fn tick(&self) -> bool {
+        self.tick_report(&crate::snapshot())
+    }
+
+    /// [`tick`](Self::tick) against a caller-supplied report (lets tests
+    /// control exactly what lands in the frame).
+    pub fn tick_report(&self, report: &Report) -> bool {
+        if self.writer.swap(true, Ordering::Acquire) {
+            return false;
+        }
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        let values = self.project(report);
+        let f = self.frames_written.load(Ordering::Relaxed);
+        let stride = ROW_HEADER + MAX_COLUMNS;
+        let row = &self.cells[(f as usize % self.capacity) * stride..][..stride];
+        // Seqlock: odd while writing, `2·(f+1)` once frame f is stable.
+        row[0].store(2 * f + 1, Ordering::Release);
+        row[1].store(t_ns, Ordering::Relaxed);
+        row[2].store(values.len() as u64, Ordering::Relaxed);
+        for (cell, &v) in row[ROW_HEADER..].iter().zip(&values) {
+            cell.store(v, Ordering::Relaxed);
+        }
+        row[0].store(2 * (f + 1), Ordering::Release);
+        self.frames_written.store(f + 1, Ordering::Release);
+        self.writer.store(false, Ordering::Release);
+        true
+    }
+
+    /// Copy the ring out: schema plus every stable frame, oldest first.
+    /// Frames overwritten or mid-write during the copy are skipped, not
+    /// torn.
+    pub fn report(&self) -> TimeSeriesReport {
+        let schema = self.schema.lock().unwrap().columns.clone();
+        let stride = ROW_HEADER + MAX_COLUMNS;
+        let mut frames = Vec::with_capacity(self.capacity);
+        for slot in 0..self.capacity {
+            let row = &self.cells[slot * stride..][..stride];
+            let s1 = row[0].load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or write in flight
+            }
+            let ncols = (row[2].load(Ordering::Relaxed) as usize).min(MAX_COLUMNS);
+            let t_ns = row[1].load(Ordering::Relaxed);
+            let values: Vec<u64> = row[ROW_HEADER..ROW_HEADER + ncols]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            // Re-check the seqlock word: if the writer lapped us the
+            // copy may be torn — drop it.
+            if row[0].load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            frames.push(Frame {
+                index: s1 / 2 - 1,
+                t_ns,
+                values,
+            });
+        }
+        frames.sort_by_key(|f| f.index);
+        let recorded = self.recorded();
+        TimeSeriesReport {
+            schema,
+            frames,
+            capacity: self.capacity,
+            recorded,
+            dropped: recorded.saturating_sub(self.capacity as u64),
+            columns_dropped: self.columns_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-global flight recorder. Capacity comes from
+/// `SG_FLIGHT_CAPACITY` (frames) at first use, default
+/// [`DEFAULT_FRAMES`].
+pub fn recorder() -> &'static TimeSeries {
+    static RECORDER: OnceLock<TimeSeries> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let capacity = std::env::var("SG_FLIGHT_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_FRAMES);
+        TimeSeries::new(capacity)
+    })
+}
+
+/// Join handle for a background [`Sampler`] thread; dropping it stops
+/// the sampler promptly (condvar wakeup, not a sleep expiry).
+pub struct Sampler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start a background thread ticking the global [`recorder`] every
+    /// `period` (min 100 µs) until the returned guard is dropped. The
+    /// first frame is taken immediately.
+    pub fn start(period: Duration) -> Sampler {
+        let period = period.max(Duration::from_micros(100));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sg-flight".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    recorder().tick();
+                    let stopped = lock.lock().unwrap();
+                    let (stopped, _) = cv.wait_timeout_while(stopped, period, |s| !*s).unwrap();
+                    if *stopped {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn flight sampler");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Merge per-worker histogram stats into one, as if every sample had
+/// been recorded into a single histogram: counts, sums (wrapping, like
+/// the live instrument), per-bucket tallies add; `max` takes the
+/// maximum. The property test in `tests/merge_props.rs` pins the
+/// equivalence.
+pub fn merge_histograms(name: &'static str, parts: &[HistogramStat]) -> HistogramStat {
+    let mut acc = HistogramStat::empty(name);
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global instrument registry is shared across the whole test
+    // binary, so these tests drive standalone rings with hand-built
+    // reports; ticking against live instruments is covered by the
+    // `tests/timeseries.rs` integration binary.
+
+    fn report(counter: &'static str, value: u64) -> Report {
+        Report {
+            counters: vec![crate::CounterStat {
+                name: counter,
+                value,
+            }],
+            spans: vec![],
+            hists: vec![],
+        }
+    }
+
+    #[test]
+    fn frames_accumulate_and_wrap() {
+        let ts = TimeSeries::new(4);
+        for v in 0..6u64 {
+            assert!(ts.tick_report(&report("test.ts.wrap", v)));
+        }
+        let rep = ts.report();
+        assert_eq!(rep.capacity, 4);
+        assert_eq!(rep.recorded, 6);
+        assert_eq!(rep.dropped, 2);
+        let indices: Vec<u64> = rep.frames.iter().map(|f| f.index).collect();
+        assert_eq!(indices, vec![2, 3, 4, 5]);
+        let series = rep.series("test.ts.wrap");
+        assert_eq!(series, vec![Some(2), Some(3), Some(4), Some(5)]);
+    }
+
+    #[test]
+    fn schema_is_append_only_and_self_describing() {
+        let ts = TimeSeries::new(8);
+        ts.tick_report(&report("test.ts.first_bytes", 1));
+        let mut r2 = report("test.ts.first_bytes", 2);
+        r2.spans.push(crate::SpanStat {
+            name: "test.ts.span",
+            count: 3,
+            total_ns: 900,
+        });
+        ts.tick_report(&r2);
+        let rep = ts.report();
+        let names: Vec<&str> = rep.schema.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "test.ts.first_bytes",
+                "test.ts.span.count",
+                "test.ts.span.total_ns"
+            ]
+        );
+        assert_eq!(rep.schema[0].kind, "counter");
+        assert_eq!(rep.schema[0].unit, "bytes");
+        assert_eq!(rep.schema[1].kind, "span");
+        assert_eq!(rep.schema[2].unit, "ns");
+        // Frame 0 predates the span columns: shorter values vector,
+        // rendered as null in JSON.
+        assert_eq!(rep.frames[0].values.len(), 1);
+        assert_eq!(rep.frames[1].values, vec![2, 3, 900]);
+        let doc = rep.to_json();
+        assert!(doc["frames"][0]["values"][1].is_null());
+        assert_eq!(doc["frames"][1]["values"][2], 900u64);
+        let reparsed = sg_json::parse(&doc.to_string()).unwrap();
+        assert_eq!(reparsed["schema"][0]["unit"], "bytes");
+    }
+
+    #[test]
+    fn histogram_projection_carries_percentiles() {
+        let mut h = HistogramStat::empty("test.ts.lat_ns");
+        for v in [1u64, 2, 1000, 1000] {
+            h.record_sample(v);
+        }
+        let rep = Report {
+            counters: vec![],
+            spans: vec![],
+            hists: vec![h],
+        };
+        let ts = TimeSeries::new(2);
+        ts.tick_report(&rep);
+        let out = ts.report();
+        assert_eq!(out.series("test.ts.lat_ns.count"), vec![Some(4)]);
+        assert_eq!(out.series("test.ts.lat_ns.max"), vec![Some(1000)]);
+        assert_eq!(out.series("test.ts.lat_ns.p99"), vec![Some(1000)]);
+        assert!(out.column("test.ts.lat_ns.sum").is_some());
+    }
+
+    #[test]
+    fn unit_inference_follows_naming_convention() {
+        assert_eq!(unit_of("par.barrier_wait_ns"), "ns");
+        assert_eq!(unit_of("io.snapshot.write_bytes"), "bytes");
+        assert_eq!(unit_of("core.hierarchize.bytes_moved"), "bytes");
+        assert_eq!(unit_of("core.evaluate.points"), "count");
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_frames() {
+        let ts = Arc::new(TimeSeries::new(8));
+        let writer = {
+            let ts = Arc::clone(&ts);
+            std::thread::spawn(move || {
+                for v in 0..2000u64 {
+                    // The counter value doubles as a tear detector: both
+                    // cells of a frame must agree.
+                    let rep = Report {
+                        counters: vec![
+                            crate::CounterStat {
+                                name: "test.ts.torn_a",
+                                value: v,
+                            },
+                            crate::CounterStat {
+                                name: "test.ts.torn_b",
+                                value: v,
+                            },
+                        ],
+                        spans: vec![],
+                        hists: vec![],
+                    };
+                    ts.tick_report(&rep);
+                }
+            })
+        };
+        let mut seen = 0u64;
+        while seen < 500 {
+            let rep = ts.report();
+            for f in &rep.frames {
+                if f.values.len() == 2 {
+                    assert_eq!(f.values[0], f.values[1], "torn frame {}", f.index);
+                }
+                seen += 1;
+            }
+        }
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for per-thread histogram merging.
+//!
+//! The parallel sweeps accumulate per-worker latency histograms and fold
+//! them into one after the region; the fold is only sound if merging N
+//! worker stats is **exactly** equivalent to recording every sample into
+//! a single histogram. These properties pin that equivalence for
+//! count/sum/bucket/max, and the distributional sanity (percentile
+//! monotonicity) that downstream reports rely on.
+
+use sg_prop::{run_cases, Rng};
+use sg_telemetry::{bucket_index, HistogramStat, HIST_BUCKETS};
+
+/// Samples spread across the interesting bucket regimes: zero, small,
+/// mid, and the saturating top bucket.
+fn arbitrary_sample(rng: &mut Rng) -> u64 {
+    match rng.u8_in(0..=3) {
+        0 => 0,
+        1 => rng.u64_in(1..=1024),
+        2 => rng.u64_in(1025..=(1 << 40)),
+        _ => rng.u64_in((1 << 62)..=u64::MAX),
+    }
+}
+
+#[test]
+fn merging_worker_histograms_equals_single_recording() {
+    run_cases("merge_equals_single", 200, |rng| {
+        let workers = rng.usize_in(1..=8);
+        let mut parts: Vec<HistogramStat> = Vec::new();
+        let mut whole = HistogramStat::empty("prop.merge.whole");
+        for _ in 0..workers {
+            let mut part = HistogramStat::empty("prop.merge.part");
+            for _ in 0..rng.usize_in(0..=64) {
+                let v = arbitrary_sample(rng);
+                part.record_sample(v);
+                whole.record_sample(v);
+            }
+            parts.push(part);
+        }
+        let merged = sg_telemetry::timeseries::merge_histograms("prop.merge.whole", &parts);
+        // Exact equivalence: count, wrapping sum, max, every bucket.
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.sum, whole.sum);
+        assert_eq!(merged.max, whole.max);
+        assert_eq!(merged.buckets, whole.buckets);
+        assert_eq!(merged.buckets.len(), HIST_BUCKETS);
+    });
+}
+
+#[test]
+fn merge_is_order_independent() {
+    run_cases("merge_order_independent", 100, |rng| {
+        let mut parts: Vec<HistogramStat> = (0..rng.usize_in(2..=6))
+            .map(|_| {
+                let mut h = HistogramStat::empty("prop.merge.order");
+                for _ in 0..rng.usize_in(0..=32) {
+                    h.record_sample(arbitrary_sample(rng));
+                }
+                h
+            })
+            .collect();
+        let forward = sg_telemetry::timeseries::merge_histograms("prop.merge.order", &parts);
+        parts.reverse();
+        let backward = sg_telemetry::timeseries::merge_histograms("prop.merge.order", &parts);
+        assert_eq!(forward, backward);
+    });
+}
+
+#[test]
+fn merged_percentiles_are_monotone_and_bounded() {
+    run_cases("merge_percentiles_monotone", 200, |rng| {
+        let mut parts: Vec<HistogramStat> = Vec::new();
+        let mut n_samples = 0usize;
+        for _ in 0..rng.usize_in(1..=6) {
+            let mut h = HistogramStat::empty("prop.merge.pct");
+            for _ in 0..rng.usize_in(0..=48) {
+                h.record_sample(arbitrary_sample(rng));
+                n_samples += 1;
+            }
+            parts.push(h);
+        }
+        let merged = sg_telemetry::timeseries::merge_histograms("prop.merge.pct", &parts);
+        let p50 = merged.percentile(50.0);
+        let p90 = merged.percentile(90.0);
+        let p99 = merged.percentile(99.0);
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        assert!(p99 <= merged.max, "p99 {p99} > max {}", merged.max);
+        if n_samples > 0 {
+            // p100 is exactly the maximum, and the max's bucket is
+            // occupied.
+            assert_eq!(merged.percentile(100.0), merged.max);
+            assert!(merged.buckets[bucket_index(merged.max)] > 0);
+        } else {
+            assert_eq!(merged.count, 0);
+            assert_eq!(p99, 0);
+        }
+    });
+}
+
+#[test]
+fn merge_against_empty_is_identity() {
+    run_cases("merge_empty_identity", 100, |rng| {
+        let mut h = HistogramStat::empty("prop.merge.identity");
+        for _ in 0..rng.usize_in(0..=40) {
+            h.record_sample(arbitrary_sample(rng));
+        }
+        let merged = sg_telemetry::timeseries::merge_histograms(
+            "prop.merge.identity",
+            &[h.clone(), HistogramStat::empty("prop.merge.identity")],
+        );
+        assert_eq!(merged, h);
+    });
+}

@@ -1,0 +1,71 @@
+//! Integration tests for the flight recorder against the *live* global
+//! instrument registry. These live in their own test binary because they
+//! tick the process-global recorder, which other test binaries must not
+//! observe.
+
+use std::time::Duration;
+
+use sg_telemetry::timeseries::{recorder, Sampler};
+use sg_telemetry::{Counter, Histogram, Report, Span};
+
+static FLIGHT_COUNTER: Counter = Counter::new("test.flight.events");
+static FLIGHT_SPAN: Span = Span::new("test.flight.region");
+static FLIGHT_HIST: Histogram = Histogram::new("test.flight.lat_ns");
+
+#[test]
+fn recorder_samples_live_instruments_and_sampler_stops_on_drop() {
+    FLIGHT_COUNTER.add(3);
+    FLIGHT_SPAN.record(1_000);
+    FLIGHT_HIST.record(64);
+    assert!(recorder().tick());
+    FLIGHT_COUNTER.add(4);
+    {
+        let _sampler = Sampler::start(Duration::from_millis(1));
+        // Let the sampler take at least its immediate first frame plus a
+        // few periodic ones.
+        std::thread::sleep(Duration::from_millis(20));
+    } // drop joins the sampler thread
+
+    let rep = Report::timeseries();
+    let frames_after_drop = rep.frames.len();
+    assert!(
+        frames_after_drop >= 2,
+        "expected ≥2 frames, got {frames_after_drop}"
+    );
+
+    // Schema is self-describing: our instruments appear with the right
+    // kind and unit.
+    let col = |name: &str| {
+        rep.schema
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("missing column {name}"))
+    };
+    assert_eq!(col("test.flight.events").kind, "counter");
+    assert_eq!(col("test.flight.region.total_ns").unit, "ns");
+    assert_eq!(col("test.flight.lat_ns.p99").kind, "histogram");
+
+    // The counter series is monotone non-decreasing and ends at the
+    // final value.
+    let series: Vec<u64> = rep
+        .series("test.flight.events")
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(series.windows(2).all(|w| w[0] <= w[1]), "series {series:?}");
+    assert_eq!(*series.last().unwrap(), 7);
+
+    // The sampler thread is really gone: no frames accumulate anymore.
+    std::thread::sleep(Duration::from_millis(15));
+    assert_eq!(Report::timeseries().frames.len(), frames_after_drop);
+
+    // JSON export round-trips and aligns values to the schema.
+    let doc = rep.to_json();
+    let parsed = sg_json::parse(&doc.to_string()).unwrap();
+    let n_schema = parsed["schema"].as_array().unwrap().len();
+    assert_eq!(n_schema, rep.schema.len());
+    for f in parsed["frames"].as_array().unwrap() {
+        assert_eq!(f["values"].as_array().unwrap().len(), n_schema);
+    }
+    assert_eq!(parsed["capacity"], rep.capacity as u64);
+}

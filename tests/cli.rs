@@ -678,3 +678,257 @@ fn fuzz_snapshot_faults_writes_schema_complete_report() {
 
     std::fs::remove_file(&json).ok();
 }
+
+/// Write a BENCH trajectory file with `n` runs of the given p50s, in the
+/// exact shape `sg_bench::trajectory::record_run` produces.
+fn write_trajectory(dir: &std::path::Path, name: &str, p50s: &[f64]) {
+    std::fs::create_dir_all(dir).unwrap();
+    let runs: Vec<String> = p50s
+        .iter()
+        .enumerate()
+        .map(|(i, p50)| {
+            format!(
+                r#"{{"provenance": {{"timestamp_utc": "2026-08-08T00:{i:02}:00Z",
+                     "threads": 4, "git_sha": "test"}},
+                    "metrics": {{"d5/compact/hierarchize_s":
+                      {{"count": 5, "p50_s": {p50}, "p90_s": {p50}, "p99_s": {p50},
+                        "min_s": {p50}, "max_s": {p50}}}}}}}"#
+            )
+        })
+        .collect();
+    std::fs::write(
+        dir.join(format!("BENCH_{name}.json")),
+        format!(
+            "{{\"experiment\": \"{name}\", \"runs\": [{}]}}\n",
+            runs.join(",")
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn gate_passes_clean_catches_regression_and_honors_baseline_override() {
+    let dir = temp_path("gate-results");
+    let results = dir.to_str().unwrap();
+
+    // Eight statistically-quiet runs: within the band, exit 0.
+    let clean: Vec<f64> = (0..8).map(|i| 1.0e-3 + (i % 3) as f64 * 1.0e-6).collect();
+    write_trajectory(&dir, "fig9", &clean);
+    let o = sgtool(&["gate", "fig9", "--results", results]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("perf gate passed"), "{}", stdout(&o));
+
+    // A 10x-slower newest run breaches the band: exit 1 with a one-line
+    // REGRESSION diagnosis naming the metric.
+    let mut regressed = clean.clone();
+    regressed.push(1.0e-2);
+    write_trajectory(&dir, "fig9", &regressed);
+    let json = dir.join("gate.json");
+    let o = sgtool(&[
+        "gate",
+        "fig9",
+        "--results",
+        results,
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&o), 1);
+    assert!(
+        stdout(&o).contains("REGRESSION d5/compact/hierarchize_s"),
+        "{}",
+        stdout(&o)
+    );
+    assert_eq!(stderr(&o).lines().count(), 1, "{}", stderr(&o));
+    assert!(stderr(&o).contains("perf gate failed"), "{}", stderr(&o));
+    let doc = sg_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(doc["passed"], false);
+    let exps = doc["experiments"].as_array().unwrap();
+    assert_eq!(exps.len(), 1);
+
+    // SG_GATE_BASELINE acknowledges the shift: reported but exit 0.
+    let o = sgtool_env(
+        &["gate", "fig9", "--results", results],
+        &[("SG_GATE_BASELINE", "1")],
+    );
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(
+        stdout(&o).contains("SG_GATE_BASELINE set"),
+        "{}",
+        stdout(&o)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gate_short_history_passes_and_bad_inputs_use_pinned_exit_codes() {
+    let dir = temp_path("gate-short");
+    let results = dir.to_str().unwrap();
+
+    // Under min-runs the gate must not engage, even on a wild newest run.
+    write_trajectory(&dir, "young", &[1.0e-3, 1.0e-3, 5.0]);
+    let o = sgtool(&["gate", "young", "--results", results]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("skip"), "{}", stdout(&o));
+
+    // No experiment names: usage (2). Missing file: I/O (4). A
+    // trajectory that is not valid JSON: corrupt data (3).
+    assert_eq!(exit_code(&sgtool(&["gate"])), 2);
+    assert_eq!(
+        exit_code(&sgtool(&["gate", "absent", "--results", results])),
+        4
+    );
+    std::fs::write(dir.join("BENCH_mangled.json"), "{\"runs\": [tru").unwrap();
+    let o = sgtool(&["gate", "mangled", "--results", results]);
+    assert_eq!(exit_code(&o), 3);
+    assert_eq!(stderr(&o).lines().count(), 1, "{}", stderr(&o));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_from_summarizes_a_trace_and_rejects_malformed_ones() {
+    let trace = temp_path("from-trace.json");
+    let t = trace.to_str().unwrap();
+    let o = sgtool(&[
+        "profile", "--dims", "4", "--level", "4", "--points", "64", "--out", t,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Summarizing the file we just wrote works offline.
+    let o = sgtool(&["profile", "--from", t]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("events"), "{s}");
+    assert!(s.contains("workload: d=4 level=4"), "{s}");
+
+    // A truncated trace is a *usage* error — pinned exit 2 — with a
+    // single-line diagnostic.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    std::fs::write(&trace, &text[..text.len() / 2]).unwrap();
+    let o = sgtool(&["profile", "--from", t]);
+    assert_eq!(exit_code(&o), 2);
+    let err = stderr(&o);
+    assert_eq!(err.lines().count(), 1, "one-line diagnostic, got: {err}");
+    assert!(err.starts_with("sgtool: malformed trace"), "{err}");
+
+    // Valid JSON of the wrong shape is equally malformed.
+    std::fs::write(&trace, "{\"not\": \"a trace\"}\n").unwrap();
+    let o = sgtool(&["profile", "--from", t]);
+    assert_eq!(exit_code(&o), 2);
+    assert!(stderr(&o).contains("no traceEvents"), "{}", stderr(&o));
+
+    // And a missing file stays an I/O error, not usage.
+    assert_eq!(
+        exit_code(&sgtool(&["profile", "--from", "/nonexistent/trace.json"])),
+        4
+    );
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn flight_records_a_self_describing_timeseries() {
+    let out = temp_path("flight.json");
+    let f = out.to_str().unwrap();
+    let o = sgtool(&[
+        "flight",
+        "--dims",
+        "5",
+        "--level",
+        "5",
+        "--reps",
+        "2",
+        "--points",
+        "512",
+        "--interval-ms",
+        "1",
+        "--out",
+        f,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("frames"), "{}", stdout(&o));
+
+    let doc = sg_json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let schema = doc["schema"].as_array().expect("schema array");
+    assert!(!schema.is_empty());
+    for col in schema {
+        assert!(col["name"].as_str().is_some(), "column without name");
+        let kind = col["kind"].as_str().unwrap();
+        assert!(
+            ["counter", "span", "histogram"].contains(&kind),
+            "unknown kind {kind}"
+        );
+        let unit = col["unit"].as_str().unwrap();
+        assert!(
+            ["count", "ns", "bytes"].contains(&unit),
+            "unknown unit {unit}"
+        );
+    }
+    // The workload's own instruments made it into the schema.
+    assert!(
+        schema
+            .iter()
+            .any(|c| c["name"].as_str() == Some("core.hierarchize.bytes_moved")),
+        "hierarchize counter missing from schema"
+    );
+    let frames = doc["frames"].as_array().expect("frames array");
+    assert!(!frames.is_empty(), "no frames recorded");
+    for fr in frames {
+        assert!(fr["t_ns"].as_f64().is_some());
+        assert_eq!(fr["values"].as_array().unwrap().len(), schema.len());
+    }
+    assert!(doc["workload"]["interval_ms"].as_f64().is_some());
+    assert!(!doc["provenance"].is_null());
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn divergence_reports_per_group_data_with_correlation() {
+    let out = temp_path("divergence.json");
+    let f = out.to_str().unwrap();
+    let o = sgtool(&[
+        "divergence",
+        "--dims",
+        "4",
+        "--level",
+        "5",
+        "--points",
+        "256",
+        "--machine",
+        "tiny",
+        "--top",
+        "2",
+        "--out",
+        f,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("correlation r="), "{s}");
+    assert!(s.contains("top 2 divergent groups"), "{s}");
+
+    let doc = sg_json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    for phase in ["hierarchize", "evaluate"] {
+        let p = &doc[phase];
+        let r = p["correlation"].as_f64().expect("correlation number");
+        assert!((-1.0..=1.0).contains(&r), "{phase} r={r}");
+        let groups = p["groups"].as_array().unwrap();
+        assert_eq!(groups.len(), 5, "{phase}: one entry per level group");
+        for g in groups {
+            assert!(g["predicted_dram_lines"].as_f64().is_some());
+            assert!(g["measured_ns"].as_f64().is_some());
+            assert!(g["residual_ns"].as_f64().is_some());
+        }
+        // The measured half is real: the biggest group took nonzero time.
+        assert!(
+            groups[4]["measured_ns"].as_f64().unwrap() > 0.0,
+            "{phase}: top group unmeasured"
+        );
+    }
+    assert!(!doc["top_divergent"].as_array().unwrap().is_empty());
+    // Unknown machines are usage errors.
+    assert_eq!(
+        exit_code(&sgtool(&["divergence", "--machine", "cray-1"])),
+        2
+    );
+    std::fs::remove_file(&out).ok();
+}
