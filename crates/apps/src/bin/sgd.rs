@@ -1,0 +1,149 @@
+//! `sgd` — the sparse-grid evaluation daemon.
+//!
+//! ```text
+//! sgd --listen 127.0.0.1:7071 --load surrogate=model.sgcs
+//! sgd --unix /tmp/sgd.sock --load a=a.sgcs --load b=b.sgcs
+//! ```
+//!
+//! Serves a fleet of SGC2 snapshot models over the length-prefixed
+//! `sg-serve` protocol: binary f64 frames on the data plane, sg-json on
+//! the control plane (`load` / `swap` / `unload` / `stats` / `ping` /
+//! `shutdown`). Models hot-swap under load without blocking in-flight
+//! requests. `--listen 127.0.0.1:0` picks a free port and prints it.
+
+use sg_serve::{Engine, Fleet, ServeConfig, Server};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sgd — sparse-grid evaluation daemon
+
+USAGE:
+    sgd [--listen HOST:PORT] [--unix PATH] [--load NAME=SNAPSHOT]...
+
+OPTIONS:
+    --listen HOST:PORT   TCP listener (port 0 picks a free port; the
+                         bound address is printed on startup)
+    --unix PATH          Unix-socket listener (stale sockets replaced)
+    --load NAME=PATH     preload an SGC2 snapshot under NAME (repeatable;
+                         more models can be loaded later over the
+                         control plane)
+    -h, --help           print this help
+
+At least one of --listen / --unix is required.
+
+WIRE FORMAT (one frame = [kind: u8][len: u32 LE][payload]):
+    0x01 CtrlReq    sg-json object, e.g. {\"cmd\":\"stats\"}
+    0x02 CtrlResp   sg-json object, {\"ok\":true,...}
+    0x10 EvalReq    [name_len u16 LE][name][npoints u32 LE][xs f64 LE]
+    0x11 EvalResp   [npoints u32 LE][ys f64 LE]
+    0x1F Error      sg-json {\"error\":\"<code>\",\"message\":\"...\"}
+
+ENVIRONMENT:
+    SGD_QUEUE_DEPTH       admission queue depth (default 256)
+    SGD_BATCH_MAX_POINTS  max points per coalesced batch and per request
+                          (default 16384)
+    SGD_BLOCK             evaluator cache block, lane-aligned (default 64)
+    SGD_PAR_MIN_POINTS    batches this large run on the sg-par pool
+                          (default 2048)
+    SGD_MAX_FRAME         max frame payload bytes (default 16777216)
+    SGD_MAX_MODELS        fleet capacity (default 64)
+    SG_KERNEL             evaluation kernel: auto|scalar|avx2|neon
+    SG_PAR_THREADS        sg-par pool width
+
+EXIT CODES:
+    0 clean shutdown   2 usage   3 bad snapshot   4 bind/socket error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        // writeln! so `sgd --help | head` sees EPIPE, not a panic.
+        let _ = writeln!(std::io::stdout(), "{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = sg_core::kernel::resolve() {
+        eprintln!("sgd: {e}");
+        return ExitCode::from(2);
+    }
+
+    let mut listen: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut loads: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => match value("--listen") {
+                Ok(v) => listen = Some(v),
+                Err(e) => return usage_error(&e),
+            },
+            "--unix" => match value("--unix") {
+                Ok(v) => unix = Some(v),
+                Err(e) => return usage_error(&e),
+            },
+            "--load" => match value("--load") {
+                Ok(v) => match v.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                        loads.push((name.to_string(), path.to_string()));
+                    }
+                    _ => return usage_error(&format!("--load wants NAME=PATH, got {v:?}")),
+                },
+                Err(e) => return usage_error(&e),
+            },
+            other => return usage_error(&format!("unknown flag: {other}")),
+        }
+    }
+    if listen.is_none() && unix.is_none() {
+        return usage_error("at least one of --listen / --unix is required");
+    }
+
+    let cfg = ServeConfig::from_env();
+    let fleet = Fleet::new(cfg.max_models);
+    for (name, path) in &loads {
+        match fleet.load(name, std::path::Path::new(path)) {
+            Ok(generation) => {
+                eprintln!("sgd: loaded {name:?} from {path} (generation {generation})");
+            }
+            Err(e) => {
+                eprintln!("sgd: loading {name:?} from {path}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    let engine = Engine::new(fleet, cfg);
+    let server = match Server::start(
+        engine,
+        listen.as_deref(),
+        unix.as_deref().map(std::path::Path::new),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sgd: binding listeners: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        // Parsed by the smoke tests and the load generator: keep stable.
+        println!("sgd: listening on tcp://{addr}");
+    }
+    if let Some(path) = &unix {
+        println!("sgd: listening on unix://{path}");
+    }
+    std::io::stdout().flush().ok();
+
+    server.wait();
+    server.shutdown();
+    eprintln!("sgd: shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("sgd: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}

@@ -162,6 +162,62 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
     block: usize,
     plan: &EvalPlan,
 ) -> Vec<T> {
+    let k = if grid.spec().dim() == 0 {
+        0
+    } else {
+        xs.len() / grid.spec().dim()
+    };
+    let mut out = vec![T::ZERO; k];
+    let mut scratch = EvalScratch::new();
+    evaluate_batch_blocked_into(grid, xs, block, plan, &mut out, &mut scratch);
+    out
+}
+
+/// Reusable accumulator/transpose buffers for
+/// [`evaluate_batch_blocked_into`]. Holding one of these across calls
+/// (e.g. per server connection, ffsvm's `Problem` idiom) makes repeated
+/// batch evaluations allocation-free once the buffers have grown to the
+/// steady-state batch shape.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per-block f64 accumulators (`block` entries).
+    acc: Vec<f64>,
+    /// SoA coordinate transpose the SIMD kernels read (`block · d`).
+    soa: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// Fresh, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for `block`-point blocks in `dim` dimensions,
+    /// so even the first evaluation allocates nothing.
+    pub fn with_capacity(block: usize, dim: usize) -> Self {
+        Self {
+            acc: vec![0.0; block],
+            soa: vec![0.0; block * dim],
+        }
+    }
+}
+
+/// [`evaluate_batch_blocked_with_plan`] writing into a caller-owned
+/// output slice with caller-owned [`EvalScratch`]: the allocation-free
+/// core of the serving request path. Bitwise identical to the scalar
+/// reference (same kernels, same order of operations).
+///
+/// # Panics
+/// In addition to the [`evaluate_batch_blocked_with_plan`] conditions,
+/// panics if `out.len()` is not exactly the number of query points.
+pub fn evaluate_batch_blocked_into<T: Real>(
+    grid: &CompactGrid<T>,
+    xs: &[f64],
+    block: usize,
+    plan: &EvalPlan,
+    out: &mut [T],
+    ws: &mut EvalScratch,
+) {
     let spec = grid.spec();
     let d = spec.dim();
     assert_eq!(plan.dim(), d, "plan built for a different dimensionality");
@@ -172,12 +228,14 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
         "query point outside the unit domain"
     );
     let k = xs.len() / d;
+    assert_eq!(out.len(), k, "output slice length must match point count");
     let values = grid.values();
     let kind = kernel::active();
     let values_f64 = T::as_f64_slice(values);
-    let mut out = vec![T::ZERO; k];
-    let mut acc = vec![0.0f64; block.min(k)];
-    let mut scratch: Vec<f64> = Vec::new();
+    ws.acc.clear();
+    ws.acc.resize(block.min(k), 0.0);
+    let acc = &mut ws.acc;
+    let scratch = &mut ws.soa;
 
     tel! {
         let batch_t0 = std::time::Instant::now();
@@ -195,13 +253,13 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
         // kernel calls.
         let use_simd = values_f64.is_some() && kind != KernelKind::Scalar;
         if use_simd {
-            transpose_block(bxs, d, blk.len(), &mut scratch);
+            transpose_block(bxs, d, blk.len(), scratch);
         }
         let run_entries = |entries: std::ops::Range<usize>, acc: &mut [f64]| match values_f64 {
             // f32 grids (and a forced scalar kernel) take the generic
             // scalar path; it is the bitwise reference either way.
             Some(v) if kind != KernelKind::Scalar => {
-                eval_block_simd(kind, v, plan, entries, bxs, d, &scratch, acc)
+                eval_block_simd(kind, v, plan, entries, bxs, d, scratch, acc)
             }
             _ => eval_block_scalar(values, plan, entries, bxs, d, acc),
         };
@@ -242,7 +300,6 @@ pub fn evaluate_batch_blocked_with_plan<T: Real>(
         SUBSPACE_WALKS.add(walks);
         COEFF_BYTES.add(reads * T::size_bytes() as u64);
     }
-    out
 }
 
 /// Scalar per-block kernel over the plan entries `entries`:

@@ -48,11 +48,16 @@ pub enum FaultClass {
     HeaderCorrupt,
     /// A corrupted byte inside the footer / trailer region.
     FooterCorrupt,
+    /// The checkpoint commits — the writer sees success — but the
+    /// directory entry is lost in a crash (parent dir never fsynced):
+    /// the reader finds only the *previous* snapshot, which must still
+    /// recover fully.
+    LostDirent,
 }
 
 impl FaultClass {
     /// Every class, in injection-rotation order.
-    pub const ALL: [FaultClass; 7] = [
+    pub const ALL: [FaultClass; 8] = [
         FaultClass::TornSectionBoundary,
         FaultClass::TornMidSection,
         FaultClass::BitFlip,
@@ -60,6 +65,7 @@ impl FaultClass {
         FaultClass::Enospc,
         FaultClass::HeaderCorrupt,
         FaultClass::FooterCorrupt,
+        FaultClass::LostDirent,
     ];
 
     /// Stable name (report keys, CLI).
@@ -72,6 +78,7 @@ impl FaultClass {
             FaultClass::Enospc => "enospc",
             FaultClass::HeaderCorrupt => "header-corrupt",
             FaultClass::FooterCorrupt => "footer-corrupt",
+            FaultClass::LostDirent => "lost-dirent",
         }
     }
 }
@@ -207,6 +214,26 @@ fn inject(
             bytes[pos] ^= 1 << rng.u8_in(0..=7);
             Ok(Some(bytes))
         }
+        FaultClass::LostDirent => {
+            // A fresh checkpoint of a *modified* grid commits, but its
+            // dirent is lost: the write must report success yet publish
+            // nothing, and the reader must fall back to the previous
+            // snapshot (`gold`), which recovers fully.
+            let mut newer = grid.clone();
+            for v in newer.values_mut() {
+                *v += 1.0;
+            }
+            let mut sink = FaultSink::new(WriteFault::LostDirent);
+            write_snapshot(&newer, &mut sink, "snapfault-lost-dirent")
+                .map_err(|e| e.to_string())?;
+            if !sink.committed() {
+                return Err("lost-dirent commit must report success to the writer".into());
+            }
+            if sink.into_published().is_some() {
+                return Err("lost-dirent fault must publish nothing".into());
+            }
+            Ok(Some(gold.to_vec()))
+        }
     }
 }
 
@@ -324,12 +351,12 @@ mod tests {
 
     #[test]
     fn every_class_resolves_inside_the_contract() {
-        let report = run_snapshot_faults(0x5EED_0001, 70);
+        let report = run_snapshot_faults(0x5EED_0001, 80);
         assert!(report.clean(), "{:#?}", report.violations);
-        assert_eq!(report.cases, 70);
+        assert_eq!(report.cases, 80);
         assert_eq!(
             report.full_recoveries + report.partial_recoveries + report.clean_errors,
-            70
+            80
         );
         for (name, count) in &report.per_class {
             assert_eq!(*count, 10, "class {name} ran {count} times");

@@ -157,10 +157,18 @@ pub trait SnapshotSink {
     fn commit(&mut self) -> std::io::Result<()>;
 }
 
-/// Atomic file-backed sink: writes to `<path>.tmp.<pid>`, fsyncs, and
-/// renames onto `path` at commit. If the process dies (or an injected
-/// fault aborts the write) before `commit`, the destination keeps its
-/// previous content; the temp file is removed on drop.
+/// Atomic file-backed sink: writes to `<path>.tmp.<pid>.<seq>`, fsyncs,
+/// and renames onto `path` at commit. If the process dies (or an
+/// injected fault aborts the write) before `commit`, the destination
+/// keeps its previous content; the temp file is removed on drop.
+///
+/// The temp suffix carries a process-wide monotonic sequence number in
+/// addition to the pid: two threads checkpointing the *same* path
+/// concurrently get distinct temp files, so the last rename wins with an
+/// intact snapshot instead of both writers interleaving into one temp
+/// file. After the rename, the parent directory is fsynced — without
+/// that, a crash shortly after "atomic" commit can lose the directory
+/// entry even though the data pages were durable.
 pub struct FileSink {
     final_path: std::path::PathBuf,
     tmp_path: std::path::PathBuf,
@@ -168,12 +176,16 @@ pub struct FileSink {
     committed: bool,
 }
 
+/// Process-wide temp-file sequence number (see [`FileSink::create`]).
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl FileSink {
     /// Open a sink that will atomically replace `path` on commit.
     pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let final_path = path.as_ref().to_path_buf();
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut os = final_path.as_os_str().to_owned();
-        os.push(format!(".tmp.{}", std::process::id()));
+        os.push(format!(".tmp.{}.{seq}", std::process::id()));
         let tmp_path = std::path::PathBuf::from(os);
         let file = std::fs::File::create(&tmp_path)?;
         Ok(Self {
@@ -183,6 +195,25 @@ impl FileSink {
             committed: false,
         })
     }
+
+    /// The temp path this sink writes to before commit (test hook).
+    pub fn tmp_path(&self) -> &std::path::Path {
+        &self.tmp_path
+    }
+}
+
+/// Durably persist the directory entry for `path`: open its parent
+/// directory and fsync it. A no-op error is surfaced to the caller —
+/// commit must not report success if the dirent may still be lost.
+fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    // Directories cannot be opened for writing; a read handle is what
+    // fsync(2) wants. On platforms where fsync on a directory handle is
+    // unsupported the open itself fails and the caller sees the error.
+    std::fs::File::open(parent)?.sync_all()
 }
 
 impl SnapshotSink for FileSink {
@@ -201,6 +232,10 @@ impl SnapshotSink for FileSink {
     fn commit(&mut self) -> std::io::Result<()> {
         drop(self.file.take());
         std::fs::rename(&self.tmp_path, &self.final_path)?;
+        // The rename is atomic but not durable: fsync the parent
+        // directory so the new entry survives a crash. Skipping this is
+        // the classic lost-dirent bug ([`WriteFault::LostDirent`]).
+        sync_parent_dir(&self.final_path)?;
         self.committed = true;
         Ok(())
     }
@@ -276,6 +311,13 @@ pub enum WriteFault {
         /// Bytes that actually reach the medium.
         after_bytes: usize,
     },
+    /// Every byte lands and `commit` returns `Ok`, but the published
+    /// snapshot vanishes: the rename's directory entry was lost in a
+    /// crash because the parent directory was never fsynced. The writer
+    /// believes the checkpoint succeeded; a later reader finds only the
+    /// previous snapshot (or nothing). This is the fault class
+    /// [`FileSink::commit`]'s parent-dir fsync exists to rule out.
+    LostDirent,
 }
 
 /// A [`MemorySink`] wrapper that injects one [`WriteFault`].
@@ -297,8 +339,13 @@ impl FaultSink {
     }
 
     /// The bytes a reader would observe afterwards: `Some` only if the
-    /// snapshot was published (commit succeeded).
+    /// snapshot was published (commit succeeded) *and* its directory
+    /// entry survived — a [`WriteFault::LostDirent`] commit reports
+    /// success to the writer yet publishes nothing.
     pub fn into_published(self) -> Option<Vec<u8>> {
+        if matches!(self.fault, WriteFault::LostDirent) {
+            return None;
+        }
         self.inner.into_published()
     }
 
@@ -330,6 +377,9 @@ impl SnapshotSink for FaultSink {
                     return Ok(());
                 }
             }
+            // The write path itself is healthy; the fault strikes at
+            // publication time (see `into_published`).
+            WriteFault::LostDirent => {}
         }
         self.written += chunk.len();
         self.inner.write(chunk)
@@ -1078,10 +1128,88 @@ mod tests {
         write_snapshot_file(&g, &path, "atomic-test").unwrap();
         let back: CompactGrid<f64> = read_snapshot_file(&path).unwrap();
         assert_eq!(back.values(), g.values());
-        // No temp files left behind.
-        let tmp = path.with_extension(format!("sgcs.tmp.{}", std::process::id()));
-        assert!(!tmp.exists());
+        // No temp files left behind (any `<path>.tmp.<pid>.<seq>`).
+        let prefix = format!("{}.tmp.", path.file_name().unwrap().to_str().unwrap());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression test for the temp-path collision: two threads
+    /// checkpointing the *same* destination concurrently must use
+    /// distinct temp files (with the shared `.tmp.<pid>` suffix they
+    /// interleaved writes into one), and whichever rename lands last
+    /// must leave an intact snapshot equal to one of the two grids.
+    #[test]
+    fn concurrent_checkpoints_to_one_path_commit_intact() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "sg-snapshot-concurrent-{}.sgcs",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let g1 = sample_grid();
+        let mut g2 = sample_grid();
+        for v in g2.values_mut() {
+            *v *= 2.0;
+        }
+        // Distinct sinks for one path must get distinct temp files.
+        let a = FileSink::create(&path).unwrap();
+        let b = FileSink::create(&path).unwrap();
+        assert_ne!(a.tmp_path(), b.tmp_path(), "temp paths collide");
+        drop((a, b));
+        for _ in 0..20 {
+            std::thread::scope(|s| {
+                let (p, r1, r2) = (&path, &g1, &g2);
+                let h1 = s.spawn(move || write_snapshot_file(r1, p, "writer-1"));
+                let h2 = s.spawn(move || write_snapshot_file(r2, p, "writer-2"));
+                h1.join().unwrap().unwrap();
+                h2.join().unwrap().unwrap();
+            });
+            // Whoever won, the published snapshot must verify and decode
+            // bitwise to one of the writers' grids.
+            let back: CompactGrid<f64> = read_snapshot_file(&path).unwrap();
+            assert!(
+                back.values() == g1.values() || back.values() == g2.values(),
+                "published snapshot matches neither writer"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The lost-dirent fault class: the writer sees a successful commit,
+    /// yet the published bytes vanish. Recovery is falling back to the
+    /// previous snapshot, which must still be fully intact.
+    #[test]
+    fn lost_dirent_commits_but_publishes_nothing() {
+        let g_old = sample_grid();
+        let mut g_new = sample_grid();
+        for v in g_new.values_mut() {
+            *v += 1.0;
+        }
+        // The previous checkpoint, durably published.
+        let mut prev = MemorySink::new();
+        write_snapshot(&g_old, &mut prev, "previous").unwrap();
+        let prev_bytes = prev.into_published().unwrap();
+        // The new checkpoint hits the lost-dirent fault.
+        let mut sink = FaultSink::new(WriteFault::LostDirent);
+        write_snapshot(&g_new, &mut sink, "next").unwrap();
+        assert!(sink.committed(), "the writer must believe commit worked");
+        assert!(
+            sink.into_published().is_none(),
+            "a lost dirent publishes nothing"
+        );
+        // The reader falls back to the previous snapshot: full recovery.
+        let r = recover_snapshot::<f64>(&prev_bytes).unwrap();
+        assert!(r.grid.lost_groups().is_empty());
+        assert_eq!(r.grid.grid().values(), g_old.values());
     }
 
     #[test]

@@ -100,12 +100,42 @@ pub fn num_threads() -> usize {
         return configured;
     }
     if let Ok(v) = std::env::var("SG_PAR_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            // Out-of-range and unparseable values are clamped/ignored
+            // *loudly*: a silent fallback here once hid a typo'd knob
+            // behind a full-width pool.
+            Ok(_) => {
+                warn_knob_once(
+                    &ENV_WARNED,
+                    "SG_PAR_THREADS",
+                    &v,
+                    "thread count must be >= 1; clamping to 1",
+                );
+                return 1;
+            }
+            Err(_) => warn_knob_once(
+                &ENV_WARNED,
+                "SG_PAR_THREADS",
+                &v,
+                "not a thread count; using available parallelism",
+            ),
         }
     }
     static HARDWARE: OnceLock<usize> = OnceLock::new();
     *HARDWARE.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// One-shot guard for the `SG_PAR_THREADS` misconfiguration warning.
+static ENV_WARNED: std::sync::Once = std::sync::Once::new();
+
+/// Emit a single one-line stderr warning for a misconfigured
+/// environment knob; later calls through the same guard are silent so a
+/// hot path re-reading the variable cannot spam the log.
+fn warn_knob_once(guard: &std::sync::Once, name: &str, value: &str, why: &str) {
+    guard.call_once(|| {
+        eprintln!("warning: {name}={value:?} is invalid: {why}");
+    });
 }
 
 /// Set the thread count for subsequent parallel regions at runtime,

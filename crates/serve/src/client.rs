@@ -1,0 +1,184 @@
+//! A blocking `sgd` client with reusable buffers.
+//!
+//! Used by the load generator, the protocol tests, and the CI smoke
+//! job. [`Client::eval_into`] reuses the caller's output vector and the
+//! client's internal frame buffers, so a request/response cycle on a
+//! warmed connection allocates nothing on the client side either.
+
+use crate::protocol::{
+    encode_eval_req, parse_error, parse_eval_resp, read_frame, write_frame, FrameKind, ServeError,
+    DEFAULT_MAX_FRAME,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to a running `sgd`.
+pub struct Client {
+    conn: Conn,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+    wire: Vec<u8>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client::new(Conn::Tcp(stream)))
+    }
+
+    /// Connect over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> Result<Client, ServeError> {
+        Ok(Client::new(Conn::Unix(UnixStream::connect(path)?)))
+    }
+
+    fn new(conn: Conn) -> Client {
+        Client {
+            conn,
+            frame: Vec::new(),
+            payload: Vec::new(),
+            wire: Vec::new(),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+
+    /// Evaluate `xs` (flat, `npoints · dim`) against `model`, appending
+    /// nothing: `out` is cleared and refilled. Reuses every buffer.
+    pub fn eval_into(
+        &mut self,
+        model: &str,
+        dim: usize,
+        xs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), ServeError> {
+        assert!(dim > 0 && xs.len() % dim == 0, "xs must be npoints * dim");
+        encode_eval_req(&mut self.payload, model, xs.len() / dim, xs);
+        write_frame(
+            &mut self.conn,
+            FrameKind::EvalReq,
+            &self.payload,
+            &mut self.wire,
+        )?;
+        match self.read_reply()? {
+            FrameKind::EvalResp => parse_eval_resp(&self.frame, out),
+            kind => Err(ServeError::BadFrame(format!(
+                "expected an eval response, got {kind:?}"
+            ))),
+        }
+    }
+
+    /// Evaluate and return a fresh vector (convenience).
+    pub fn eval(&mut self, model: &str, dim: usize, xs: &[f64]) -> Result<Vec<f64>, ServeError> {
+        let mut out = Vec::new();
+        self.eval_into(model, dim, xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Send a raw control document and return the server's reply.
+    pub fn ctrl(&mut self, doc: &sg_json::Value) -> Result<sg_json::Value, ServeError> {
+        self.payload.clear();
+        self.payload.extend_from_slice(doc.to_string().as_bytes());
+        write_frame(
+            &mut self.conn,
+            FrameKind::CtrlReq,
+            &self.payload,
+            &mut self.wire,
+        )?;
+        match self.read_reply()? {
+            FrameKind::CtrlResp => {
+                let text = std::str::from_utf8(&self.frame)
+                    .map_err(|_| ServeError::BadFrame("control reply is not UTF-8".into()))?;
+                sg_json::parse(text)
+                    .map_err(|e| ServeError::BadFrame(format!("control reply is not JSON: {e}")))
+            }
+            kind => Err(ServeError::BadFrame(format!(
+                "expected a control response, got {kind:?}"
+            ))),
+        }
+    }
+
+    /// Load (or hot-swap) `path` under `name`; returns the generation.
+    pub fn load(&mut self, name: &str, path: &Path) -> Result<u64, ServeError> {
+        let reply = self.ctrl(&sg_json::json!({
+            "cmd": "load",
+            "name": name,
+            "path": path.display().to_string(),
+        }))?;
+        reply
+            .get("generation")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| ServeError::BadFrame("load reply lacks a generation".into()))
+    }
+
+    /// Unload `name`.
+    pub fn unload(&mut self, name: &str) -> Result<(), ServeError> {
+        self.ctrl(&sg_json::json!({"cmd": "unload", "name": name}))
+            .map(|_| ())
+    }
+
+    /// Fetch the server's stats document.
+    pub fn stats(&mut self) -> Result<sg_json::Value, ServeError> {
+        self.ctrl(&sg_json::json!({"cmd": "stats"}))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.ctrl(&sg_json::json!({"cmd": "ping"})).map(|_| ())
+    }
+
+    /// Ask the server to stop accepting and shut down.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        self.ctrl(&sg_json::json!({"cmd": "shutdown"})).map(|_| ())
+    }
+
+    /// Read one reply frame; `Error` frames decode into typed errors.
+    fn read_reply(&mut self) -> Result<FrameKind, ServeError> {
+        match read_frame(&mut self.conn, &mut self.frame, self.max_frame)? {
+            None => Err(ServeError::Io("server closed the connection".into())),
+            Some(FrameKind::Error) => {
+                let (code, message) = parse_error(&self.frame);
+                Err(ServeError::from_wire(&code, &message))
+            }
+            Some(kind) => Ok(kind),
+        }
+    }
+}

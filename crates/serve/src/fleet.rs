@@ -1,0 +1,352 @@
+//! The model fleet: named, snapshot-backed grids behind atomic pointers.
+//!
+//! Each model is an immutable [`CompactGrid`] plus its prebuilt
+//! [`EvalPlan`], loaded from an SGC2 snapshot. The fleet keys a *set* of
+//! independent grids by name (Hupp-style combination workloads run many
+//! component grids side by side) rather than owning one monolith.
+//!
+//! Readers resolve a name to a slot index (a short read-lock on the name
+//! map — contended only by load/unload, never by swap), then pin an
+//! epoch and read the slot's `AtomicPtr`. **Swap** builds the new model
+//! off to the side, replaces the pointer, and retires the old model
+//! through the [`crate::epoch`] domain: in-flight batches keep their
+//! pinned model until they finish, so a swap under load never blocks a
+//! reader and never frees a model someone is still evaluating.
+
+use crate::epoch::{EpochDomain, Participant, PinGuard};
+use crate::protocol::ServeError;
+use sg_core::grid::CompactGrid;
+use sg_core::plan::EvalPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Per-model counters, leaked once per model *name* (not per load, so a
+/// thousand hot swaps of one name cost one registration) and shared by
+/// every generation serving under that name.
+#[cfg(feature = "telemetry")]
+mod model_tel {
+    use std::sync::Mutex;
+
+    pub struct ModelCounters {
+        pub requests: &'static sg_telemetry::Counter,
+        pub points: &'static sg_telemetry::Counter,
+    }
+
+    static REGISTRY: Mutex<Vec<(String, &'static ModelCounters)>> = Mutex::new(Vec::new());
+
+    fn leak_counter(name: String) -> &'static sg_telemetry::Counter {
+        Box::leak(Box::new(sg_telemetry::Counter::new(Box::leak(
+            name.into_boxed_str(),
+        ))))
+    }
+
+    pub fn counters_for(model: &str) -> &'static ModelCounters {
+        let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, c)) = reg.iter().find(|(n, _)| n == model) {
+            return c;
+        }
+        let counters: &'static ModelCounters = Box::leak(Box::new(ModelCounters {
+            requests: leak_counter(format!("serve.model.{model}.requests")),
+            points: leak_counter(format!("serve.model.{model}.points")),
+        }));
+        reg.push((model.to_owned(), counters));
+        counters
+    }
+}
+
+/// An immutable serving model: grid, plan, and provenance.
+pub struct Model {
+    /// Name the model serves under.
+    pub name: String,
+    /// Hierarchized coefficients.
+    pub grid: CompactGrid<f64>,
+    /// Flattened subspace walk shared by every batch against this model.
+    pub plan: EvalPlan,
+    /// Snapshot provenance stamp.
+    pub provenance: String,
+    /// Fleet-wide load sequence number (bumps on every load/swap).
+    pub generation: u64,
+    #[cfg(feature = "telemetry")]
+    counters: &'static model_tel::ModelCounters,
+}
+
+impl Model {
+    /// Load a model from an SGC2 snapshot file and prebuild its plan.
+    pub fn from_snapshot_file(
+        name: &str,
+        path: &std::path::Path,
+        generation: u64,
+    ) -> Result<Model, ServeError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Model(format!("reading {}: {e}", path.display())))?;
+        let (info, _, _) = sg_io::verify_snapshot(&bytes)
+            .map_err(|e| ServeError::Model(format!("verifying {}: {e}", path.display())))?;
+        let grid = sg_io::read_snapshot::<f64>(&bytes)
+            .map_err(|e| ServeError::Model(format!("decoding {}: {e}", path.display())))?;
+        let plan = EvalPlan::new(grid.spec());
+        Ok(Model {
+            name: name.to_owned(),
+            grid,
+            plan,
+            provenance: info.provenance,
+            generation,
+            #[cfg(feature = "telemetry")]
+            counters: model_tel::counters_for(name),
+        })
+    }
+
+    /// Dimensionality of the model's domain.
+    pub fn dim(&self) -> usize {
+        self.grid.spec().dim()
+    }
+
+    /// Bump this model's `serve.model.<name>.*` counters after a batch.
+    /// No-op without the `telemetry` feature.
+    #[allow(unused_variables)]
+    pub fn record_served(&self, requests: u64, points: u64) {
+        crate::tel! {
+            self.counters.requests.add(requests);
+            self.counters.points.add(points);
+        }
+    }
+}
+
+/// One fleet slot: the current model pointer (null = unloaded).
+struct Slot {
+    current: AtomicPtr<Model>,
+}
+
+/// The registry of live models.
+pub struct Fleet {
+    domain: Arc<EpochDomain<Model>>,
+    slots: Vec<Slot>,
+    names: RwLock<HashMap<String, usize>>,
+    generation: AtomicU64,
+}
+
+impl Fleet {
+    /// A fleet with at most `max_models` concurrently loaded models.
+    pub fn new(max_models: usize) -> Arc<Fleet> {
+        let slots = (0..max_models.max(1))
+            .map(|_| Slot {
+                current: AtomicPtr::new(std::ptr::null_mut()),
+            })
+            .collect();
+        Arc::new(Fleet {
+            domain: Arc::new(EpochDomain::new()),
+            slots,
+            names: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// Register a reader with the reclamation domain (one per
+    /// connection/executor, never per request).
+    pub fn register_reader(&self) -> Participant<Model> {
+        self.domain.register()
+    }
+
+    /// Load `path` under `name`. If the name is already serving, this is
+    /// a hot swap: the pointer flips atomically and the old model is
+    /// retired to the epoch domain. Returns the new generation number.
+    pub fn load(&self, name: &str, path: &std::path::Path) -> Result<u64, ServeError> {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let model = Box::new(Model::from_snapshot_file(name, path, generation)?);
+        let mut names = self.names.write().unwrap_or_else(|e| e.into_inner());
+        let slot = match names.get(name) {
+            Some(&s) => s,
+            None => {
+                let used: Vec<usize> = names.values().copied().collect();
+                let Some(free) = (0..self.slots.len()).find(|s| !used.contains(s)) else {
+                    return Err(ServeError::Model(format!(
+                        "fleet is full ({} models); unload one first",
+                        self.slots.len()
+                    )));
+                };
+                names.insert(name.to_owned(), free);
+                free
+            }
+        };
+        let old = self.slots[slot]
+            .current
+            .swap(Box::into_raw(model), Ordering::SeqCst);
+        drop(names);
+        if !old.is_null() {
+            // SAFETY: `old` was just unlinked from its only published
+            // location; the domain frees it after readers move on.
+            self.domain.retire(unsafe { Box::from_raw(old) });
+        }
+        Ok(generation)
+    }
+
+    /// Unload `name`, retiring its model. Typed error if unknown.
+    pub fn unload(&self, name: &str) -> Result<(), ServeError> {
+        let mut names = self.names.write().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = names.remove(name) else {
+            return Err(ServeError::UnknownModel(name.to_owned()));
+        };
+        let old = self.slots[slot]
+            .current
+            .swap(std::ptr::null_mut(), Ordering::SeqCst);
+        drop(names);
+        if !old.is_null() {
+            // SAFETY: as in `load` — unlinked, ownership moves to the
+            // reclamation domain.
+            self.domain.retire(unsafe { Box::from_raw(old) });
+        }
+        Ok(())
+    }
+
+    /// Resolve a model name to its slot index. Allocation-free: a short
+    /// read lock plus a map lookup by `&str`.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        self.names
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+    }
+
+    /// Read the model in `slot` under an epoch pin. Returns `None` when
+    /// the slot was unloaded between resolve and pin.
+    ///
+    /// The returned reference borrows the pin guard: the model cannot be
+    /// freed while it is alive, which is exactly the epoch contract.
+    pub fn get<'g>(&self, slot: usize, _guard: &'g PinGuard<'_, Model>) -> Option<&'g Model> {
+        let ptr = self.slots[slot].current.load(Ordering::SeqCst);
+        // SAFETY: non-null pointers in a slot always point to a live
+        // model: they are only ever freed through the epoch domain, and
+        // `_guard` pins an epoch at or before this load.
+        unsafe { ptr.as_ref() }
+    }
+
+    /// Convenience for control paths (stats, dim checks): pin, read,
+    /// copy out a small projection of the model.
+    pub fn with_model<R>(
+        &self,
+        reader: &Participant<Model>,
+        name: &str,
+        f: impl FnOnce(&Model) -> R,
+    ) -> Result<R, ServeError> {
+        let slot = self
+            .resolve(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
+        let guard = reader.pin();
+        let model = self
+            .get(slot, &guard)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
+        Ok(f(model))
+    }
+
+    /// Names currently serving, sorted for stable output.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .names
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Retired-but-unfreed model count (test hook).
+    pub fn garbage_len(&self) -> usize {
+        self.domain.garbage_len()
+    }
+
+    /// Force a reclamation pass (tests; writers collect automatically).
+    pub fn collect(&self) {
+        self.domain.collect()
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let ptr = slot.current.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            if !ptr.is_null() {
+                // SAFETY: the fleet is the only owner left — no reader
+                // can hold a pin across the fleet's own drop.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sg_core::hierarchize::hierarchize;
+    use sg_core::level::GridSpec;
+
+    fn snapshot_file(tag: &str, scale: f64) -> std::path::PathBuf {
+        let mut g = CompactGrid::from_fn(GridSpec::new(2, 4), |x| scale * (x[0] + 2.0 * x[1]));
+        hierarchize(&mut g);
+        let path =
+            std::env::temp_dir().join(format!("sg-serve-fleet-{}-{tag}.sgcs", std::process::id()));
+        sg_io::write_snapshot_file(&g, &path, "fleet-test").unwrap();
+        path
+    }
+
+    #[test]
+    fn load_resolve_swap_unload() {
+        let fleet = Fleet::new(4);
+        let reader = fleet.register_reader();
+        let p1 = snapshot_file("a", 1.0);
+        let p2 = snapshot_file("b", 3.0);
+        let g1 = fleet.load("m", &p1).unwrap();
+        let dim = fleet.with_model(&reader, "m", |m| m.dim()).unwrap();
+        assert_eq!(dim, 2);
+        let g2 = fleet.load("m", &p2).unwrap();
+        assert!(g2 > g1);
+        fleet.collect();
+        assert_eq!(fleet.garbage_len(), 0, "no reader pinned: swap frees old");
+        assert!(matches!(
+            fleet.unload("missing"),
+            Err(ServeError::UnknownModel(_))
+        ));
+        fleet.unload("m").unwrap();
+        assert!(fleet.resolve("m").is_none());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn pinned_reader_keeps_the_old_model_alive_across_a_swap() {
+        let fleet = Fleet::new(2);
+        let reader = fleet.register_reader();
+        let p1 = snapshot_file("pin-a", 1.0);
+        let p2 = snapshot_file("pin-b", 2.0);
+        fleet.load("m", &p1).unwrap();
+        let slot = fleet.resolve("m").unwrap();
+        let guard = reader.pin();
+        let old = fleet.get(slot, &guard).unwrap();
+        let old_gen = old.generation;
+        fleet.load("m", &p2).unwrap();
+        // The pinned reference must still be the old, intact model.
+        assert_eq!(old.generation, old_gen);
+        assert_eq!(fleet.garbage_len(), 1);
+        drop(guard);
+        fleet.collect();
+        assert_eq!(fleet.garbage_len(), 0);
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn fleet_capacity_is_enforced() {
+        let fleet = Fleet::new(1);
+        let p1 = snapshot_file("cap-a", 1.0);
+        let p2 = snapshot_file("cap-b", 2.0);
+        fleet.load("a", &p1).unwrap();
+        match fleet.load("b", &p2) {
+            Err(ServeError::Model(m)) => assert!(m.contains("full"), "{m}"),
+            other => panic!("expected fleet-full error, got {other:?}"),
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+}

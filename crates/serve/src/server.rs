@@ -1,0 +1,388 @@
+//! TCP and Unix-socket front ends for the serving engine.
+//!
+//! Each accepted connection gets its own thread and its own preallocated
+//! workspace — frame buffer, response buffer, wire scratch, and one
+//! reusable [`crate::engine::Job`] — so the steady-state request loop
+//! (`read_frame` → decode → submit → wait → encode → `write_frame`)
+//! performs no allocations after warm-up.
+//!
+//! Error discipline follows [`ServeError::is_fatal`]: recoverable
+//! failures (unknown model, overload, bad request, shape mismatch) get a
+//! typed `Error` frame and the connection keeps serving; framing and
+//! transport failures get a best-effort typed reply and the connection
+//! is closed, because the stream position can no longer be trusted.
+
+use crate::engine::{Engine, Job};
+use crate::protocol::{
+    encode_error, encode_eval_resp, parse_eval_req, read_frame, write_frame, FrameKind, ServeError,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[cfg(feature = "telemetry")]
+static CONNECTIONS: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.connections");
+#[cfg(feature = "telemetry")]
+static ERRORS: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.errors");
+#[cfg(feature = "telemetry")]
+static REQUEST_NS: sg_telemetry::Histogram = sg_telemetry::Histogram::new("serve.request.ns");
+
+/// A running `sgd` front end: accept loops over the bound listeners.
+pub struct Server {
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    accepters: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    tcp_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the requested listeners and start accepting. `tcp` is a
+    /// `host:port` string (port 0 picks a free port — the bound address
+    /// is reported by [`Server::tcp_addr`]); `unix` is a socket path
+    /// (any stale file is replaced).
+    pub fn start(
+        engine: Arc<Engine>,
+        tcp: Option<&str>,
+        unix: Option<&Path>,
+    ) -> std::io::Result<Arc<Server>> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut accepters = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            accepters.push(spawn_accepter(
+                "sgd-accept-tcp",
+                listener,
+                Arc::clone(&engine),
+                Arc::clone(&stop),
+                |l: &TcpListener| l.accept().map(|(s, _)| s),
+                |s: TcpStream| {
+                    s.set_nodelay(true).ok();
+                    s
+                },
+            )?);
+        }
+        #[cfg(unix)]
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = unix {
+            std::fs::remove_file(path).ok();
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.to_path_buf());
+            accepters.push(spawn_accepter(
+                "sgd-accept-unix",
+                listener,
+                Arc::clone(&engine),
+                Arc::clone(&stop),
+                |l: &UnixListener| l.accept().map(|(s, _)| s),
+                |s: UnixStream| s,
+            )?);
+        }
+        #[cfg(not(unix))]
+        if unix.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        Ok(Arc::new(Server {
+            engine,
+            stop,
+            accepters: Mutex::new(accepters),
+            tcp_addr,
+            #[cfg(unix)]
+            unix_path,
+        }))
+    }
+
+    /// Address the TCP listener actually bound (if one was requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// True once a `shutdown` control command or [`Server::shutdown`]
+    /// has stopped the accept loops.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested (polling; the accept loops use
+    /// the same flag).
+    pub fn wait(&self) {
+        while !self.is_stopped() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Stop accepting, join the accept loops, and drain the engine.
+    /// Connection threads exit when their peers hang up. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self
+            .accepters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn one nonblocking accept loop; each accepted stream gets a
+/// detached connection thread.
+fn spawn_accepter<L, S>(
+    name: &str,
+    listener: L,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    accept: impl Fn(&L) -> std::io::Result<S> + Send + 'static,
+    tune: impl Fn(S) -> S + Send + 'static,
+) -> std::io::Result<std::thread::JoinHandle<()>>
+where
+    L: Send + 'static,
+    S: Read + Write + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match accept(&listener) {
+                    Ok(stream) => {
+                        let stream = tune(stream);
+                        let engine = Arc::clone(&engine);
+                        let stop = Arc::clone(&stop);
+                        let spawned = std::thread::Builder::new()
+                            .name("sgd-conn".into())
+                            .spawn(move || handle_connection(stream, &engine, &stop));
+                        if spawned.is_err() {
+                            // Out of threads: shed the connection.
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })
+}
+
+/// Per-connection reusable buffers (the connection's half of the
+/// zero-allocation contract; the job is the engine's half).
+struct ConnState {
+    /// Incoming frame payloads (`read_frame` target).
+    frame: Vec<u8>,
+    /// Outgoing frame payloads (eval responses, control replies, errors).
+    payload: Vec<u8>,
+    /// Serialized frame (header + payload) for single-write sends.
+    wire: Vec<u8>,
+}
+
+fn handle_connection(mut stream: impl Read + Write, engine: &Arc<Engine>, stop: &AtomicBool) {
+    tel! {
+        CONNECTIONS.add(1);
+    }
+    let max_frame = engine.config().max_frame;
+    let job = engine.make_job();
+    let mut st = ConnState {
+        frame: Vec::new(),
+        payload: Vec::new(),
+        wire: Vec::new(),
+    };
+    loop {
+        let kind = match read_frame(&mut stream, &mut st.frame, max_frame) {
+            Ok(None) => return,
+            Ok(Some(k)) => k,
+            Err(e) => {
+                // Best-effort typed reply, then close: framing is gone.
+                send_error(&mut stream, &mut st, &e);
+                return;
+            }
+        };
+        let result = match kind {
+            FrameKind::EvalReq => handle_eval(&mut stream, &mut st, engine, &job),
+            FrameKind::CtrlReq => handle_ctrl(&mut stream, &mut st, engine, stop),
+            _ => Err(ServeError::BadFrame(format!(
+                "unexpected {kind:?} frame from a client"
+            ))),
+        };
+        if let Err(e) = result {
+            tel! {
+                ERRORS.add(1);
+            }
+            let fatal = e.is_fatal();
+            send_error(&mut stream, &mut st, &e);
+            if fatal {
+                return;
+            }
+        }
+    }
+}
+
+fn send_error(stream: &mut impl Write, st: &mut ConnState, err: &ServeError) {
+    encode_error(&mut st.payload, err);
+    let _ = write_frame(stream, FrameKind::Error, &st.payload, &mut st.wire);
+}
+
+/// One data-plane request: decode → prepare → submit → wait → reply.
+fn handle_eval(
+    stream: &mut impl Write,
+    st: &mut ConnState,
+    engine: &Arc<Engine>,
+    job: &Arc<Job>,
+) -> Result<(), ServeError> {
+    #[cfg(feature = "telemetry")]
+    let t0 = std::time::Instant::now();
+    let req = parse_eval_req(&st.frame)?;
+    let slot = engine
+        .fleet()
+        .resolve(req.model)
+        .ok_or_else(|| ServeError::UnknownModel(req.model.to_owned()))?;
+    if req.npoints == 0 {
+        return Err(ServeError::BadRequest("request carries zero points".into()));
+    }
+    if req.xs_bytes.len() % 8 != 0 || (req.xs_bytes.len() / 8) % req.npoints != 0 {
+        return Err(ServeError::BadRequest(format!(
+            "{} coordinate bytes do not divide into {} points",
+            req.xs_bytes.len(),
+            req.npoints
+        )));
+    }
+    let dim = req.xs_bytes.len() / 8 / req.npoints;
+    job.recycle();
+    let xs_bytes = req.xs_bytes;
+    engine.prepare(job, slot, dim, |buf| {
+        buf.extend(
+            xs_bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+        );
+    })?;
+    engine.submit(job)?;
+    if let Err(e) = engine.wait(job) {
+        // The executor does not know the name the client used.
+        return Err(match e {
+            ServeError::UnknownModel(_) => ServeError::UnknownModel(req.model.to_owned()),
+            other => other,
+        });
+    }
+    job.with_results(|ys| encode_eval_resp(&mut st.payload, ys));
+    job.recycle();
+    write_frame(stream, FrameKind::EvalResp, &st.payload, &mut st.wire)?;
+    tel! {
+        REQUEST_NS.record(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(())
+}
+
+/// One control-plane request. Control traffic may allocate freely — it
+/// is not on the steady-state path.
+fn handle_ctrl(
+    stream: &mut impl Write,
+    st: &mut ConnState,
+    engine: &Arc<Engine>,
+    stop: &AtomicBool,
+) -> Result<(), ServeError> {
+    let text = std::str::from_utf8(&st.frame)
+        .map_err(|_| ServeError::BadRequest("control frame is not UTF-8".into()))?;
+    let doc = sg_json::parse(text)
+        .map_err(|e| ServeError::BadRequest(format!("control frame is not JSON: {e}")))?;
+    let cmd = doc
+        .get("cmd")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ServeError::BadRequest("control frame lacks a \"cmd\" field".into()))?;
+    let reply = match cmd {
+        "ping" => sg_json::json!({"ok": true, "pong": true}),
+        "load" | "swap" => {
+            let name = str_field(&doc, "name")?;
+            let path = str_field(&doc, "path")?;
+            let generation = engine.fleet().load(name, Path::new(path))?;
+            sg_json::json!({"ok": true, "name": name, "generation": generation})
+        }
+        "unload" => {
+            let name = str_field(&doc, "name")?;
+            engine.fleet().unload(name)?;
+            sg_json::json!({"ok": true, "name": name})
+        }
+        "stats" => stats_reply(engine),
+        "shutdown" => {
+            stop.store(true, Ordering::SeqCst);
+            sg_json::json!({"ok": true, "stopping": true})
+        }
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown control command {other:?}"
+            )))
+        }
+    };
+    st.payload.clear();
+    st.payload.extend_from_slice(reply.to_string().as_bytes());
+    write_frame(stream, FrameKind::CtrlResp, &st.payload, &mut st.wire)
+}
+
+fn str_field<'a>(doc: &'a sg_json::Value, key: &str) -> Result<&'a str, ServeError> {
+    doc.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ServeError::BadRequest(format!("control frame lacks a {key:?} string")))
+}
+
+fn stats_reply(engine: &Arc<Engine>) -> sg_json::Value {
+    let fleet = engine.fleet();
+    let reader = fleet.register_reader();
+    let mut models = Vec::new();
+    for name in fleet.names() {
+        if let Ok(entry) = fleet.with_model(&reader, &name, |m| {
+            sg_json::json!({
+                "name": m.name.clone(),
+                "dim": m.dim() as u64,
+                "points": m.grid.len() as u64,
+                "generation": m.generation,
+                "provenance": m.provenance.clone(),
+            })
+        }) {
+            models.push(entry);
+        }
+    }
+    let mut reply = sg_json::json!({
+        "ok": true,
+        "queue_len": engine.queue_len() as u64,
+        "retired_models": fleet.garbage_len() as u64,
+    });
+    reply.set("models", sg_json::Value::Array(models));
+    tel! {
+        let report = sg_telemetry::snapshot();
+        let mut counters = sg_json::json!({});
+        for (name, value) in report.counters_with_prefix("serve.") {
+            counters.set(name, sg_json::json!(value));
+        }
+        reply.set("counters", counters);
+    }
+    reply
+}

@@ -377,14 +377,33 @@ impl TimeSeries {
 
 /// The process-global flight recorder. Capacity comes from
 /// `SG_FLIGHT_CAPACITY` (frames) at first use, default
-/// [`DEFAULT_FRAMES`].
+/// [`DEFAULT_FRAMES`]. Out-of-range values (the ring needs at least 2
+/// frames) and unparseable values fall back *with a one-line stderr
+/// warning* — an earlier revision clamped silently, so a typo'd knob
+/// quietly recorded a different window than the operator asked for.
 pub fn recorder() -> &'static TimeSeries {
     static RECORDER: OnceLock<TimeSeries> = OnceLock::new();
     RECORDER.get_or_init(|| {
-        let capacity = std::env::var("SG_FLIGHT_CAPACITY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_FRAMES);
+        let capacity = match std::env::var("SG_FLIGHT_CAPACITY") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 2 => n,
+                Ok(n) => {
+                    eprintln!(
+                        "warning: SG_FLIGHT_CAPACITY={n} is invalid: the flight ring \
+                         needs at least 2 frames; clamping to 2"
+                    );
+                    2
+                }
+                Err(_) => {
+                    eprintln!(
+                        "warning: SG_FLIGHT_CAPACITY={v:?} is invalid: not a frame \
+                         count; using the default of {DEFAULT_FRAMES}"
+                    );
+                    DEFAULT_FRAMES
+                }
+            },
+            Err(_) => DEFAULT_FRAMES,
+        };
         TimeSeries::new(capacity)
     })
 }

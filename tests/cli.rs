@@ -674,7 +674,7 @@ fn fuzz_snapshot_faults_writes_schema_complete_report() {
     let violations = sf.get("violations").and_then(|v| v.as_array()).unwrap();
     assert!(violations.is_empty(), "{violations:?}");
     let per_class = sf.get("per_class").and_then(|v| v.as_object()).unwrap();
-    assert_eq!(per_class.len(), 7, "all seven fault classes injected");
+    assert_eq!(per_class.len(), 8, "all eight fault classes injected");
 
     std::fs::remove_file(&json).ok();
 }
