@@ -101,6 +101,7 @@ fn main() -> ExitCode {
         "flight" => cmd_flight(rest),
         "gate" => cmd_gate(rest),
         "divergence" => cmd_divergence(rest),
+        "combine" => cmd_combine(rest),
         "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -191,10 +192,26 @@ const USAGE: &str = "usage:
                   the top-N groups the model explains worst; defaults
                   d=5 level 6, 2048 points, machine nehalem
                   (nehalem | opteron | opteron-aggregate | tiny), top 3)
+  sgtool combine run --dims D --level L [--function NAME]
+                     [--policy recompute|reweight] [--spare-diagonals S]
+                     [--queries K] [--faults N] [--seed-base HEX]
+                     [--out MANIFEST] [--json PATH] [--bench]
+                  (fault-tolerant combination-technique executor: samples
+                  every component grid as an independent task, checkpoints
+                  the set through an SGCM manifest, recovers the run from
+                  the manifest, and cross-validates the combined
+                  interpolant against the direct sparse grid to 1e-9;
+                  --faults injects N seeded faults — the 8 storage classes
+                  plus task panics and dropped-pre-commit components —
+                  and asserts detect-or-recover under both policies;
+                  --bench appends results/BENCH_combine.json)
+  sgtool combine verify MANIFEST
+                  (per-component integrity table of an SGCM component-set
+                  manifest; exit 0 intact, 3 damaged)
   sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
               [--op NAME[,NAME...]] [--shape DxN] [--sched-interleavings K]
-              [--snapshot-faults N] [--inject gp2idx-off-by-one]
-              [--json PATH]
+              [--snapshot-faults N] [--combination-faults N]
+              [--inject gp2idx-off-by-one] [--json PATH]
                   (differential fuzzing: compact vs recursive vs dense
                   oracle, plus the sg-par virtual-scheduler invariant
                   sweep; SG_PROP_SEED overrides the seed base; any
@@ -204,7 +221,12 @@ const USAGE: &str = "usage:
                   interleavings per pool config, 0 snapshot faults;
                   --snapshot-faults injects torn writes, truncation, bit
                   flips, ENOSPC, and header/footer corruption into SGC2
-                  snapshots and asserts detect-or-recover on every one)
+                  snapshots and asserts detect-or-recover on every one;
+                  --combination-faults injects the same storage classes
+                  into combination-executor manifests plus component task
+                  panics and dropped-pre-commit components, asserting
+                  recompute restores bitwise identity and reweight stays
+                  within its reported error bound)
 
 exit codes:
   0 success   2 usage error   3 corrupt or degraded data   4 I/O failure
@@ -441,6 +463,297 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
         Err(CliError::corrupt(format!(
             "{}/{} sections damaged (level groups {lost:?}); \
              `sgtool restore --function NAME` can rebuild them",
+            lost.len(),
+            sections.len()
+        )))
+    }
+}
+
+fn cmd_combine(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_combine_run(&args[1..]),
+        Some("verify") => cmd_combine_verify(&args[1..]),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown combine subcommand: {other} (expected run or verify)"
+        ))),
+        None => Err(CliError::usage(
+            "missing combine subcommand (expected run or verify)",
+        )),
+    }
+}
+
+fn cmd_combine_run(args: &[String]) -> Result<(), CliError> {
+    use sg_combination::{CombinationExecutor, ExecutorConfig, RecoveryPolicy, RunOutcome};
+
+    let d: usize = flag(args, "--dims")
+        .ok_or_else(|| CliError::usage("missing --dims"))?
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad --dims: {e}")))?;
+    let level: usize = flag(args, "--level")
+        .ok_or_else(|| CliError::usage("missing --level"))?
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad --level: {e}")))?;
+    let fname = flag(args, "--function").unwrap_or_else(|| "parabola".into());
+    let f = TestFunction::ALL
+        .iter()
+        .find(|f| f.name() == fname)
+        .ok_or_else(|| CliError::usage(format!("unknown function {fname:?}")))?;
+    let policy = match flag(args, "--policy").as_deref() {
+        None | Some("recompute") => RecoveryPolicy::Recompute,
+        Some("reweight") => RecoveryPolicy::Reweight,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown --policy {other:?} (expected recompute or reweight)"
+            )))
+        }
+    };
+    let spare_diagonals: usize = match flag(args, "--spare-diagonals") {
+        Some(s) => s
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --spare-diagonals: {e}")))?,
+        None => 1,
+    };
+    let queries: usize = match flag(args, "--queries") {
+        Some(s) => s
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --queries: {e}")))?,
+        None => 256,
+    };
+    let faults: u64 = match flag(args, "--faults") {
+        Some(s) => s
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --faults: {e}")))?,
+        None => 0,
+    };
+    let seed_base = parse_u64_flag(args, "--seed-base")?.unwrap_or(0x5EED_C04B);
+    let spec =
+        GridSpec::try_new(d, level).map_err(|e| CliError::usage(format!("bad grid shape: {e}")))?;
+    spec.try_num_points()
+        .map_err(|e| CliError::usage(format!("grid too large: {e}")))?;
+
+    let exec = CombinationExecutor::with_config(
+        spec,
+        ExecutorConfig {
+            policy,
+            spare_diagonals,
+            provenance: format!("sgtool combine v{}", env!("CARGO_PKG_VERSION")),
+        },
+    );
+
+    // Compute → checkpoint → recover, keeping the manifest bytes so the
+    // published artifact is exactly what the run was recovered from.
+    let t0 = std::time::Instant::now();
+    let components = exec
+        .compute_components(|x| f.eval(x))
+        .map_err(|e| CliError::from(format!("component sampling failed: {e}")))?;
+    let compute_secs = t0.elapsed().as_secs_f64();
+    let mut sink = sg_io::MemorySink::new();
+    exec.checkpoint(&components, &mut sink, None)
+        .map_err(|e| CliError::from(format!("cannot checkpoint components: {e}")))?;
+    let bytes = sink
+        .into_published()
+        .ok_or_else(|| CliError::io("checkpoint did not commit".to_string()))?;
+    if let Some(out) = flag(args, "--out") {
+        std::fs::write(&out, &bytes)
+            .map_err(|e| CliError::io(format!("cannot write {out}: {e}")))?;
+        println!(
+            "manifest: {out} ({} bytes, {} components)",
+            bytes.len(),
+            components.len()
+        );
+    }
+    let t1 = std::time::Instant::now();
+    let run = exec
+        .recover_run(&bytes, |x| f.eval(x))
+        .map_err(|e| match e {
+            SgError::Corrupt(_) | SgError::Degraded { .. } => {
+                CliError::corrupt(format!("cannot recover run: {e}"))
+            }
+            SgError::Io(_) => CliError::io(format!("cannot recover run: {e}")),
+            other => CliError::from(format!("cannot recover run: {other}")),
+        })?;
+    let recover_secs = t1.elapsed().as_secs_f64();
+    println!(
+        "combine run: {} d={d} level {level} policy={} — {} tasks ({} spare), outcome {:?}",
+        f.name(),
+        policy.name(),
+        run.tasks,
+        run.spares,
+        run.outcome
+    );
+
+    // Cross-validate against the direct sparse grid interpolant: the
+    // combination identity is exact for interpolation, so the two must
+    // agree to 1e-9 (relative to the surplus scale) at every probe.
+    let t2 = std::time::Instant::now();
+    let mut direct = CompactGrid::try_from_fn_parallel(spec, |x| f.eval(x))
+        .map_err(|e| CliError::usage(format!("cannot build direct grid: {e}")))?;
+    hierarchize_parallel(&mut direct);
+    let scale = direct.values().iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    let xs = sg_core::functions::halton_points(d, queries);
+    let mut max_diff = 0.0f64;
+    for x in xs.chunks_exact(d) {
+        max_diff = max_diff.max((run.grid.evaluate(x) - evaluate(&direct, x)).abs());
+    }
+    let crossval_secs = t2.elapsed().as_secs_f64();
+    let tolerance = 1e-9 * scale;
+    let cross_validated = max_diff <= tolerance;
+    println!(
+        "cross-validation: max |combination − direct| = {max_diff:.3e} over {queries} points \
+         (tolerance {tolerance:.3e}) — {}",
+        if cross_validated { "ok" } else { "FAILED" }
+    );
+
+    // Optional fault-injection sweep with the same executor shape class.
+    let comb_report = if faults > 0 {
+        let r = sg_fuzz::run_combination_faults(seed_base, faults);
+        println!(
+            "faults: {} injected ({} recompute / {} reweight) — {} full, {} partial, \
+             {} clean-error, {} violation(s)",
+            r.cases,
+            r.per_policy.0,
+            r.per_policy.1,
+            r.full_recoveries,
+            r.partial_recoveries,
+            r.clean_errors,
+            r.violations.len()
+        );
+        for v in &r.violations {
+            println!("\n{v}");
+        }
+        Some(r)
+    } else {
+        None
+    };
+
+    if args.iter().any(|a| a == "--bench") {
+        let traj = vec![
+            ("compute_s".to_string(), compute_secs),
+            ("recover_s".to_string(), recover_secs),
+            ("crossval_s".to_string(), crossval_secs),
+        ];
+        if let Err(e) = sg_bench::trajectory::record_run_scalars("combine", &traj) {
+            eprintln!("warning: could not record BENCH_combine.json: {e}");
+        }
+    }
+
+    if let Some(path) = flag(args, "--json") {
+        let mut doc = sg_json::json!({
+            "dims": d as f64,
+            "level": level as f64,
+            "function": f.name(),
+            "policy": policy.name(),
+            "spare_diagonals": spare_diagonals as f64,
+            "tasks": run.tasks as f64,
+            "spares": run.spares as f64,
+            "outcome": match &run.outcome {
+                RunOutcome::Clean => "clean",
+                RunOutcome::Recomputed { .. } => "recomputed",
+                RunOutcome::Reweighted { .. } => "reweighted",
+            },
+            "lost_components": run.lost_components.iter().map(|&k| k as f64).collect::<Vec<_>>(),
+            "manifest_bytes": bytes.len() as f64,
+            "queries": queries as f64,
+            "max_abs_diff": max_diff,
+            "tolerance": tolerance,
+            "cross_validated": cross_validated,
+            "compute_secs": compute_secs,
+            "recover_secs": recover_secs,
+            "crossval_secs": crossval_secs
+        });
+        if let Some(r) = &comb_report {
+            let mut per_class = sg_json::json!({});
+            for (name, count) in &r.per_class {
+                per_class[*name] = sg_json::Value::from(*count as f64);
+            }
+            let mut cf = sg_json::json!({
+                "cases": r.cases as f64,
+                "seed_base": format!("{:#x}", r.seed_base),
+                "recompute_cases": r.per_policy.0 as f64,
+                "reweight_cases": r.per_policy.1 as f64,
+                "full_recoveries": r.full_recoveries as f64,
+                "partial_recoveries": r.partial_recoveries as f64,
+                "clean_errors": r.clean_errors as f64,
+                "violations": r.violations.clone(),
+                "elapsed_secs": r.elapsed_secs
+            });
+            cf["per_class"] = per_class;
+            doc["faults"] = cf;
+        }
+        doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
+        std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
+            .map_err(|e| CliError::io(format!("cannot write combine report to {path}: {e}")))?;
+        println!("report: {path}");
+    }
+
+    if !cross_validated {
+        return Err(CliError::from(format!(
+            "combination deviates from the direct interpolant by {max_diff:.3e} \
+             (tolerance {tolerance:.3e})"
+        )));
+    }
+    if let Some(r) = &comb_report {
+        if !r.clean() {
+            return Err(CliError::from(format!(
+                "{} combination fault-injection violation(s) — see reproducers above",
+                r.violations.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_combine_verify(args: &[String]) -> Result<(), CliError> {
+    let path = *positional(args)
+        .first()
+        .ok_or_else(|| CliError::usage("missing manifest file argument"))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    let (info, sections, used_footer) = sg_io::verify_component_set(&bytes)
+        .map_err(|e| CliError::corrupt(format!("cannot verify {path}: {e}")))?;
+    println!(
+        "{path}: SGCM v{} d={} ({} components, {}, provenance {:?})",
+        info.version,
+        info.dim,
+        info.components.len(),
+        if info.value_type == 0 { "f32" } else { "f64" },
+        info.provenance
+    );
+    if used_footer {
+        println!("warning: leading header corrupt, identity read from footer");
+    }
+    println!(
+        "{:>9} {:>5} {:>14} {:>10} {:>12}  status",
+        "component", "coef", "levels", "points", "offset"
+    );
+    let mut lost = Vec::new();
+    for (s, meta) in sections.iter().zip(&info.components) {
+        let status = match s.status {
+            sg_io::SectionStatus::Intact => "intact",
+            sg_io::SectionStatus::Truncated => "TRUNCATED",
+            sg_io::SectionStatus::BadHeader => "BAD HEADER",
+            sg_io::SectionStatus::ChecksumMismatch => "CHECKSUM MISMATCH",
+        };
+        let levels: Vec<String> = meta.levels.iter().map(|l| l.to_string()).collect();
+        println!(
+            "{:>9} {:>5} {:>14} {:>10} {:>12}  {status}",
+            s.group,
+            meta.coefficient,
+            levels.join(","),
+            s.points,
+            s.offset
+        );
+        if s.status != sg_io::SectionStatus::Intact {
+            lost.push(s.group);
+        }
+    }
+    if lost.is_empty() {
+        println!("all {} components intact", sections.len());
+        Ok(())
+    } else {
+        Err(CliError::corrupt(format!(
+            "{}/{} components damaged ({lost:?}); `sgtool combine run` with the recompute \
+             policy rebuilds them exactly, reweight survives without re-sampling",
             lost.len(),
             sections.len()
         )))
@@ -1170,6 +1483,12 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| format!("bad --snapshot-faults: {e}"))?,
         None => 0,
     };
+    let combination_faults: u64 = match flag(args, "--combination-faults") {
+        Some(n) => n
+            .parse()
+            .map_err(|e| format!("bad --combination-faults: {e}"))?,
+        None => 0,
+    };
 
     // Differential pass.
     let report = sg_fuzz::run_fuzz(&cfg);
@@ -1222,6 +1541,34 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
              {} violation(s)",
             r.cases,
             r.elapsed_secs,
+            r.full_recoveries,
+            r.partial_recoveries,
+            r.clean_errors,
+            r.violations.len()
+        );
+        for (name, count) in &r.per_class {
+            println!("  {name:<24} {count}");
+        }
+        for v in &r.violations {
+            println!("\n{v}");
+        }
+        Some(r)
+    } else {
+        None
+    };
+
+    // Combination-executor fault-injection pass: the storage classes
+    // against the component-set manifest plus task panics and
+    // dropped-pre-commit components, under both recovery policies.
+    let comb_report = if combination_faults > 0 {
+        let r = sg_fuzz::run_combination_faults(cfg.seed_base, combination_faults);
+        println!(
+            "combination-faults: {} injected in {:.2}s ({} recompute / {} reweight) — {} full, \
+             {} partial, {} clean-error, {} violation(s)",
+            r.cases,
+            r.elapsed_secs,
+            r.per_policy.0,
+            r.per_policy.1,
             r.full_recoveries,
             r.partial_recoveries,
             r.clean_errors,
@@ -1291,6 +1638,24 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             sf["per_class"] = per_class;
             doc["snapshot_faults"] = sf;
         }
+        if let Some(r) = &comb_report {
+            let mut per_class = sg_json::json!({});
+            for (name, count) in &r.per_class {
+                per_class[*name] = sg_json::Value::from(*count as f64);
+            }
+            let mut cf = sg_json::json!({
+                "cases": r.cases as f64,
+                "recompute_cases": r.per_policy.0 as f64,
+                "reweight_cases": r.per_policy.1 as f64,
+                "full_recoveries": r.full_recoveries as f64,
+                "partial_recoveries": r.partial_recoveries as f64,
+                "clean_errors": r.clean_errors as f64,
+                "violations": r.violations.clone(),
+                "elapsed_secs": r.elapsed_secs
+            });
+            cf["per_class"] = per_class;
+            doc["combination_faults"] = cf;
+        }
         doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
         std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
             .map_err(|e| format!("cannot write fuzz summary to {path}: {e}"))?;
@@ -1315,6 +1680,14 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
                 if !r.clean() {
                     return Err(CliError::from(format!(
                         "{} snapshot fault-injection violation(s) — see reproducers above",
+                        r.violations.len()
+                    )));
+                }
+            }
+            if let Some(r) = &comb_report {
+                if !r.clean() {
+                    return Err(CliError::from(format!(
+                        "{} combination fault-injection violation(s) — see reproducers above",
                         r.violations.len()
                     )));
                 }

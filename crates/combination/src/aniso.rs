@@ -85,9 +85,40 @@ impl<T: Real> AnisoFullGrid<T> {
         g
     }
 
+    /// Rebuild a grid from a previously stored value array (e.g. a
+    /// checkpoint payload). The values must be in the same row-major
+    /// order [`Self::from_fn`] samples in.
+    ///
+    /// # Panics
+    /// If `values.len()` does not match the point count of `levels`.
+    pub fn from_values(levels: &[Level], values: Vec<T>) -> Self {
+        let mut g = Self::new(levels);
+        assert_eq!(
+            values.len(),
+            g.values.len(),
+            "value array does not match the level vector's point count"
+        );
+        g.values = values;
+        g
+    }
+
     /// The zero-based level vector.
     pub fn levels(&self) -> &[Level] {
         &self.levels
+    }
+
+    /// The stored nodal values in row-major sampling order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Largest absolute nodal value — the grid's interpolant is a
+    /// multilinear blend of nodal values with zero boundary, so this
+    /// bounds `|interpolate(x)|` everywhere.
+    pub fn max_abs(&self) -> f64 {
+        self.values
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.to_f64().abs()))
     }
 
     /// Number of stored values.

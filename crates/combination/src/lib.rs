@@ -21,9 +21,26 @@
 //! independent cross-validation of the direct implementation in
 //! `sg-core`.
 
+/// Statement/item gate for instrumentation: compiled verbatim with the
+/// `telemetry` feature, compiled away without it (see `sg_core`'s twin).
+#[cfg(feature = "telemetry")]
+macro_rules! tel {
+    ($($t:tt)*) => { $($t)* };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! tel {
+    ($($t:tt)*) => {};
+}
+
 pub mod aniso;
+pub mod executor;
+pub mod reweight;
 
 pub use aniso::AnisoFullGrid;
+pub use executor::{
+    CombinationExecutor, ExecutorConfig, ExecutorRun, InjectedFaults, RecoveryPolicy, RunOutcome,
+};
+pub use reweight::{downset_coefficients, solve_reweight, ReweightPlan};
 
 use sg_core::combinatorics::binomial;
 use sg_core::iter::for_each_level;
@@ -67,6 +84,22 @@ impl<T: Real> CombinationGrid<T> {
             coefficient: *coefficient,
             grid: AnisoFullGrid::from_fn(levels, &f),
         });
+        Self { spec, components }
+    }
+
+    /// Assemble a combination from explicit components (e.g. recovered
+    /// checkpoint payloads or a re-weighted scheme). The component order
+    /// is preserved — evaluation sums in component order, so two grids
+    /// with identical components in identical order evaluate bitwise
+    /// identically.
+    pub fn from_components(spec: GridSpec, components: Vec<Component<T>>) -> Self {
+        for c in &components {
+            assert_eq!(
+                c.grid.levels().len(),
+                spec.dim(),
+                "component dimensionality mismatch"
+            );
+        }
         Self { spec, components }
     }
 
@@ -141,6 +174,36 @@ mod tests {
                     .sum();
                 assert_eq!(total, 1, "d={d} levels={levels}");
             }
+        }
+    }
+
+    #[test]
+    fn scheme_degenerate_downset_d1() {
+        // d = 1: a single diagonal (q only reaches 0), one component per
+        // level sum — the downset is a chain and the combination is the
+        // full grid itself. Coefficient sum pinned to 1.
+        for levels in 1..=6 {
+            let spec = GridSpec::new(1, levels);
+            let scheme = CombinationGrid::<f64>::scheme(spec);
+            assert_eq!(scheme.len(), 1, "levels={levels}");
+            assert_eq!(scheme[0].0, 1, "levels={levels}");
+            assert_eq!(scheme[0].1, vec![spec.max_sum() as Level]);
+        }
+    }
+
+    #[test]
+    fn scheme_degenerate_downset_n0() {
+        // n = 0 (refinement level 1): the downset is the origin alone in
+        // every dimension — q is clamped by `min(n)`, exactly one
+        // component, coefficient exactly 1.
+        for d in 1..=6 {
+            let spec = GridSpec::new(d, 1);
+            let scheme = CombinationGrid::<f64>::scheme(spec);
+            assert_eq!(scheme.len(), 1, "d={d}");
+            assert_eq!(scheme[0].0, 1, "d={d}");
+            assert_eq!(scheme[0].1, vec![0 as Level; d]);
+            let total: i64 = scheme.iter().map(|(c, _)| *c).sum();
+            assert_eq!(total, 1, "d={d}");
         }
     }
 

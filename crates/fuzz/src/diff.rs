@@ -12,7 +12,7 @@
 //! | roundtrip       | hierarchize∘dehierarchize | parallel variants        | original nodal values            |
 //! | boundary        | `BoundaryGrid`            | in-repo brute basis sum  | size formula (paper §4.4)        |
 //! | adaptive        | tree-walk evaluate        | brute surplus sum        | regular-grid compact equivalence |
-//! | combination     | inclusion–exclusion       | direct sparse grid       | coefficient identity             |
+//! | combination     | inclusion–exclusion       | direct + recursive       | coefficient identity, kernels    |
 //! | domain-reject   | compact `evaluate`        | recursive `evaluate`     | — (both must reject)             |
 //!
 //! The compact operations additionally carry a **tier D**: the same
@@ -810,10 +810,21 @@ fn combination_diff(case: &Case) -> Result<(), Failure> {
     let combi = CombinationGrid::<f64>::from_fn(spec, |x| f.eval(x));
     let mut direct = CompactGrid::from_fn(spec, |x| f.eval(x));
     hierarchize(&mut direct);
+    let mut store = StdMapGrid::<f64>::new(spec);
+    store.fill_from(|x| f.eval(x));
+    hierarchize_recursive(&mut store);
     let scale = max_abs(direct.values());
 
     let xs = query_points(&mut qrng, &spec, 12);
     let batch = combi.evaluate_batch_parallel(&xs);
+    // Tier D: the direct interpolant under both forced kernels — the
+    // combination identity must hold against each, and each forced run
+    // must be bitwise identical to auto dispatch.
+    let forced = forced_kernel_tiers(|| {
+        xs.chunks_exact(d)
+            .map(|x| evaluate(&direct, x))
+            .collect::<Vec<f64>>()
+    });
     for (q, x) in xs.chunks_exact(d).enumerate() {
         if !compares(case, q) {
             continue;
@@ -827,6 +838,28 @@ fn combination_diff(case: &Case) -> Result<(), Failure> {
                 d,
                 n,
             ));
+        }
+        let r = evaluate_recursive(&store, x);
+        if !close(a, r, scale) {
+            return Err(Failure::new(
+                format!("query {q} at {x:?}: combination={a} recursive-baseline={r}"),
+                Some(q),
+                d,
+                n,
+            ));
+        }
+        for (kind, got) in &forced {
+            if got[q].to_bits() != b.to_bits() {
+                return Err(Failure::new(
+                    format!(
+                        "query {q}: direct auto={b:?} forced-{kind:?}={:?} while combination={a}",
+                        got[q]
+                    ),
+                    Some(q),
+                    d,
+                    n,
+                ));
+            }
         }
         if a.to_bits() != batch[q].to_bits() {
             return Err(Failure::new(

@@ -26,12 +26,14 @@ use std::panic;
 use std::sync::Once;
 use std::time::Instant;
 
+pub mod combfault;
 pub mod diff;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 pub mod snapfault;
 
+pub use combfault::{run_combination_faults, CombFaultClass, CombFaultReport};
 pub use diff::{Case, Failure, Injection, Op};
 pub use shrink::Shrunk;
 pub use snapfault::{run_snapshot_faults, FaultClass, FaultOutcome, SnapFaultReport};
@@ -40,22 +42,49 @@ thread_local! {
     static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Run `f` with expected panics silenced on this thread (the
-/// domain-reject differential intentionally triggers assertion panics
-/// in both tiers; their backtraces would drown real output).
-pub(crate) fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+/// Process-wide twin of the thread-local flag: injected *task* panics in
+/// the combination fault harness unwind on `sg-par` pool workers, whose
+/// threads never pass through [`with_quiet_panics`].
+static QUIET_PANICS_GLOBAL: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Install (once) the hook that drops expected-panic output when either
+/// the calling thread or the whole process asked for quiet.
+fn install_quiet_hook() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if !QUIET_PANICS.with(Cell::get) {
+            let quiet = QUIET_PANICS.with(Cell::get)
+                || QUIET_PANICS_GLOBAL.load(std::sync::atomic::Ordering::Relaxed);
+            if !quiet {
                 prev(info);
             }
         }));
     });
+}
+
+/// Run `f` with expected panics silenced on this thread (the
+/// domain-reject differential intentionally triggers assertion panics
+/// in both tiers; their backtraces would drown real output).
+pub(crate) fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_hook();
     QUIET_PANICS.with(|c| c.set(true));
     let r = f();
     QUIET_PANICS.with(|c| c.set(false));
+    r
+}
+
+/// Run `f` with expected panics silenced on *every* thread — used by the
+/// combination fault harness, whose injected task panics unwind inside
+/// pool workers. The blast radius is accepted: during a fault-injection
+/// run, any panic is either injected or caught and converted into a
+/// violation report.
+pub(crate) fn with_quiet_panics_global<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_hook();
+    QUIET_PANICS_GLOBAL.store(true, std::sync::atomic::Ordering::Relaxed);
+    let r = f();
+    QUIET_PANICS_GLOBAL.store(false, std::sync::atomic::Ordering::Relaxed);
     r
 }
 

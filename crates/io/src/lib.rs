@@ -56,8 +56,13 @@ tel! {
         sg_telemetry::Histogram::new("io.decode_ns");
 }
 
+pub mod manifest;
 pub mod snapshot;
 
+pub use manifest::{
+    component_boundaries, recover_component_set, verify_component_set, write_component_set,
+    ComponentMeta, ComponentSetInfo, ComponentSetRecovery, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 pub use snapshot::{
     crc64, encode_snapshot, read_snapshot, read_snapshot_file, recover_snapshot,
     section_boundaries, verify_snapshot, write_snapshot, write_snapshot_file, DegradedGrid,

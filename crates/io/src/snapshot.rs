@@ -93,11 +93,11 @@ pub const SECTION_MARKER: [u8; 4] = *b"SGSC";
 /// Fixed header bytes before the provenance stamp.
 const HEADER_FIXED: usize = 32;
 /// Fixed section bytes before the payload (marker + group + length).
-const SECTION_FIXED: usize = 16;
+pub(crate) const SECTION_FIXED: usize = 16;
 /// Bytes of the section checksum.
-const SECTION_CRC: usize = 8;
+pub(crate) const SECTION_CRC: usize = 8;
 /// Trailer: footer length (u64) + trailer magic.
-const TRAILER_LEN: usize = 12;
+pub(crate) const TRAILER_LEN: usize = 12;
 /// Upper bound on the provenance stamp, so a corrupt length field cannot
 /// drive a huge read.
 pub const MAX_PROVENANCE: usize = 4096;
@@ -494,7 +494,7 @@ fn parse_footer(bytes: &[u8]) -> Option<(SnapshotInfo, usize)> {
     (parsed_len == flen).then_some((info, parsed_len))
 }
 
-fn type_tag<T: Real>() -> u8 {
+pub(crate) fn type_tag<T: Real>() -> u8 {
     match T::size_bytes() {
         4 => 0,
         _ => 1,
@@ -505,7 +505,7 @@ fn type_tag<T: Real>() -> u8 {
 // Writing
 // ---------------------------------------------------------------------------
 
-fn encode_section<T: Real>(group: usize, values: &[T]) -> Vec<u8> {
+pub(crate) fn encode_section<T: Real>(group: usize, values: &[T]) -> Vec<u8> {
     let payload_len = values.len() * T::size_bytes();
     let mut buf = Vec::with_capacity(SECTION_FIXED + payload_len + SECTION_CRC);
     buf.extend_from_slice(&SECTION_MARKER);
@@ -826,7 +826,12 @@ pub fn recover_snapshot<T: Real>(bytes: &[u8]) -> Result<Recovery<T>, SgError> {
     })
 }
 
-fn verify_section(bytes: &[u8], offset: usize, group: usize, payload_len: usize) -> SectionStatus {
+pub(crate) fn verify_section(
+    bytes: &[u8],
+    offset: usize,
+    group: usize,
+    payload_len: usize,
+) -> SectionStatus {
     let section_len = SECTION_FIXED + payload_len + SECTION_CRC;
     let Some(b) = bytes.get(offset..offset + section_len) else {
         return SectionStatus::Truncated;
@@ -846,7 +851,7 @@ fn verify_section(bytes: &[u8], offset: usize, group: usize, payload_len: usize)
     SectionStatus::Intact
 }
 
-fn decode_payload<T: Real>(payload: &[u8], out: &mut [T]) {
+pub(crate) fn decode_payload<T: Real>(payload: &[u8], out: &mut [T]) {
     let w = T::size_bytes();
     debug_assert_eq!(payload.len(), out.len() * w);
     for (k, v) in out.iter_mut().enumerate() {

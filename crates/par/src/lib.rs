@@ -534,6 +534,24 @@ where
     par_map_indexed(items.len(), |k| f(&items[k]))
 }
 
+/// Ordered parallel map over a slice that hands each call the item's
+/// index alongside the item, under a named region — the task-scheduling
+/// entry point for callers (like the combination executor) that key
+/// results and fault reports by task index rather than by arrival order.
+pub fn par_map_enumerated_labeled<T, R, F>(items: &[T], label: &'static str, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_labeled(
+        items.len(),
+        label,
+        Some(("tasks", items.len() as u64)),
+        |k| f(k, &items[k]),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

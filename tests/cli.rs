@@ -679,6 +679,161 @@ fn fuzz_snapshot_faults_writes_schema_complete_report() {
     std::fs::remove_file(&json).ok();
 }
 
+#[test]
+fn fuzz_combination_faults_writes_schema_complete_report() {
+    let json = temp_path("combfault.json");
+    let j = json.to_str().unwrap();
+    let o = sgtool(&[
+        "fuzz",
+        "--budget-cases",
+        "0",
+        "--sched-interleavings",
+        "0",
+        "--combination-faults",
+        "30",
+        "--json",
+        j,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("combination-faults: 30 injected"));
+
+    let doc = sg_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let cf = doc
+        .get("combination_faults")
+        .expect("combination_faults section");
+    assert_eq!(cf.get("cases").and_then(|v| v.as_f64()), Some(30.0));
+    let full = cf.get("full_recoveries").and_then(|v| v.as_f64()).unwrap();
+    let partial = cf
+        .get("partial_recoveries")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let clean = cf.get("clean_errors").and_then(|v| v.as_f64()).unwrap();
+    assert_eq!(full + partial + clean, 30.0, "every fault accounted for");
+    let recompute = cf.get("recompute_cases").and_then(|v| v.as_f64()).unwrap();
+    let reweight = cf.get("reweight_cases").and_then(|v| v.as_f64()).unwrap();
+    assert_eq!(recompute + reweight, 30.0, "every case has a policy");
+    assert!(recompute > 0.0 && reweight > 0.0, "both policies exercised");
+    let violations = cf.get("violations").and_then(|v| v.as_array()).unwrap();
+    assert!(violations.is_empty(), "{violations:?}");
+    let per_class = cf.get("per_class").and_then(|v| v.as_object()).unwrap();
+    assert_eq!(
+        per_class.len(),
+        10,
+        "8 storage classes + task-panic + dropped-pre-commit"
+    );
+
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn combine_run_cross_validates_and_verify_reads_the_manifest() {
+    let manifest = temp_path("combine.sgcm");
+    let json = temp_path("combine.json");
+    let m = manifest.to_str().unwrap();
+    let j = json.to_str().unwrap();
+
+    // Clean run under each policy: cross-validation passes, the JSON
+    // report is schema-complete, and the published manifest verifies.
+    for policy in ["recompute", "reweight"] {
+        let o = sgtool(&[
+            "combine",
+            "run",
+            "--dims",
+            "3",
+            "--level",
+            "4",
+            "--function",
+            "sine-product",
+            "--policy",
+            policy,
+            "--queries",
+            "64",
+            "--out",
+            m,
+            "--json",
+            j,
+        ]);
+        assert_eq!(exit_code(&o), 0, "policy={policy}: {}", stderr(&o));
+        let out = stdout(&o);
+        assert!(out.contains("outcome Clean"), "{out}");
+        assert!(out.contains("cross-validation"), "{out}");
+        assert!(out.contains("— ok"), "{out}");
+
+        let doc = sg_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("cross_validated").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("policy").and_then(|v| v.as_str()),
+            Some(policy),
+            "policy stamped into the report"
+        );
+        assert_eq!(doc.get("outcome").and_then(|v| v.as_str()), Some("clean"));
+        let diff = doc.get("max_abs_diff").and_then(|v| v.as_f64()).unwrap();
+        let tol = doc.get("tolerance").and_then(|v| v.as_f64()).unwrap();
+        assert!(diff <= tol, "{diff} > {tol}");
+        assert!(doc.get("provenance").is_some(), "report carries provenance");
+
+        let o = sgtool(&["combine", "verify", m]);
+        assert_eq!(exit_code(&o), 0, "{}", stderr(&o));
+        assert!(stdout(&o).contains("components intact"), "{}", stdout(&o));
+    }
+
+    // Injected faults under the default policy mix stay violation-free.
+    let o = sgtool(&[
+        "combine",
+        "run",
+        "--dims",
+        "2",
+        "--level",
+        "3",
+        "--faults",
+        "20",
+        "--seed-base",
+        "0xC0FFEE",
+        "--json",
+        j,
+    ]);
+    assert_eq!(exit_code(&o), 0, "{}", stderr(&o));
+    assert!(stdout(&o).contains("faults: 20 injected"), "{}", stdout(&o));
+    let doc = sg_json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let faults = doc.get("faults").expect("faults section");
+    assert_eq!(faults.get("cases").and_then(|v| v.as_f64()), Some(20.0));
+    assert_eq!(
+        faults.get("seed_base").and_then(|v| v.as_str()),
+        Some("0xc0ffee")
+    );
+
+    // A damaged manifest is corrupt data (3) with the lost components
+    // named; a missing one is an I/O failure (4); bad flags are usage
+    // errors (2).
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let n = bytes.len();
+    bytes[n / 2] ^= 0x10;
+    std::fs::write(&manifest, &bytes).unwrap();
+    let o = sgtool(&["combine", "verify", m]);
+    assert_eq!(exit_code(&o), 3, "{}", stderr(&o));
+    assert!(stderr(&o).contains("damaged"), "{}", stderr(&o));
+
+    assert_eq!(
+        exit_code(&sgtool(&["combine", "verify", "/nonexistent"])),
+        4
+    );
+    assert_eq!(exit_code(&sgtool(&["combine"])), 2);
+    assert_eq!(exit_code(&sgtool(&["combine", "frobnicate"])), 2);
+    assert_eq!(exit_code(&sgtool(&["combine", "run", "--level", "3"])), 2);
+    assert_eq!(
+        exit_code(&sgtool(&[
+            "combine", "run", "--dims", "2", "--level", "3", "--policy", "hope"
+        ])),
+        2
+    );
+
+    std::fs::remove_file(&manifest).ok();
+    std::fs::remove_file(&json).ok();
+}
+
 /// Write a BENCH trajectory file with `n` runs of the given p50s, in the
 /// exact shape `sg_bench::trajectory::record_run` produces.
 fn write_trajectory(dir: &std::path::Path, name: &str, p50s: &[f64]) {
