@@ -7,13 +7,22 @@
 //!
 //! Serves a fleet of SGC2 snapshot models over the length-prefixed
 //! `sg-serve` protocol: binary f64 frames on the data plane, sg-json on
-//! the control plane (`load` / `swap` / `unload` / `stats` / `ping` /
-//! `shutdown`). Models hot-swap under load without blocking in-flight
-//! requests. `--listen 127.0.0.1:0` picks a free port and prints it.
+//! the control plane (`load` / `swap` / `unload` / `repair` / `stats` /
+//! `ping` / `shutdown`). Models hot-swap under load without blocking
+//! in-flight requests. `--listen 127.0.0.1:0` picks a free port and
+//! prints it.
+//!
+//! SIGTERM, SIGINT, or a control-plane `shutdown` all trigger the same
+//! two-phase drain: admissions stop (new work gets a typed
+//! `shutting_down`), every already-accepted job finishes and flushes,
+//! then the process exits 0. A drain that overruns `SGD_DRAIN_TIMEOUT_MS`
+//! is forced and exits 1 so supervisors can tell the difference.
 
 use sg_serve::{Engine, Fleet, ServeConfig, Server};
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 const USAGE: &str = "\
 sgd — sparse-grid evaluation daemon
@@ -35,8 +44,12 @@ At least one of --listen / --unix is required.
 WIRE FORMAT (one frame = [kind: u8][len: u32 LE][payload]):
     0x01 CtrlReq    sg-json object, e.g. {\"cmd\":\"stats\"}
     0x02 CtrlResp   sg-json object, {\"ok\":true,...}
-    0x10 EvalReq    [name_len u16 LE][name][npoints u32 LE][xs f64 LE]
-    0x11 EvalResp   [npoints u32 LE][ys f64 LE]
+    0x10 EvalReq    [name_len u16 LE][name][deadline_ms u32 LE]
+                    [npoints u32 LE][xs f64 LE]
+                    (deadline_ms 0 = none; a request still queued when
+                    its deadline passes gets a typed deadline_exceeded)
+    0x11 EvalResp   [flags u8][npoints u32 LE][ys f64 LE]
+                    (flags bit 0 = served by a degraded model)
     0x1F Error      sg-json {\"error\":\"<code>\",\"message\":\"...\"}
 
 ENVIRONMENT:
@@ -48,11 +61,55 @@ ENVIRONMENT:
                           (default 2048)
     SGD_MAX_FRAME         max frame payload bytes (default 16777216)
     SGD_MAX_MODELS        fleet capacity (default 64)
+    SGD_IO_TIMEOUT_MS     per-connection read/write stall limit, both
+                          sides of the wire (default 30000, min 10)
+    SGD_IDLE_TIMEOUT_MS   idle connections are reaped after this long
+                          between frames (default 300000, min 10)
+    SGD_DRAIN_TIMEOUT_MS  graceful-drain budget on SIGTERM/SIGINT/
+                          shutdown before the stop is forced
+                          (default 10000, min 1)
     SG_KERNEL             evaluation kernel: auto|scalar|avx2|neon
     SG_PAR_THREADS        sg-par pool width
 
+SHUTDOWN:
+    SIGTERM / SIGINT / ctrl {\"cmd\":\"shutdown\"} stop admissions
+    (typed shutting_down), finish and flush every accepted job, then
+    exit 0. A drain that exceeds SGD_DRAIN_TIMEOUT_MS is forced and
+    exits 1.
+
 EXIT CODES:
-    0 clean shutdown   2 usage   3 bad snapshot   4 bind/socket error";
+    0 clean shutdown   1 forced drain   2 usage   3 bad snapshot
+    4 bind/socket error";
+
+/// Set by the SIGTERM/SIGINT handler; polled by the main wait loop.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM/SIGINT handlers without a libc crate: `signal(2)` is
+/// in every libc the toolchain links anyway. An async-signal-safe
+/// handler that only stores an atomic is all we need — the drain itself
+/// runs on the main thread.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SAFETY: `on_signal` is async-signal-safe (one atomic store) and
+    // has the `extern "C" fn(i32)` ABI signal(2) expects.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -102,6 +159,7 @@ fn main() -> ExitCode {
     }
 
     let cfg = ServeConfig::from_env();
+    let drain_limit = Duration::from_millis(cfg.drain_timeout_ms as u64);
     let fleet = Fleet::new(cfg.max_models);
     for (name, path) in &loads {
         match fleet.load(name, std::path::Path::new(path)) {
@@ -135,11 +193,20 @@ fn main() -> ExitCode {
         println!("sgd: listening on unix://{path}");
     }
     std::io::stdout().flush().ok();
+    install_signal_handlers();
 
-    server.wait();
-    server.shutdown();
-    eprintln!("sgd: shut down cleanly");
-    ExitCode::SUCCESS
+    // Park until a signal arrives or the control plane starts a drain.
+    while !SIGNALED.load(Ordering::SeqCst) && !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("sgd: draining (budget {}ms)", drain_limit.as_millis());
+    if server.drain(drain_limit) {
+        eprintln!("sgd: drained cleanly");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sgd: drain deadline exceeded; stop was forced");
+        ExitCode::FAILURE
+    }
 }
 
 fn usage_error(msg: &str) -> ExitCode {

@@ -211,7 +211,7 @@ const USAGE: &str = "usage:
   sgtool fuzz [--budget-cases N] [--budget-secs S] [--seed-base HEX]
               [--op NAME[,NAME...]] [--shape DxN] [--sched-interleavings K]
               [--snapshot-faults N] [--combination-faults N]
-              [--inject gp2idx-off-by-one] [--json PATH]
+              [--serve-chaos N] [--inject gp2idx-off-by-one] [--json PATH]
                   (differential fuzzing: compact vs recursive vs dense
                   oracle, plus the sg-par virtual-scheduler invariant
                   sweep; SG_PROP_SEED overrides the seed base; any
@@ -226,7 +226,15 @@ const USAGE: &str = "usage:
                   into combination-executor manifests plus component task
                   panics and dropped-pre-commit components, asserting
                   recompute restores bitwise identity and reweight stays
-                  within its reported error bound)
+                  within its reported error bound;
+                  --serve-chaos starts a live sgd daemon on loopback and
+                  injects N network faults — torn frames, mid-response
+                  disconnects, stalls, corrupted request bytes, connection
+                  refusals, delayed bytes, random/truncated/oversized byte
+                  streams — asserting every one either recovers bitwise
+                  via client retry or surfaces as a typed error, with the
+                  daemon healthy after each and draining cleanly at the
+                  end)
 
 exit codes:
   0 success   2 usage error   3 corrupt or degraded data   4 I/O failure
@@ -1489,6 +1497,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| format!("bad --combination-faults: {e}"))?,
         None => 0,
     };
+    let serve_chaos: u64 = match flag(args, "--serve-chaos") {
+        Some(n) => n.parse().map_err(|e| format!("bad --serve-chaos: {e}"))?,
+        None => 0,
+    };
 
     // Differential pass.
     let report = sg_fuzz::run_fuzz(&cfg);
@@ -1585,6 +1597,32 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
         None
     };
 
+    // Serving-layer chaos pass: network faults through a seeded proxy
+    // against a live daemon; every fault must recover bitwise via the
+    // client's retry machinery or surface as a typed wire error.
+    let chaos_report = if serve_chaos > 0 {
+        let r = sg_fuzz::run_serve_chaos(cfg.seed_base, serve_chaos);
+        println!(
+            "serve-chaos: {} injected in {:.2}s — {} recovered ({} retries), {} clean-error, \
+             {} violation(s)",
+            r.cases,
+            r.elapsed_secs,
+            r.recoveries,
+            r.retries,
+            r.clean_errors,
+            r.violations.len()
+        );
+        for (name, count) in &r.per_class {
+            println!("  {name:<24} {count}");
+        }
+        for v in &r.violations {
+            println!("\n{v}");
+        }
+        Some(r)
+    } else {
+        None
+    };
+
     // JSON summary (CI artifact, same provenance story as profile).
     if let Some(path) = flag(args, "--json") {
         let mut doc = sg_json::json!({
@@ -1656,6 +1694,22 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             cf["per_class"] = per_class;
             doc["combination_faults"] = cf;
         }
+        if let Some(r) = &chaos_report {
+            let mut per_class = sg_json::json!({});
+            for (name, count) in &r.per_class {
+                per_class[*name] = sg_json::Value::from(*count as f64);
+            }
+            let mut sc = sg_json::json!({
+                "cases": r.cases as f64,
+                "recoveries": r.recoveries as f64,
+                "clean_errors": r.clean_errors as f64,
+                "retries": r.retries as f64,
+                "violations": r.violations.clone(),
+                "elapsed_secs": r.elapsed_secs
+            });
+            sc["per_class"] = per_class;
+            doc["serve_chaos"] = sc;
+        }
         doc["provenance"] = sg_telemetry::provenance(&["telemetry"]);
         std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
             .map_err(|e| format!("cannot write fuzz summary to {path}: {e}"))?;
@@ -1688,6 +1742,14 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
                 if !r.clean() {
                     return Err(CliError::from(format!(
                         "{} combination fault-injection violation(s) — see reproducers above",
+                        r.violations.len()
+                    )));
+                }
+            }
+            if let Some(r) = &chaos_report {
+                if !r.clean() {
+                    return Err(CliError::from(format!(
+                        "{} serve-chaos violation(s) — see reproducers above",
                         r.violations.len()
                     )));
                 }

@@ -13,8 +13,14 @@
 //! between two snapshot generations every N ms for the whole run —
 //! served answers must keep flowing with zero failures throughout.
 //!
+//! Requests ride the client's jittered-exponential-backoff retry
+//! machinery (overload, timeouts, transient I/O), so the recorded
+//! retry/timeout/reconnect/backoff counts measure the daemon's
+//! resilience envelope, not just its happy path.
+//!
 //! Results land in `results/BENCH_serve.json` (latency distribution,
-//! throughput, overload retries, swap count) for `sgtool gate serve`.
+//! throughput, retry/timeout/backoff/degraded counts, swap count) for
+//! `sgtool gate serve`.
 //!
 //! Usage: `serve_load [--connect HOST:PORT] [--models 4] [--rate 1000]
 //!         [--duration-ms 2000] [--conns 4] [--points 8] [--dims 3]
@@ -25,7 +31,7 @@ use sg_bench::Args;
 use sg_core::grid::CompactGrid;
 use sg_core::hierarchize::hierarchize;
 use sg_core::level::GridSpec;
-use sg_serve::{Client, Engine, Fleet, ServeConfig, Server};
+use sg_serve::{Client, Engine, Fleet, RetryPolicy, RetryStats, ServeConfig, Server};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -117,7 +123,7 @@ fn main() {
     let total = rate * duration_ms / 1000;
     let cdf = zipf_cdf(models, zipf_s);
     let failures = Arc::new(AtomicU64::new(0));
-    let retries = Arc::new(AtomicU64::new(0));
+    let degraded_serves = Arc::new(AtomicU64::new(0));
     let stop_swapper = Arc::new(AtomicBool::new(false));
     let start = Instant::now() + Duration::from_millis(50);
 
@@ -145,9 +151,19 @@ fn main() {
         let addr = addr.clone();
         let cdf = cdf.clone();
         let failures = Arc::clone(&failures);
-        let retries = Arc::clone(&retries);
+        let degraded_serves = Arc::clone(&degraded_serves);
         workers.push(std::thread::spawn(move || {
             let mut client = Client::connect_tcp(&addr).expect("worker connect");
+            // Overload shedding and transient transport trouble are
+            // absorbed by the client's jittered exponential backoff; a
+            // generous budget keeps an open-loop burst from turning
+            // admission-control pushback into lost requests.
+            client.set_retry_policy(Some(RetryPolicy {
+                budget: 50,
+                base: Duration::from_micros(200),
+                max: Duration::from_millis(5),
+                seed: 0xB10C_10AD ^ (c as u64),
+            }));
             let mut rng = 0x9E3779B97F4A7C15u64 ^ (c as u64) << 32;
             let mut xs = Vec::with_capacity(points * dims);
             let mut out = Vec::with_capacity(points);
@@ -170,36 +186,33 @@ fn main() {
                 for _ in 0..points * dims {
                     xs.push(unit_f64(&mut rng));
                 }
-                let mut attempts = 0;
-                loop {
-                    match client.eval_into(&name, dims, &xs, &mut out) {
-                        Ok(()) => {
-                            latencies.push(scheduled.elapsed().as_secs_f64());
-                            break;
+                match client.eval_into(&name, dims, &xs, &mut out) {
+                    Ok(degraded) => {
+                        latencies.push(scheduled.elapsed().as_secs_f64());
+                        if degraded {
+                            degraded_serves.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(sg_serve::ServeError::Overloaded) if attempts < 50 => {
-                            // Admission control shed us; retry after a
-                            // short backoff — the request is not lost.
-                            attempts += 1;
-                            retries.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(Duration::from_micros(200));
-                        }
-                        Err(e) => {
-                            eprintln!("serve_load: request {i} failed: {e}");
-                            failures.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
+                    }
+                    Err(e) => {
+                        eprintln!("serve_load: request {i} failed: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 i += conns;
             }
-            latencies
+            (latencies, client.retry_stats())
         }));
     }
 
     let mut latencies = Vec::with_capacity(total);
+    let mut retry = RetryStats::default();
     for w in workers {
-        latencies.extend(w.join().expect("worker panicked"));
+        let (lats, stats) = w.join().expect("worker panicked");
+        latencies.extend(lats);
+        retry.retries += stats.retries;
+        retry.timeouts += stats.timeouts;
+        retry.reconnects += stats.reconnects;
+        retry.backoff_ms += stats.backoff_ms;
     }
     stop_swapper.store(true, Ordering::Relaxed);
     let swaps = swapper
@@ -208,11 +221,15 @@ fn main() {
     let wall = start.elapsed().as_secs_f64();
 
     let failed = failures.load(Ordering::Relaxed);
-    let retried = retries.load(Ordering::Relaxed);
+    let retried = retry.retries;
+    let degraded = degraded_serves.load(Ordering::Relaxed);
     let throughput = latencies.len() as f64 / wall;
 
     if let Some(server) = server {
-        server.shutdown();
+        // End-of-run drain exercises the same two-phase stop as SIGTERM.
+        if !server.drain(Duration::from_secs(10)) {
+            eprintln!("serve_load: warning: in-process server drain was forced");
+        }
     }
     for p in snaps_a.iter().chain(std::iter::once(&snap_b)) {
         std::fs::remove_file(p).ok();
@@ -225,6 +242,10 @@ fn main() {
     for (name, v) in [
         ("throughput_rps", throughput),
         ("overload_retries", retried as f64),
+        ("timeouts", retry.timeouts as f64),
+        ("reconnects", retry.reconnects as f64),
+        ("backoff_ms", retry.backoff_ms as f64),
+        ("degraded_serves", degraded as f64),
         ("swaps", swaps as f64),
     ] {
         if let Some(stats) = MetricStats::from_samples(&[v]) {
@@ -239,6 +260,10 @@ fn main() {
         models
     );
     println!("overload retries: {retried}, hot swaps: {swaps}");
+    println!(
+        "timeouts: {}, reconnects: {}, backoff: {}ms, degraded serves: {degraded}",
+        retry.timeouts, retry.reconnects, retry.backoff_ms
+    );
     println!("failed requests: {failed}");
     println!("recorded {}", out_path.display());
     if failed > 0 || latencies.len() as u64 + failed < total as u64 {

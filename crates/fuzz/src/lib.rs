@@ -30,11 +30,13 @@ pub mod combfault;
 pub mod diff;
 pub mod gen;
 pub mod oracle;
+pub mod servechaos;
 pub mod shrink;
 pub mod snapfault;
 
 pub use combfault::{run_combination_faults, CombFaultClass, CombFaultReport};
 pub use diff::{Case, Failure, Injection, Op};
+pub use servechaos::{run_serve_chaos, ChaosClass, ChaosOutcome, ChaosReport};
 pub use shrink::Shrunk;
 pub use snapfault::{run_snapshot_faults, FaultClass, FaultOutcome, SnapFaultReport};
 

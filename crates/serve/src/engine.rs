@@ -30,6 +30,7 @@ use sg_core::kernel;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 #[cfg(feature = "telemetry")]
 static REQUESTS: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.requests");
@@ -47,6 +48,20 @@ static BATCH_POINTS: sg_telemetry::Histogram = sg_telemetry::Histogram::new("ser
 static BATCH_JOBS: sg_telemetry::Histogram = sg_telemetry::Histogram::new("serve.batch.jobs");
 #[cfg(feature = "telemetry")]
 static BATCH_NS: sg_telemetry::Histogram = sg_telemetry::Histogram::new("serve.batch.ns");
+#[cfg(feature = "telemetry")]
+static DEADLINE_EXPIRED: sg_telemetry::Counter =
+    sg_telemetry::Counter::new("serve.deadline.expired");
+#[cfg(feature = "telemetry")]
+static DEADLINE_MET: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.deadline.met");
+#[cfg(feature = "telemetry")]
+static DRAIN_FLUSHED: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.drain.flushed");
+#[cfg(feature = "telemetry")]
+static DRAIN_REJECTED: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.drain.rejected");
+#[cfg(feature = "telemetry")]
+static DRAIN_FORCED: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.drain.forced");
+#[cfg(feature = "telemetry")]
+static DEGRADED_REQUESTS: sg_telemetry::Counter =
+    sg_telemetry::Counter::new("serve.degraded.requests");
 
 /// Tunables for the daemon, each with an `SGD_*` environment knob.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +85,20 @@ pub struct ServeConfig {
     /// Max concurrently loaded models (`SGD_MAX_MODELS`, default 64,
     /// min 1).
     pub max_models: usize,
+    /// Socket read/write/connect stall limit in milliseconds
+    /// (`SGD_IO_TIMEOUT_MS`, default 30000, min 10): a transfer that
+    /// makes no progress for this long is a typed `timed_out` failure,
+    /// so a slowloris peer can never pin a thread.
+    pub io_timeout_ms: usize,
+    /// Idle-connection reap limit in milliseconds
+    /// (`SGD_IDLE_TIMEOUT_MS`, default 300000, min 10): a connection
+    /// with no request in flight and no bytes arriving for this long is
+    /// closed and counted under `serve.conn.idle_reaped`.
+    pub idle_timeout_ms: usize,
+    /// Graceful-drain bound in milliseconds (`SGD_DRAIN_TIMEOUT_MS`,
+    /// default 10000, min 1): on shutdown, accepted jobs get this long
+    /// to finish and flush before the drain is forced.
+    pub drain_timeout_ms: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +110,9 @@ impl Default for ServeConfig {
             par_min_points: 2048,
             max_frame: crate::protocol::DEFAULT_MAX_FRAME,
             max_models: 64,
+            io_timeout_ms: 30_000,
+            idle_timeout_ms: 300_000,
+            drain_timeout_ms: 10_000,
         }
     }
 }
@@ -97,6 +129,9 @@ impl ServeConfig {
             par_min_points: crate::env_knob("SGD_PAR_MIN_POINTS", d.par_min_points, 1),
             max_frame: crate::env_knob("SGD_MAX_FRAME", d.max_frame, 64),
             max_models: crate::env_knob("SGD_MAX_MODELS", d.max_models, 1),
+            io_timeout_ms: crate::env_knob("SGD_IO_TIMEOUT_MS", d.io_timeout_ms, 10),
+            idle_timeout_ms: crate::env_knob("SGD_IDLE_TIMEOUT_MS", d.idle_timeout_ms, 10),
+            drain_timeout_ms: crate::env_knob("SGD_DRAIN_TIMEOUT_MS", d.drain_timeout_ms, 1),
         }
     }
 }
@@ -121,6 +156,12 @@ struct JobState {
     slot: usize,
     /// Dimensionality the coordinates were laid out for.
     dim: usize,
+    /// Absolute expiry instant (None = no deadline). A job still queued
+    /// past this instant fails typed instead of burning pool time.
+    deadline: Option<Instant>,
+    /// The model that produced `out` was serving degraded (valid in
+    /// `Done`).
+    degraded: bool,
     /// Flat query coordinates (`npoints · dim`).
     xs: Vec<f64>,
     /// Flat results (`npoints`), valid in `Done`.
@@ -143,6 +184,8 @@ impl Job {
                 phase: Phase::Idle,
                 slot: 0,
                 dim: 0,
+                deadline: None,
+                degraded: false,
                 xs: Vec::new(),
                 out: Vec::new(),
                 err: None,
@@ -163,6 +206,14 @@ impl Job {
         f(&st.out)
     }
 
+    /// Whether the completed request was served by a degraded model
+    /// (lost snapshot sections evaluated as zero). Panics unless `Done`.
+    pub fn served_degraded(&self) -> bool {
+        let st = self.lock();
+        assert_eq!(st.phase, Phase::Done, "job has no results to read");
+        st.degraded
+    }
+
     /// Return a completed (or never-submitted) job to `Idle` so it can
     /// be prepared again. Must not be called while the job is in flight.
     pub fn recycle(&self) {
@@ -176,7 +227,11 @@ impl Job {
 struct Shared {
     queue: Mutex<VecDeque<Arc<Job>>>,
     work_cv: Condvar,
+    /// Hard stop: queued jobs fail with `shutting_down`.
     shutdown: AtomicBool,
+    /// Graceful drain: admissions rejected, accepted jobs still execute
+    /// and flush; the executor exits once the queue runs dry.
+    draining: AtomicBool,
     cfg: ServeConfig,
 }
 
@@ -194,6 +249,7 @@ impl Engine {
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_depth)),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             cfg,
         });
         let executor = {
@@ -230,18 +286,21 @@ impl Engine {
     /// flat coordinates into the job's reused buffer and returns the
     /// point count. Validates shape and domain — out-of-domain points
     /// must be rejected here with a typed error, never panic the
-    /// executor.
+    /// executor. `deadline` (absolute; `None` = unbounded) is checked by
+    /// the executor before evaluation starts.
     pub fn prepare(
         &self,
         job: &Job,
         slot: usize,
         dim: usize,
+        deadline: Option<Instant>,
         fill: impl FnOnce(&mut Vec<f64>),
     ) -> Result<(), ServeError> {
         let mut st = job.lock();
         assert_eq!(st.phase, Phase::Idle, "job reused while in flight");
         st.slot = slot;
         st.dim = dim;
+        st.deadline = deadline;
         st.xs.clear();
         fill(&mut st.xs);
         if dim == 0 || st.xs.len() % dim != 0 {
@@ -275,15 +334,26 @@ impl Engine {
     /// Submit a prepared job. Admission control happens here: a full
     /// queue rejects immediately with [`ServeError::Overloaded`].
     pub fn submit(&self, job: &Arc<Job>) -> Result<(), ServeError> {
-        if self.shared.shutdown.load(Ordering::SeqCst) {
-            return Err(ServeError::ShuttingDown);
-        }
         {
             let mut st = job.lock();
             st.phase = Phase::Queued;
             st.err = None;
         }
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        // Checked under the queue lock: the executor only decides to
+        // exit (drain complete) while holding this lock and seeing an
+        // empty queue, so a job admitted here is guaranteed to execute.
+        if self.shared.shutdown.load(Ordering::SeqCst)
+            || self.shared.draining.load(Ordering::SeqCst)
+        {
+            job.lock().phase = Phase::Idle;
+            tel! {
+                if self.shared.draining.load(Ordering::SeqCst) {
+                    DRAIN_REJECTED.add(1);
+                }
+            }
+            return Err(ServeError::ShuttingDown);
+        }
         if q.len() >= self.shared.cfg.queue_depth {
             job.lock().phase = Phase::Idle;
             tel! {
@@ -338,7 +408,7 @@ impl Engine {
                 st.phase = Phase::Idle;
             }
         }
-        self.prepare(job, slot, dim, |buf| buf.extend_from_slice(xs))?;
+        self.prepare(job, slot, dim, None, |buf| buf.extend_from_slice(xs))?;
         self.submit(job)?;
         self.wait(job)?;
         let out = job.with_results(|ys| ys.to_vec());
@@ -346,8 +416,9 @@ impl Engine {
         Ok(out)
     }
 
-    /// Drain the queue (failing queued jobs with `shutting_down`), stop
-    /// the executor, and join it. Idempotent.
+    /// Abort: fail queued jobs with `shutting_down`, stop the executor,
+    /// and join it. Idempotent. For a graceful stop that finishes
+    /// accepted work, use [`Engine::drain`] first.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_cv.notify_all();
@@ -359,6 +430,35 @@ impl Engine {
         {
             let _ = h.join();
         }
+    }
+
+    /// Graceful drain: stop admissions (further [`Engine::submit`]s fail
+    /// typed `shutting_down`), finish and flush every already-accepted
+    /// job, then stop the executor. Bounded by `limit`: if the queue has
+    /// not run dry in time, the drain escalates to a hard shutdown and
+    /// the stragglers fail typed. Returns `true` when every accepted
+    /// job completed within the bound. Idempotent with `shutdown`.
+    pub fn drain(&self, limit: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        let deadline = Instant::now() + limit;
+        let mut executor = self.executor.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(h) = executor.take() else {
+            return true; // already stopped
+        };
+        while !h.is_finished() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let clean = h.is_finished();
+        if !clean {
+            tel! {
+                DRAIN_FORCED.add(1);
+            }
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.work_cv.notify_all();
+        }
+        let _ = h.join();
+        clean
     }
 
     /// Current queue length (stats).
@@ -408,11 +508,16 @@ fn executor_loop(fleet: &Arc<Fleet>, shared: &Arc<Shared>) {
                 if let Some(j) = q.pop_front() {
                     break j;
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                // Empty queue + stop request: drain complete (this is
+                // the only exit, and it happens under the queue lock —
+                // the other half of the submit-side race guard).
+                if shared.shutdown.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst)
+                {
                     return;
                 }
                 q = shared.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             };
+            let now = Instant::now();
             let (s0, mut points) = {
                 let st = first.lock();
                 (st.slot, st.xs.len() / st.dim.max(1))
@@ -420,14 +525,26 @@ fn executor_loop(fleet: &Arc<Fleet>, shared: &Arc<Shared>) {
             slot0 = s0;
             batch.push(first);
             // Coalesce queued jobs for the same model, preserving FIFO
-            // order among them, until the batch budget is spent.
+            // order among them, until the batch budget is spent. Jobs
+            // whose deadline already passed are failed typed here, before
+            // any pool time is spent on them.
             let mut i = 0;
             while i < q.len() {
-                let (slot, npoints) = {
+                let (slot, npoints, expired) = {
                     let st = q[i].lock();
-                    (st.slot, st.xs.len() / st.dim.max(1))
+                    (
+                        st.slot,
+                        st.xs.len() / st.dim.max(1),
+                        st.deadline.is_some_and(|d| d <= now),
+                    )
                 };
-                if slot == slot0 && points + npoints <= cfg.batch_max_points {
+                if expired {
+                    let job = q.remove(i).expect("index checked");
+                    tel! {
+                        DEADLINE_EXPIRED.add(1);
+                    }
+                    fail(&job, ServeError::DeadlineExceeded);
+                } else if slot == slot0 && points + npoints <= cfg.batch_max_points {
                     points += npoints;
                     batch.push(q.remove(i).expect("index checked"));
                 } else {
@@ -440,6 +557,28 @@ fn executor_loop(fleet: &Arc<Fleet>, shared: &Arc<Shared>) {
                 fail(job, ServeError::ShuttingDown);
             }
             continue;
+        }
+        // Expiry check for the batch itself (the coalesce pass above
+        // only scans jobs still in the queue).
+        let now = Instant::now();
+        batch.retain(|job| {
+            let expired = job.lock().deadline.is_some_and(|d| d <= now);
+            if expired {
+                tel! {
+                    DEADLINE_EXPIRED.add(1);
+                }
+                fail(job, ServeError::DeadlineExceeded);
+            }
+            !expired
+        });
+        if batch.is_empty() {
+            continue;
+        }
+        tel! {
+            DEADLINE_MET.add(batch.iter().filter(|j| j.lock().deadline.is_some()).count() as u64);
+            if shared.draining.load(Ordering::SeqCst) {
+                DRAIN_FLUSHED.add(batch.len() as u64);
+            }
         }
 
         let guard = reader.pin();
@@ -547,9 +686,13 @@ fn execute_batch(
             BATCH_POINTS.record(total as u64);
             BATCH_NS.record(t0.elapsed().as_nanos() as u64);
             model.record_served(jobs, total as u64);
+            if model.is_degraded() {
+                DEGRADED_REQUESTS.add(jobs);
+            }
         }
     }
 
+    let degraded = model.is_degraded();
     for (job, &(start, npoints)) in batch.iter().zip(spans.iter()) {
         if start == usize::MAX {
             continue; // already failed with ShapeMismatch
@@ -561,6 +704,7 @@ fn execute_batch(
         let mut st = job.lock();
         st.out.clear();
         st.out.extend_from_slice(&out_all[start..start + npoints]);
+        st.degraded = degraded;
         st.phase = Phase::Done;
         job.cv.notify_all();
     }
@@ -677,7 +821,7 @@ mod tests {
         for _ in 0..64 {
             let job = engine.make_job();
             engine
-                .prepare(&job, fleet.resolve("m").unwrap(), 3, |b| {
+                .prepare(&job, fleet.resolve("m").unwrap(), 3, None, |b| {
                     b.extend_from_slice(&[0.5, 0.5, 0.5])
                 })
                 .unwrap();
@@ -696,6 +840,81 @@ mod tests {
         // request hung.
         assert!(!jobs.is_empty());
         let _ = overloads;
+        engine.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_without_evaluation() {
+        let path = snapshot("deadline");
+        let fleet = Fleet::new(2);
+        fleet.load("m", &path).unwrap();
+        let engine = Engine::new(Arc::clone(&fleet), ServeConfig::default());
+        let job = engine.make_job();
+        // A deadline already in the past must come back typed, never as
+        // results.
+        let past = Instant::now() - Duration::from_millis(5);
+        engine
+            .prepare(&job, fleet.resolve("m").unwrap(), 3, Some(past), |b| {
+                b.extend_from_slice(&[0.5, 0.5, 0.5])
+            })
+            .unwrap();
+        engine.submit(&job).unwrap();
+        assert!(matches!(
+            engine.wait(&job),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        // A generous deadline still succeeds, and the job is reusable.
+        job.recycle();
+        let future = Instant::now() + Duration::from_secs(60);
+        engine
+            .prepare(&job, fleet.resolve("m").unwrap(), 3, Some(future), |b| {
+                b.extend_from_slice(&[0.5, 0.5, 0.5])
+            })
+            .unwrap();
+        engine.submit(&job).unwrap();
+        engine.wait(&job).unwrap();
+        assert!(!job.served_degraded());
+        engine.shutdown();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drain_completes_accepted_jobs_and_rejects_new_ones() {
+        let path = snapshot("drain");
+        let fleet = Fleet::new(2);
+        fleet.load("m", &path).unwrap();
+        let engine = Engine::new(Arc::clone(&fleet), ServeConfig::default());
+        // Queue a burst of jobs without waiting on them.
+        let mut jobs = Vec::new();
+        for _ in 0..32 {
+            let job = engine.make_job();
+            engine
+                .prepare(&job, fleet.resolve("m").unwrap(), 3, None, |b| {
+                    b.extend_from_slice(&[0.25, 0.5, 0.75])
+                })
+                .unwrap();
+            if engine.submit(&job).is_ok() {
+                jobs.push(job);
+            }
+        }
+        assert!(engine.drain(Duration::from_secs(30)), "drain was forced");
+        // Every accepted job completed with results — zero lost.
+        for job in &jobs {
+            engine.wait(job).unwrap();
+            job.with_results(|ys| assert_eq!(ys.len(), 1));
+        }
+        // Post-drain admissions are typed shutting_down.
+        let late = engine.make_job();
+        engine
+            .prepare(&late, fleet.resolve("m").unwrap(), 3, None, |b| {
+                b.extend_from_slice(&[0.5, 0.5, 0.5])
+            })
+            .unwrap();
+        assert!(matches!(
+            engine.submit(&late),
+            Err(ServeError::ShuttingDown)
+        ));
         engine.shutdown();
         std::fs::remove_file(&path).ok();
     }

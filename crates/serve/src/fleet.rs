@@ -15,11 +15,19 @@
 
 use crate::epoch::{EpochDomain, Participant, PinGuard};
 use crate::protocol::ServeError;
+use sg_core::functions::TestFunction;
 use sg_core::grid::CompactGrid;
 use sg_core::plan::EvalPlan;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+#[cfg(feature = "telemetry")]
+static DEGRADED_LOADS: sg_telemetry::Counter = sg_telemetry::Counter::new("serve.degraded.loads");
+#[cfg(feature = "telemetry")]
+static DEGRADED_REPAIRED: sg_telemetry::Counter =
+    sg_telemetry::Counter::new("serve.degraded.repaired");
 
 /// Per-model counters, leaked once per model *name* (not per load, so a
 /// thousand hot swaps of one name cost one registration) and shared by
@@ -67,15 +75,49 @@ pub struct Model {
     pub provenance: String,
     /// Fleet-wide load sequence number (bumps on every load/swap).
     pub generation: u64,
+    /// Snapshot file the model was loaded from (re-read by repair).
+    pub source: PathBuf,
+    /// Reference function registered at load time; repair re-samples it
+    /// to reconstruct lost groups bitwise-identically.
+    pub repair_fn: Option<TestFunction>,
+    /// Level groups lost to snapshot damage, zero-filled in `grid`
+    /// (empty ⇔ the model is complete).
+    pub lost_groups: Vec<usize>,
     #[cfg(feature = "telemetry")]
     counters: &'static model_tel::ModelCounters,
 }
 
 impl Model {
+    fn from_parts(
+        name: &str,
+        grid: CompactGrid<f64>,
+        provenance: String,
+        generation: u64,
+        source: PathBuf,
+        repair_fn: Option<TestFunction>,
+        lost_groups: Vec<usize>,
+    ) -> Model {
+        let plan = EvalPlan::new(grid.spec());
+        Model {
+            name: name.to_owned(),
+            grid,
+            plan,
+            provenance,
+            generation,
+            source,
+            repair_fn,
+            lost_groups,
+            #[cfg(feature = "telemetry")]
+            counters: model_tel::counters_for(name),
+        }
+    }
+
     /// Load a model from an SGC2 snapshot file and prebuild its plan.
+    /// Strict: a damaged snapshot is a typed error (degraded fallback
+    /// lives in [`Fleet::load_or_degraded`]).
     pub fn from_snapshot_file(
         name: &str,
-        path: &std::path::Path,
+        path: &Path,
         generation: u64,
     ) -> Result<Model, ServeError> {
         let bytes = std::fs::read(path)
@@ -84,21 +126,26 @@ impl Model {
             .map_err(|e| ServeError::Model(format!("verifying {}: {e}", path.display())))?;
         let grid = sg_io::read_snapshot::<f64>(&bytes)
             .map_err(|e| ServeError::Model(format!("decoding {}: {e}", path.display())))?;
-        let plan = EvalPlan::new(grid.spec());
-        Ok(Model {
-            name: name.to_owned(),
+        Ok(Model::from_parts(
+            name,
             grid,
-            plan,
-            provenance: info.provenance,
+            info.provenance,
             generation,
-            #[cfg(feature = "telemetry")]
-            counters: model_tel::counters_for(name),
-        })
+            path.to_owned(),
+            None,
+            Vec::new(),
+        ))
     }
 
     /// Dimensionality of the model's domain.
     pub fn dim(&self) -> usize {
         self.grid.spec().dim()
+    }
+
+    /// True when the model was salvaged from a damaged snapshot and is
+    /// serving the bounded degraded interpolant (lost groups as zero).
+    pub fn is_degraded(&self) -> bool {
+        !self.lost_groups.is_empty()
     }
 
     /// Bump this model's `serve.model.<name>.*` counters after a batch.
@@ -147,15 +194,22 @@ impl Fleet {
         self.domain.register()
     }
 
-    /// Load `path` under `name`. If the name is already serving, this is
-    /// a hot swap: the pointer flips atomically and the old model is
-    /// retired to the epoch domain. Returns the new generation number.
-    pub fn load(&self, name: &str, path: &std::path::Path) -> Result<u64, ServeError> {
-        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        let model = Box::new(Model::from_snapshot_file(name, path, generation)?);
+    /// Publish `model` under `name`: allocate or reuse the name's slot,
+    /// flip the pointer atomically, and retire the old model to the
+    /// epoch domain. With `expect_generation`, the swap happens only if
+    /// the serving model's generation still matches — a repair racing a
+    /// concurrent hot swap must never clobber the newer model. Returns
+    /// whether the model was installed.
+    fn install(
+        &self,
+        name: &str,
+        model: Box<Model>,
+        expect_generation: Option<u64>,
+    ) -> Result<bool, ServeError> {
         let mut names = self.names.write().unwrap_or_else(|e| e.into_inner());
         let slot = match names.get(name) {
             Some(&s) => s,
+            None if expect_generation.is_some() => return Ok(false), // unloaded meanwhile
             None => {
                 let used: Vec<usize> = names.values().copied().collect();
                 let Some(free) = (0..self.slots.len()).find(|s| !used.contains(s)) else {
@@ -168,6 +222,14 @@ impl Fleet {
                 free
             }
         };
+        if let Some(expect) = expect_generation {
+            let cur = self.slots[slot].current.load(Ordering::SeqCst);
+            // SAFETY: load/unload retire the current pointer only while
+            // holding the names write lock, so it stays live here.
+            if unsafe { cur.as_ref() }.map(|m| m.generation) != Some(expect) {
+                return Ok(false);
+            }
+        }
         let old = self.slots[slot]
             .current
             .swap(Box::into_raw(model), Ordering::SeqCst);
@@ -177,7 +239,127 @@ impl Fleet {
             // location; the domain frees it after readers move on.
             self.domain.retire(unsafe { Box::from_raw(old) });
         }
+        Ok(true)
+    }
+
+    /// Load `path` under `name`. If the name is already serving, this is
+    /// a hot swap: the pointer flips atomically and the old model is
+    /// retired to the epoch domain. Returns the new generation number.
+    pub fn load(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let model = Box::new(Model::from_snapshot_file(name, path, generation)?);
+        self.install(name, model, None)?;
         Ok(generation)
+    }
+
+    /// Load `path` under `name`, falling back to degraded serving when
+    /// the snapshot is damaged: intact level groups answer with their
+    /// original coefficients, lost groups drop out of the interpolant
+    /// (zero surpluses — exactly [`sg_io::DegradedGrid`] semantics), and
+    /// every response is flagged degraded until a repair swaps in the
+    /// complete grid. Returns the generation and the lost groups (empty
+    /// = clean load). A snapshot with no salvageable group is still a
+    /// typed error, not an all-zero model.
+    pub fn load_or_degraded(
+        &self,
+        name: &str,
+        path: &Path,
+        repair_fn: Option<TestFunction>,
+    ) -> Result<(u64, Vec<usize>), ServeError> {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::Model(format!("reading {}: {e}", path.display())))?;
+        let rec = sg_io::recover_snapshot::<f64>(&bytes)
+            .map_err(|e| ServeError::Model(format!("recovering {}: {e}", path.display())))?;
+        let lost = rec.grid.lost_groups().to_vec();
+        let levels = rec.grid.grid().spec().levels();
+        if lost.len() >= levels {
+            return Err(ServeError::Model(format!(
+                "{}: every level group is damaged; nothing to serve",
+                path.display()
+            )));
+        }
+        let grid = if lost.is_empty() {
+            rec.grid.into_complete().expect("no lost groups")
+        } else {
+            rec.grid.grid().clone()
+        };
+        let model = Box::new(Model::from_parts(
+            name,
+            grid,
+            rec.info.provenance,
+            generation,
+            path.to_owned(),
+            repair_fn,
+            lost.clone(),
+        ));
+        crate::tel! {
+            if !lost.is_empty() {
+                DEGRADED_LOADS.add(1);
+            }
+        }
+        self.install(name, model, None)?;
+        Ok((generation, lost))
+    }
+
+    /// Attempt to repair a degraded model: re-recover its snapshot and
+    /// reconstruct the lost groups — via the registered repair function
+    /// (re-sample + re-hierarchize, bitwise-identical to the lost
+    /// originals) or, without one, a strict re-read of the source path
+    /// (which succeeds once the file is replaced intact). On success the
+    /// complete grid hot-swaps in behind the epoch domain, unless a
+    /// concurrent load superseded the degraded generation. Returns
+    /// whether a repaired model was swapped in (`false` = the model is
+    /// not degraded or was superseded).
+    pub fn repair(&self, reader: &Participant<Model>, name: &str) -> Result<bool, ServeError> {
+        let (expect, source, repair_fn, degraded) = self.with_model(reader, name, |m| {
+            (m.generation, m.source.clone(), m.repair_fn, m.is_degraded())
+        })?;
+        if !degraded {
+            return Ok(false);
+        }
+        let bytes = std::fs::read(&source)
+            .map_err(|e| ServeError::Model(format!("reading {}: {e}", source.display())))?;
+        let rec = sg_io::recover_snapshot::<f64>(&bytes)
+            .map_err(|e| ServeError::Model(format!("recovering {}: {e}", source.display())))?;
+        let grid = match repair_fn {
+            Some(f) => rec.grid.repair_with(|x| f.eval(x)),
+            None => rec.grid.into_complete().map_err(|e| {
+                ServeError::Model(format!(
+                    "'{name}' has no repair function and {} is still damaged: {e}",
+                    source.display()
+                ))
+            })?,
+        };
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let provenance = rec.info.provenance;
+        let model = Box::new(Model::from_parts(
+            name,
+            grid,
+            provenance,
+            generation,
+            source,
+            repair_fn,
+            Vec::new(),
+        ));
+        let swapped = self.install(name, model, Some(expect))?;
+        crate::tel! {
+            if swapped {
+                DEGRADED_REPAIRED.add(1);
+            }
+        }
+        Ok(swapped)
+    }
+
+    /// Names currently serving degraded (repair-worklist order).
+    pub fn degraded_models(&self, reader: &Participant<Model>) -> Vec<String> {
+        self.names()
+            .into_iter()
+            .filter(|n| {
+                self.with_model(reader, n, |m| m.is_degraded())
+                    .unwrap_or(false)
+            })
+            .collect()
     }
 
     /// Unload `name`, retiring its model. Typed error if unknown.
@@ -334,6 +516,92 @@ mod tests {
         assert_eq!(fleet.garbage_len(), 0);
         std::fs::remove_file(&p1).ok();
         std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn degraded_load_serves_salvage_and_repair_restores_bitwise() {
+        let mut g = CompactGrid::from_fn(GridSpec::new(2, 4), |x| TestFunction::Gaussian.eval(x));
+        hierarchize(&mut g);
+        let path = std::env::temp_dir().join(format!(
+            "sg-serve-fleet-{}-degraded.sgcs",
+            std::process::id()
+        ));
+        sg_io::write_snapshot_file(&g, &path, "fleet-test").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let bounds = sg_io::section_boundaries(&bytes).unwrap();
+        bytes[bounds[2] + 9] ^= 0x40; // damage one level-group section
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fleet = Fleet::new(2);
+        let reader = fleet.register_reader();
+        // Strict load refuses the damaged snapshot, typed.
+        assert!(matches!(fleet.load("m", &path), Err(ServeError::Model(_))));
+        // Degraded load serves the salvage immediately.
+        let (gen1, lost) = fleet
+            .load_or_degraded("m", &path, Some(TestFunction::Gaussian))
+            .unwrap();
+        assert!(!lost.is_empty());
+        assert_eq!(fleet.degraded_models(&reader), vec!["m".to_string()]);
+        // Served values are exactly DegradedGrid semantics.
+        let rec = sg_io::recover_snapshot::<f64>(&bytes).unwrap();
+        assert_eq!(rec.grid.lost_groups(), &lost[..]);
+        let x = [0.3, 0.7];
+        let served = fleet
+            .with_model(&reader, "m", |m| {
+                assert!(m.is_degraded());
+                sg_core::evaluate::evaluate(&m.grid, &x)
+            })
+            .unwrap();
+        assert_eq!(served.to_bits(), rec.grid.evaluate(&x).to_bits());
+        // Repair re-hierarchizes the lost groups and swaps in a grid
+        // bitwise-identical to the clean one.
+        assert!(fleet.repair(&reader, "m").unwrap());
+        fleet
+            .with_model(&reader, "m", |m| {
+                assert!(!m.is_degraded());
+                assert!(m.generation > gen1);
+                assert_eq!(m.grid.values(), g.values());
+            })
+            .unwrap();
+        // Repairing a complete model is a no-op.
+        assert!(!fleet.repair(&reader, "m").unwrap());
+        assert!(fleet.degraded_models(&reader).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degraded_load_without_repair_fn_recovers_when_file_is_replaced() {
+        let mut g = CompactGrid::from_fn(GridSpec::new(2, 3), |x| x[0] * x[1]);
+        hierarchize(&mut g);
+        let path = std::env::temp_dir().join(format!(
+            "sg-serve-fleet-{}-replace.sgcs",
+            std::process::id()
+        ));
+        sg_io::write_snapshot_file(&g, &path, "fleet-test").unwrap();
+        let intact = std::fs::read(&path).unwrap();
+        let mut bytes = intact.clone();
+        let bounds = sg_io::section_boundaries(&bytes).unwrap();
+        bytes[bounds[1] + 9] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let fleet = Fleet::new(2);
+        let reader = fleet.register_reader();
+        let (_, lost) = fleet.load_or_degraded("m", &path, None).unwrap();
+        assert!(!lost.is_empty());
+        // No repair function and the file is still damaged: typed error.
+        assert!(matches!(
+            fleet.repair(&reader, "m"),
+            Err(ServeError::Model(_))
+        ));
+        // Once an intact file lands at the source path, repair succeeds.
+        std::fs::write(&path, &intact).unwrap();
+        assert!(fleet.repair(&reader, "m").unwrap());
+        fleet
+            .with_model(&reader, "m", |m| {
+                assert_eq!(m.grid.values(), g.values());
+            })
+            .unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -47,10 +47,10 @@ pub mod fleet;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryStats};
 pub use engine::{Engine, ServeConfig};
 pub use fleet::Fleet;
-pub use protocol::{FrameKind, ServeError};
+pub use protocol::{FrameKind, ServeError, RESP_FLAG_DEGRADED};
 pub use server::Server;
 
 /// Parse a `usize` environment knob with a documented minimum:

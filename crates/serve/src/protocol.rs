@@ -10,9 +10,16 @@
 //! |------|-------------|---------|
 //! | 0x01 | `CtrlReq`   | sg-json object, e.g. `{"cmd":"stats"}` |
 //! | 0x02 | `CtrlResp`  | sg-json object, `{"ok":true,...}` |
-//! | 0x10 | `EvalReq`   | `[name_len: u16 LE][name][npoints: u32 LE][xs: npoints·d f64 LE]` |
-//! | 0x11 | `EvalResp`  | `[npoints: u32 LE][ys: npoints f64 LE]` |
+//! | 0x10 | `EvalReq`   | `[name_len: u16 LE][name][deadline_ms: u32 LE][npoints: u32 LE][xs: npoints·d f64 LE]` |
+//! | 0x11 | `EvalResp`  | `[flags: u8][npoints: u32 LE][ys: npoints f64 LE]` |
 //! | 0x1F | `Error`     | sg-json `{"error":"<code>","message":"..."}` |
+//!
+//! `deadline_ms` is a *relative* budget (milliseconds from receipt; 0 =
+//! none): relative deadlines survive clock skew between client and
+//! server. A request still queued when its budget runs out is answered
+//! with a typed `deadline_exceeded` error instead of burning pool time.
+//! `flags` bit 0 marks a response computed by a degraded model (a
+//! snapshot that lost sections and serves over surviving coefficients).
 //!
 //! The data plane is raw little-endian `f64` — no JSON on the hot path.
 //! Frame reads and writes go through caller-owned buffers, so a
@@ -83,6 +90,12 @@ pub enum ServeError {
     },
     /// The server is draining; no new work is accepted.
     ShuttingDown,
+    /// The request's deadline budget ran out before evaluation started.
+    DeadlineExceeded,
+    /// A socket-level timeout fired (connect, read, or write stalled
+    /// past `SGD_IO_TIMEOUT_MS`). Fatal per connection: the stream
+    /// position is unknowable after an interrupted transfer.
+    TimedOut(String),
     /// Snapshot load/swap failure (wraps the sg-core error text).
     Model(String),
     /// Transport error.
@@ -99,6 +112,8 @@ impl ServeError {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::ShapeMismatch { .. } => "shape_mismatch",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::TimedOut(_) => "timed_out",
             ServeError::Model(_) => "model",
             ServeError::Io(_) => "io",
         }
@@ -107,7 +122,10 @@ impl ServeError {
     /// True when the connection's framing can no longer be trusted and
     /// the server should close it after replying.
     pub fn is_fatal(&self) -> bool {
-        matches!(self, ServeError::BadFrame(_) | ServeError::Io(_))
+        matches!(
+            self,
+            ServeError::BadFrame(_) | ServeError::Io(_) | ServeError::TimedOut(_)
+        )
     }
 
     /// Rebuild a typed error from its wire `(code, message)` pair; codes
@@ -120,6 +138,8 @@ impl ServeError {
             "bad_frame" => ServeError::BadFrame(message.to_owned()),
             "bad_request" => ServeError::BadRequest(message.to_owned()),
             "shutting_down" => ServeError::ShuttingDown,
+            "deadline_exceeded" => ServeError::DeadlineExceeded,
+            "timed_out" => ServeError::TimedOut(message.to_owned()),
             "model" => ServeError::Model(message.to_owned()),
             "shape_mismatch" => ServeError::BadRequest(format!("shape mismatch: {message}")),
             _ => ServeError::Io(format!("{code}: {message}")),
@@ -136,6 +156,8 @@ impl ServeError {
                 format!("request built for dimensionality {expected}, model now has {actual}")
             }
             ServeError::ShuttingDown => "server is shutting down".into(),
+            ServeError::DeadlineExceeded => "deadline expired before evaluation".into(),
+            ServeError::TimedOut(m) => m.clone(),
             ServeError::Io(m) => m.clone(),
         }
     }
@@ -151,7 +173,15 @@ impl std::error::Error for ServeError {}
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e.to_string())
+        // Socket timeouts surface as `TimedOut` (macOS/Linux blocking
+        // sockets) or `WouldBlock` (nonblocking emulation); both mean a
+        // configured transfer deadline fired, which is its own type.
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ServeError::TimedOut(e.to_string())
+            }
+            _ => ServeError::Io(e.to_string()),
+        }
     }
 }
 
@@ -191,7 +221,14 @@ pub fn read_frame(
     buf.clear();
     buf.resize(len, 0);
     r.read_exact(buf).map_err(|e| {
-        ServeError::BadFrame(format!("truncated frame: wanted {len} payload bytes: {e}"))
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ) {
+            ServeError::TimedOut(format!("stalled {len}-byte frame payload: {e}"))
+        } else {
+            ServeError::BadFrame(format!("truncated frame: wanted {len} payload bytes: {e}"))
+        }
     })?;
     Ok(Some(kind))
 }
@@ -217,11 +254,16 @@ pub fn write_frame(
     Ok(())
 }
 
+/// `EvalResp` flag bit: the response was computed by a degraded model.
+pub const RESP_FLAG_DEGRADED: u8 = 0x01;
+
 /// A parsed `EvalReq` payload, borrowing the frame buffer.
 #[derive(Debug)]
 pub struct EvalRequest<'a> {
     /// Model name the request targets.
     pub model: &'a str,
+    /// Relative deadline budget in milliseconds (0 = no deadline).
+    pub deadline_ms: u32,
     /// Number of query points.
     pub npoints: usize,
     /// Raw little-endian coordinate bytes (`npoints · d` f64s).
@@ -232,7 +274,7 @@ pub struct EvalRequest<'a> {
 /// model name, so coordinate-count validation happens there; this only
 /// enforces the frame's own structure.
 pub fn parse_eval_req(payload: &[u8]) -> Result<EvalRequest<'_>, ServeError> {
-    if payload.len() < 6 {
+    if payload.len() < 10 {
         return Err(ServeError::BadFrame(format!(
             "eval request of {} bytes is shorter than its fixed fields",
             payload.len()
@@ -248,21 +290,30 @@ pub fn parse_eval_req(payload: &[u8]) -> Result<EvalRequest<'_>, ServeError> {
     let model = std::str::from_utf8(rest)
         .map_err(|_| ServeError::BadFrame("model name is not UTF-8".into()))?;
     let tail = &payload[2 + name_len..];
-    if tail.len() < 4 {
+    if tail.len() < 8 {
         return Err(ServeError::BadFrame(
-            "eval request truncated before point count".into(),
+            "eval request truncated before deadline and point count".into(),
         ));
     }
-    let npoints = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]) as usize;
+    let deadline_ms = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let npoints = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]) as usize;
     Ok(EvalRequest {
         model,
+        deadline_ms,
         npoints,
-        xs_bytes: &tail[4..],
+        xs_bytes: &tail[8..],
     })
 }
 
 /// Serialize an `EvalReq` into `buf` (reused, cleared first).
-pub fn encode_eval_req(buf: &mut Vec<u8>, model: &str, npoints: usize, xs: &[f64]) {
+/// `deadline_ms` of 0 means no deadline.
+pub fn encode_eval_req(
+    buf: &mut Vec<u8>,
+    model: &str,
+    deadline_ms: u32,
+    npoints: usize,
+    xs: &[f64],
+) {
     assert!(model.len() <= u16::MAX as usize, "model name too long");
     assert!(
         npoints <= u32::MAX as usize,
@@ -271,6 +322,7 @@ pub fn encode_eval_req(buf: &mut Vec<u8>, model: &str, npoints: usize, xs: &[f64
     buf.clear();
     buf.extend_from_slice(&(model.len() as u16).to_le_bytes());
     buf.extend_from_slice(model.as_bytes());
+    buf.extend_from_slice(&deadline_ms.to_le_bytes());
     buf.extend_from_slice(&(npoints as u32).to_le_bytes());
     for &x in xs {
         buf.extend_from_slice(&x.to_le_bytes());
@@ -278,8 +330,9 @@ pub fn encode_eval_req(buf: &mut Vec<u8>, model: &str, npoints: usize, xs: &[f64
 }
 
 /// Serialize an `EvalResp` into `buf` (reused, cleared first).
-pub fn encode_eval_resp(buf: &mut Vec<u8>, ys: &[f64]) {
+pub fn encode_eval_resp(buf: &mut Vec<u8>, ys: &[f64], degraded: bool) {
     buf.clear();
+    buf.push(if degraded { RESP_FLAG_DEGRADED } else { 0 });
     buf.extend_from_slice(&(ys.len() as u32).to_le_bytes());
     for &y in ys {
         buf.extend_from_slice(&y.to_le_bytes());
@@ -287,12 +340,19 @@ pub fn encode_eval_resp(buf: &mut Vec<u8>, ys: &[f64]) {
 }
 
 /// Parse an `EvalResp` payload into `out` (reused, cleared first).
-pub fn parse_eval_resp(payload: &[u8], out: &mut Vec<f64>) -> Result<(), ServeError> {
-    if payload.len() < 4 {
+/// Returns true when the response carries the degraded flag.
+pub fn parse_eval_resp(payload: &[u8], out: &mut Vec<f64>) -> Result<bool, ServeError> {
+    if payload.len() < 5 {
         return Err(ServeError::BadFrame("eval response truncated".into()));
     }
-    let n = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
-    let body = &payload[4..];
+    let flags = payload[0];
+    if flags & !RESP_FLAG_DEGRADED != 0 {
+        return Err(ServeError::BadFrame(format!(
+            "eval response carries unknown flags {flags:#04x}"
+        )));
+    }
+    let n = u32::from_le_bytes([payload[1], payload[2], payload[3], payload[4]]) as usize;
+    let body = &payload[5..];
     if body.len() != n * 8 {
         return Err(ServeError::BadFrame(format!(
             "eval response claims {n} points but carries {} value bytes",
@@ -304,7 +364,7 @@ pub fn parse_eval_resp(payload: &[u8], out: &mut Vec<f64>) -> Result<(), ServeEr
     for chunk in body.chunks_exact(8) {
         out.push(f64::from_le_bytes(chunk.try_into().unwrap()));
     }
-    Ok(())
+    Ok(flags & RESP_FLAG_DEGRADED != 0)
 }
 
 /// Serialize a typed error into `buf` as the JSON `Error` payload.
@@ -343,16 +403,52 @@ mod tests {
     #[test]
     fn eval_roundtrip() {
         let mut buf = Vec::new();
-        encode_eval_req(&mut buf, "m0", 2, &[0.25, 0.5, 0.75, 1.0]);
+        encode_eval_req(&mut buf, "m0", 0, 2, &[0.25, 0.5, 0.75, 1.0]);
         let req = parse_eval_req(&buf).unwrap();
         assert_eq!(req.model, "m0");
+        assert_eq!(req.deadline_ms, 0);
         assert_eq!(req.npoints, 2);
         assert_eq!(req.xs_bytes.len(), 4 * 8);
         let mut resp = Vec::new();
-        encode_eval_resp(&mut resp, &[1.5, -2.5]);
+        encode_eval_resp(&mut resp, &[1.5, -2.5], false);
         let mut out = Vec::new();
-        parse_eval_resp(&resp, &mut out).unwrap();
+        assert!(!parse_eval_resp(&resp, &mut out).unwrap());
         assert_eq!(out, [1.5, -2.5]);
+    }
+
+    #[test]
+    fn deadline_and_degraded_flag_roundtrip() {
+        let mut buf = Vec::new();
+        encode_eval_req(&mut buf, "m", 250, 1, &[0.5]);
+        let req = parse_eval_req(&buf).unwrap();
+        assert_eq!(req.deadline_ms, 250);
+        let mut resp = Vec::new();
+        encode_eval_resp(&mut resp, &[3.25], true);
+        let mut out = Vec::new();
+        assert!(parse_eval_resp(&resp, &mut out).unwrap());
+        assert_eq!(out, [3.25]);
+        // Unknown response flags are a framing error, not silently
+        // accepted: a corrupted flag byte must not decode.
+        resp[0] = 0x80;
+        assert!(matches!(
+            parse_eval_resp(&resp, &mut out),
+            Err(ServeError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn new_error_codes_roundtrip_the_wire() {
+        for err in [
+            ServeError::DeadlineExceeded,
+            ServeError::TimedOut("read stalled".into()),
+        ] {
+            let mut buf = Vec::new();
+            encode_error(&mut buf, &err);
+            let (code, msg) = parse_error(&buf);
+            assert_eq!(ServeError::from_wire(&code, &msg), err);
+        }
+        assert!(ServeError::TimedOut(String::new()).is_fatal());
+        assert!(!ServeError::DeadlineExceeded.is_fatal());
     }
 
     #[test]

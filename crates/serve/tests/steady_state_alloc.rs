@@ -61,7 +61,7 @@ fn steady_state_requests_do_not_allocate() {
 
     let run_request = |sink: &mut f64| {
         engine
-            .prepare(&job, slot, 3, |buf| buf.extend_from_slice(&xs))
+            .prepare(&job, slot, 3, None, |buf| buf.extend_from_slice(&xs))
             .unwrap();
         engine.submit(&job).unwrap();
         engine.wait(&job).unwrap();

@@ -137,11 +137,11 @@ fn unknown_model_is_typed_and_the_connection_survives() {
     let mut s = TcpStream::connect(&addr).unwrap();
     let mut payload = Vec::new();
     let mut wire = Vec::new();
-    encode_eval_req(&mut payload, "nope", 1, &[0.5, 0.5]);
+    encode_eval_req(&mut payload, "nope", 0, 1, &[0.5, 0.5]);
     write_frame(&mut s, FrameKind::EvalReq, &payload, &mut wire).unwrap();
     expect_error_code(&mut s, "unknown_model");
     // Non-fatal: the same connection serves the next request.
-    encode_eval_req(&mut payload, "m", 1, &[0.5, 0.5]);
+    encode_eval_req(&mut payload, "m", 0, 1, &[0.5, 0.5]);
     write_frame(&mut s, FrameKind::EvalReq, &payload, &mut wire).unwrap();
     let (kind, _) = read_reply(&mut s).unwrap();
     assert_eq!(kind, FrameKind::EvalResp);
